@@ -1,0 +1,73 @@
+package rock_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rock"
+	"rock/internal/datagen"
+)
+
+func TestPublicTraceAndBestK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := datagen.Basket(datagen.ScaledBasketConfig(300), rng)
+	res, err := rock.ClusterTransactions(data.Txns, rock.Config{
+		K: 1, Theta: 0.5, MinNeighbors: 1, TraceMerges: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	k := rock.BestK(res.Trace, res.F)
+	if k < data.NumClusters()-2 || k > data.NumClusters()+4 {
+		t.Errorf("BestK = %d, want near %d", k, data.NumClusters())
+	}
+	traj := rock.CriterionTrajectory(res.Trace, res.F)
+	if len(traj) != len(res.Trace) {
+		t.Fatalf("trajectory length %d", len(traj))
+	}
+	if len(res.ClusterStats) != len(res.Clusters) {
+		t.Fatalf("cluster stats %d for %d clusters", len(res.ClusterStats), len(res.Clusters))
+	}
+	for i, st := range res.ClusterStats {
+		if st.Size != len(res.Clusters[i]) {
+			t.Fatalf("stat size %d != cluster size %d", st.Size, len(res.Clusters[i]))
+		}
+	}
+}
+
+func TestComponentsQROCK(t *testing.T) {
+	txns := []rock.Transaction{
+		rock.NewTransaction(1, 2, 3),
+		rock.NewTransaction(1, 2, 4),
+		rock.NewTransaction(1, 3, 4),
+		rock.NewTransaction(8, 9, 10),
+		rock.NewTransaction(8, 9, 11),
+		rock.NewTransaction(20, 21),
+	}
+	comps := rock.Components(txns, 0.4, nil)
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("sizes = %d %d %d", len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+	if comps[2][0] != 5 {
+		t.Fatalf("singleton should be the isolated transaction, got %v", comps[2])
+	}
+}
+
+func TestComponentsSim(t *testing.T) {
+	simf := func(i, j int) float64 {
+		if (i < 4) == (j < 4) {
+			return 1
+		}
+		return 0
+	}
+	comps := rock.ComponentsSim(7, simf, 0.5)
+	if len(comps) != 2 || len(comps[0]) != 4 || len(comps[1]) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+}

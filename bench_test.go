@@ -1,0 +1,385 @@
+package rock_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (each iteration regenerates the experiment end to end), plus
+// ablation benchmarks for the design choices DESIGN.md calls out — the
+// Figure 4 sparse link algorithm vs matrix squaring, the length-2 vs
+// length-3 link definition, raw vs normalized goodness, theta sensitivity,
+// and reservoir-sampling variants.
+//
+// Run with: go test -bench=. -benchmem
+// (-short trims the heavy experiments to reduced workloads.)
+
+import (
+	"math/rand"
+	"testing"
+
+	"rock"
+	"rock/internal/datagen"
+	"rock/internal/experiments"
+	"rock/internal/links"
+	"rock/internal/rockcore"
+	"rock/internal/sample"
+	"rock/internal/sim"
+)
+
+// ---- Tables and figures ----
+
+func BenchmarkTable1DataSetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table1(experiments.DefaultSeed); len(r.Rows) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkFigure1LinkExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1()
+		for _, c := range r.LinkChecks {
+			if c.Got != c.Want {
+				b.Fatalf("link check failed: %+v", c)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2Votes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(experiments.DefaultSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Mushroom(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full 8124-point clustering")
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.ROCK.Rows) != 21 {
+			b.Fatalf("ROCK clusters = %d", len(r.ROCK.Rows))
+		}
+	}
+}
+
+func BenchmarkTable4MutualFunds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(experiments.DefaultSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5SyntheticGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table5(experiments.DefaultSeed); r.Transactions != 114586 {
+			b.Fatal("bad generation")
+		}
+	}
+}
+
+func BenchmarkTable6Misclassification(b *testing.B) {
+	sizes := experiments.DefaultTable6SampleSizes
+	thetas := experiments.DefaultTable6Thetas
+	if testing.Short() {
+		sizes = []int{1000, 2000}
+		thetas = []float64{0.5}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(experiments.DefaultSeed, sizes, thetas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5Scalability(b *testing.B) {
+	sizes := experiments.DefaultTable6SampleSizes
+	thetas := experiments.DefaultFigure5Thetas
+	if testing.Short() {
+		sizes = []int{1000, 2000}
+		thetas = []float64{0.5, 0.8}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(experiments.DefaultSeed, sizes, thetas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7VoteProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7(experiments.DefaultSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable89MushroomProfiles(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full 8124-point clustering")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table89(experiments.DefaultSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Per-phase microbenchmarks on the synthetic workload ----
+
+// benchSample draws a basket sample once per benchmark (not timed).
+func benchSample(b *testing.B, n int) []rock.Transaction {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	d := datagen.Basket(datagen.ScaledBasketConfig(10), rng)
+	idx := sample.Indices(len(d.Txns), n, rng)
+	sub := make([]rock.Transaction, len(idx))
+	for i, p := range idx {
+		sub[i] = d.Txns[p]
+	}
+	return sub
+}
+
+func benchNeighbors(b *testing.B, txns []rock.Transaction, theta float64) *links.Neighbors {
+	b.Helper()
+	return links.ComputeNeighbors(len(txns), sim.ByIndex(txns, sim.Jaccard), links.Config{Theta: theta})
+}
+
+func BenchmarkNeighborComputation1000(b *testing.B) {
+	txns := benchSample(b, 1000)
+	s := sim.ByIndex(txns, sim.Jaccard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		links.ComputeNeighbors(len(txns), s, links.Config{Theta: 0.5, Workers: 1})
+	}
+}
+
+func BenchmarkNeighborComputationParallel1000(b *testing.B) {
+	txns := benchSample(b, 1000)
+	s := sim.ByIndex(txns, sim.Jaccard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		links.ComputeNeighbors(len(txns), s, links.Config{Theta: 0.5})
+	}
+}
+
+// Ablation: the Figure 4 sparse algorithm vs bitset matrix squaring vs the
+// naive O(n³) triple loop (Section 4.4's comparison).
+func BenchmarkLinksFigure4Sparse1000(b *testing.B) {
+	nb := benchNeighbors(b, benchSample(b, 1000), 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		links.Compute(nb, -1) // force sparse table
+	}
+}
+
+func BenchmarkLinksFigure4Dense1000(b *testing.B) {
+	nb := benchNeighbors(b, benchSample(b, 1000), 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		links.Compute(nb, links.DefaultDenseLimit)
+	}
+}
+
+func BenchmarkLinksBitsetMatrix1000(b *testing.B) {
+	nb := benchNeighbors(b, benchSample(b, 1000), 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		links.ComputeDenseMatrix(nb)
+	}
+}
+
+func BenchmarkLinksNaiveMatrix400(b *testing.B) {
+	nb := benchNeighbors(b, benchSample(b, 400), 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		links.ComputeNaiveMatrix(nb)
+	}
+}
+
+// Ablation: the rejected length-3 link definition (Section 3.2) against
+// length-2 on the same graph.
+func BenchmarkLinksPath2Vs3(b *testing.B) {
+	nb := benchNeighbors(b, benchSample(b, 300), 0.5)
+	b.Run("path2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			links.Compute(nb, -1)
+		}
+	})
+	b.Run("path3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			links.ComputePath3(nb)
+		}
+	})
+}
+
+// Ablation: raw cross-link goodness (the "naive approach" of Section 4.2)
+// vs the expected-link normalization, full clustering runs.
+func BenchmarkGoodnessNormalization(b *testing.B) {
+	txns := benchSample(b, 1000)
+	s := sim.ByIndex(txns, sim.Jaccard)
+	for _, raw := range []bool{false, true} {
+		name := "normalized"
+		if raw {
+			name = "raw"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := rockcore.Cluster(len(txns), s, rockcore.Config{
+					K: 10, Theta: 0.5, RawCrossLinkGoodness: raw,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Theta sensitivity: the full clustering at the paper's four settings
+// (Figure 5's per-theta behaviour, fixed sample size).
+func BenchmarkThetaSweep1000(b *testing.B) {
+	txns := benchSample(b, 1000)
+	s := sim.ByIndex(txns, sim.Jaccard)
+	for _, theta := range []float64{0.5, 0.6, 0.7, 0.8} {
+		b.Run(thetaName(theta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := rockcore.Cluster(len(txns), s, rockcore.Config{K: 10, Theta: theta})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func thetaName(t float64) string {
+	switch t {
+	case 0.5:
+		return "theta=0.5"
+	case 0.6:
+		return "theta=0.6"
+	case 0.7:
+		return "theta=0.7"
+	default:
+		return "theta=0.8"
+	}
+}
+
+// f(theta) sensitivity: Section 3.3 claims an inaccurate but reasonable f
+// still works; time is invariant, so this benchmarks the clustering while
+// the companion test suite asserts the quality.
+func BenchmarkFSensitivity(b *testing.B) {
+	txns := benchSample(b, 800)
+	s := sim.ByIndex(txns, sim.Jaccard)
+	for _, f := range []float64{0.2, 1.0 / 3, 0.5} {
+		f := f
+		b.Run(fName(f), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := rockcore.Cluster(len(txns), s, rockcore.Config{
+					K: 10, Theta: 0.5, F: func(float64) float64 { return f },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func fName(f float64) string {
+	switch {
+	case f < 0.3:
+		return "f=0.2"
+	case f < 0.4:
+		return "f=1/3(paper)"
+	default:
+		return "f=0.5"
+	}
+}
+
+// Labeling-phase throughput (Section 4.6): transactions labeled per second
+// against a clustered sample.
+func BenchmarkLabelingPhase(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := datagen.Basket(datagen.ScaledBasketConfig(10), rng)
+	cfg := rock.PipelineConfig{
+		Cluster:    rock.Config{K: 10, Theta: 0.5, MinNeighbors: 2},
+		SampleSize: 1000,
+		Seed:       1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr, err := rock.ClusterLarge(d.Txns, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lr.Labeled == 0 {
+			b.Fatal("nothing labeled")
+		}
+	}
+}
+
+// Reservoir sampling: Algorithm R vs the skip-based Algorithm X.
+func BenchmarkReservoirAlgorithms(b *testing.B) {
+	const stream, k = 1 << 20, 1024
+	b.Run("algorithmR", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			r := sample.NewReservoir(k, rng)
+			for j := 0; j < stream; j++ {
+				r.Add(j)
+			}
+		}
+	})
+	b.Run("algorithmX", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			r := sample.NewSkipReservoir(k, rng)
+			for j := 0; j < stream; j++ {
+				r.Add(j)
+			}
+		}
+	})
+}
+
+// The Section 2 [HKKM97] baseline end to end (apriori + hypergraph
+// partitioning + transaction scoring) vs ROCK.
+func BenchmarkSection2HKKMBaseline(b *testing.B) {
+	if testing.Short() {
+		b.Skip("apriori over the scaled basket workload")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Section2(experiments.DefaultSeed, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Every algorithm head-to-head on a 1000-transaction basket sample — the
+// repository's extension of the paper's comparison.
+func BenchmarkBaselinesComparison(b *testing.B) {
+	if testing.Short() {
+		b.Skip("nine algorithms over a 1000-transaction sample")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Baselines(experiments.DefaultSeed, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Funds clustering under the [ALSS95]-style correlation similarity — the
+// "externally produced similarity" path of Section 5.1.
+func BenchmarkFundsCorrelationSimilarity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FundsCorr(experiments.DefaultSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Command rock clusters a data file with the ROCK algorithm.
+//
+// Transaction files (text format, one transaction per line):
+//
+//	rock -k 10 -theta 0.5 txns.txt
+//
+// Categorical files (schema header + comma-separated records, "?" missing):
+//
+//	rock -categorical -k 2 -theta 0.73 votes.cat
+//	rock -categorical -pairwise -k 16 -theta 0.8 funds.cat
+//
+// Large transaction files can be clustered through the sampling pipeline:
+//
+//	rock -k 10 -theta 0.5 -sample 4000 txns.txt
+//
+// Output: one line per cluster listing its member record numbers (0-based),
+// then a line of outliers. With -sample, every record of the file is
+// assigned via the labeling phase.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"rock"
+	"rock/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rock: ")
+	var (
+		k           = flag.Int("k", 2, "desired number of clusters (a hint, per the paper)")
+		theta       = flag.Float64("theta", 0.5, "neighbor similarity threshold")
+		categorical = flag.Bool("categorical", false, "input is a categorical file, not transactions")
+		pairwise    = flag.Bool("pairwise", false, "categorical only: use the pairwise common-attribute similarity (time-series rule)")
+		sampleSize  = flag.Int("sample", 0, "cluster a random sample of this size and label the rest (transactions only)")
+		minNbrs     = flag.Int("min-neighbors", 0, "discard points with fewer neighbors as outliers")
+		stopMult    = flag.Float64("stop-multiple", 0, "pause at this multiple of k clusters and weed small clusters")
+		minSize     = flag.Int("min-cluster-size", 0, "weeding support threshold")
+		seed        = flag.Int64("seed", 1, "seed for sampling and labeling")
+		quiet       = flag.Bool("quiet", false, "print only summary statistics")
+		components  = flag.Bool("components", false, "QROCK mode: report connected components of the neighbor graph instead of running the merge loop (transactions only)")
+		bestK       = flag.Bool("bestk", false, "ignore -k, merge fully with tracing and report the criterion-peak cluster count (transactions only)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: rock [flags] <file>")
+	}
+	path := flag.Arg(0)
+
+	cfg := rock.Config{
+		K: *k, Theta: *theta,
+		MinNeighbors: *minNbrs, StopMultiple: *stopMult, MinClusterSize: *minSize,
+	}
+
+	switch {
+	case *components:
+		txns, err := store.LoadText(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		comps := rock.Components(txns, *theta, nil)
+		fmt.Printf("neighbor-graph components at theta=%.2f: %d\n", *theta, len(comps))
+		if !*quiet {
+			for ci, members := range comps {
+				fmt.Printf("component %d (%d):", ci+1, len(members))
+				printMembers(members)
+			}
+		}
+	case *bestK:
+		txns, err := store.LoadText(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.K = 1
+		cfg.TraceMerges = true
+		res, err := rock.ClusterTransactions(txns, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		k := rock.BestK(res.Trace, res.F)
+		fmt.Printf("suggested cluster count (criterion peak): %d\n", k)
+		traj := rock.CriterionTrajectory(res.Trace, res.F)
+		if len(traj) > 0 {
+			fmt.Printf("criterion E_l after final merge: %.4f\n", traj[len(traj)-1])
+		}
+	case *categorical:
+		schema, records, err := store.LoadCategorical(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var res *rock.Result
+		if *pairwise {
+			res, err = rock.ClusterRecordsPairwise(records, cfg)
+		} else {
+			res, err = rock.ClusterRecords(schema, records, cfg)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(res, *quiet)
+	case *sampleSize > 0:
+		lr, err := rock.ClusterScanner(func() (store.Scanner, io.Closer, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			return store.NewTextScanner(f), f, nil
+		}, rock.PipelineConfig{Cluster: cfg, SampleSize: *sampleSize, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sampled %d, clustered into %d clusters, labeled %d remaining records\n",
+			len(lr.Sample), len(lr.SampleResult.Clusters), lr.Labeled)
+		if !*quiet {
+			for ci, members := range lr.Clusters() {
+				fmt.Printf("cluster %d (%d):", ci+1, len(members))
+				printMembers(members)
+			}
+		}
+	default:
+		txns, err := store.LoadText(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rock.ClusterTransactions(txns, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(res, *quiet)
+	}
+}
+
+func printResult(res *rock.Result, quiet bool) {
+	fmt.Printf("clusters: %d  outliers: %d  criterion E_l: %.4f  merges: %d\n",
+		len(res.Clusters), len(res.Outliers), res.Criterion, res.Stats.Merges)
+	if res.Stats.StoppedNoLinks {
+		fmt.Println("note: merging stopped early — no links between remaining clusters")
+	}
+	if quiet {
+		return
+	}
+	for ci, members := range res.Clusters {
+		fmt.Printf("cluster %d (%d):", ci+1, len(members))
+		printMembers(members)
+	}
+	if len(res.Outliers) > 0 {
+		fmt.Printf("outliers (%d):", len(res.Outliers))
+		printMembers(res.Outliers)
+	}
+}
+
+func printMembers(members []int) {
+	for _, m := range members {
+		fmt.Printf(" %d", m)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,114 @@
+// Command rockexp regenerates the ROCK paper's evaluation: every table and
+// figure of Section 5, plus the worked examples of Sections 1-3.
+//
+// Usage:
+//
+//	rockexp                 # run everything
+//	rockexp -exp table2     # one experiment: table1..table7, table89,
+//	                        # table5, table6, figure5, figure1
+//	rockexp -seed 7         # different generator seed
+//
+// The output is the measured counterpart of each paper table; EXPERIMENTS.md
+// records the run with the default seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"rock/internal/experiments"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(seed int64) (fmt.Stringer, error)
+}
+
+var all = []experiment{
+	{"table1", "data set characteristics", func(s int64) (fmt.Stringer, error) {
+		return experiments.Table1(s), nil
+	}},
+	{"figure1", "Figure 1 / Example 1.2 link counts", func(s int64) (fmt.Stringer, error) {
+		return experiments.Figure1(), nil
+	}},
+	{"table2", "congressional votes: traditional vs ROCK", func(s int64) (fmt.Stringer, error) {
+		return experiments.Table2(s)
+	}},
+	{"table3", "mushroom: traditional vs ROCK", func(s int64) (fmt.Stringer, error) {
+		return experiments.Table3(s)
+	}},
+	{"table4", "mutual funds: ROCK clusters", func(s int64) (fmt.Stringer, error) {
+		return experiments.Table4(s)
+	}},
+	{"table5", "synthetic data set parameters", func(s int64) (fmt.Stringer, error) {
+		return experiments.Table5(s), nil
+	}},
+	{"table6", "misclassified transactions vs sample size", func(s int64) (fmt.Stringer, error) {
+		return experiments.Table6(s, experiments.DefaultTable6SampleSizes, experiments.DefaultTable6Thetas)
+	}},
+	{"figure5", "scalability: runtime vs sample size", func(s int64) (fmt.Stringer, error) {
+		return experiments.Figure5(s, experiments.DefaultTable6SampleSizes, experiments.DefaultFigure5Thetas)
+	}},
+	{"table7", "vote cluster characteristics", func(s int64) (fmt.Stringer, error) {
+		return experiments.Table7(s)
+	}},
+	{"table89", "mushroom cluster characteristics", func(s int64) (fmt.Stringer, error) {
+		return experiments.Table89(s)
+	}},
+	{"section2", "[HKKM97] item-clustering baseline vs ROCK", func(s int64) (fmt.Stringer, error) {
+		return experiments.Section2(s, 50)
+	}},
+	{"baselines", "every algorithm head-to-head on the basket workload", func(s int64) (fmt.Stringer, error) {
+		return experiments.Baselines(s, 1000)
+	}},
+	{"overlap", "quality vs cluster-overlap fraction: ROCK vs k-means", func(s int64) (fmt.Stringer, error) {
+		return experiments.OverlapSweep(s, experiments.DefaultOverlapFracs)
+	}},
+	{"fundscorr", "funds under the [ALSS95]-style correlation similarity", func(s int64) (fmt.Stringer, error) {
+		return experiments.FundsCorr(s)
+	}},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rockexp: ")
+	var (
+		exp  = flag.String("exp", "", "run one experiment (default: all)")
+		seed = flag.Int64("seed", experiments.DefaultSeed, "generator seed")
+	)
+	flag.Parse()
+
+	selected := all
+	if *exp != "" {
+		selected = nil
+		for _, e := range all {
+			if e.name == *exp {
+				selected = []experiment{e}
+			}
+		}
+		if selected == nil {
+			var names []string
+			for _, e := range all {
+				names = append(names, e.name)
+			}
+			log.Fatalf("unknown experiment %q; have: %s", *exp, strings.Join(names, ", "))
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+		start := time.Now()
+		res, err := e.run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rockexp: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		fmt.Printf("---- %s done in %v ----\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,113 @@
+// Command rockgen generates the paper's four data sets to disk.
+//
+// Usage:
+//
+//	rockgen -dataset basket   -out txns.txt            [-scale 1] [-seed 1]
+//	rockgen -dataset votes    -out votes.cat           [-seed 1]
+//	rockgen -dataset mushroom -out mushroom.cat        [-seed 1]
+//	rockgen -dataset funds    -out funds.cat           [-seed 1]
+//
+// The basket data set is written in the transaction text format (one
+// space-separated transaction per line; add -binary for the compact binary
+// format); the categorical data sets are written in the categorical format
+// with a schema header. Ground-truth labels go to <out>.labels, one label
+// per line (-1 marks outliers).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"rock/internal/datagen"
+	"rock/internal/store"
+	"rock/internal/timeseries"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rockgen: ")
+	var (
+		ds     = flag.String("dataset", "basket", "data set: basket, votes, mushroom or funds")
+		out    = flag.String("out", "", "output path (required)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		scale  = flag.Int("scale", 1, "basket only: divide cluster sizes by this factor")
+		binary = flag.Bool("binary", false, "basket only: write the binary transaction format")
+	)
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var labels []int
+	switch *ds {
+	case "basket":
+		cfg := datagen.DefaultBasketConfig()
+		if *scale > 1 {
+			cfg = datagen.ScaledBasketConfig(*scale)
+		}
+		d := datagen.Basket(cfg, rng)
+		var err error
+		if *binary {
+			err = store.SaveBinary(*out, d.Txns)
+		} else {
+			err = store.SaveText(*out, d.Txns)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels = d.Labels
+		fmt.Printf("wrote %d transactions over %d items to %s\n", len(d.Txns), d.NumItems, *out)
+	case "votes":
+		d := datagen.Votes(datagen.DefaultVotesConfig(), rng)
+		if err := store.SaveCategorical(*out, d.Schema, d.Records); err != nil {
+			log.Fatal(err)
+		}
+		labels = d.Labels
+		fmt.Printf("wrote %d voting records to %s\n", len(d.Records), *out)
+	case "mushroom":
+		d := datagen.Mushroom(datagen.DefaultMushroomConfig(), rng)
+		if err := store.SaveCategorical(*out, d.Schema, d.Records); err != nil {
+			log.Fatal(err)
+		}
+		labels = d.Labels
+		fmt.Printf("wrote %d mushroom records to %s\n", len(d.Records), *out)
+	case "funds":
+		d := datagen.Funds(datagen.DefaultFundsConfig(), rng)
+		recs := timeseries.DiscretizeAll(d.Series)
+		schema := timeseries.ChangeSchema(timeseries.FundCalendar())
+		if err := store.SaveCategorical(*out, schema, recs); err != nil {
+			log.Fatal(err)
+		}
+		labels = d.Labels
+		fmt.Printf("wrote %d fund records (%d change attributes) to %s\n", len(recs), schema.NumAttrs(), *out)
+	default:
+		log.Fatalf("unknown dataset %q", *ds)
+	}
+
+	lp := *out + ".labels"
+	if err := writeLabels(lp, labels); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote ground-truth labels to %s\n", lp)
+}
+
+func writeLabels(path string, labels []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, l := range labels {
+		fmt.Fprintln(w, l)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,36 @@
+// Package rock implements ROCK (RObust Clustering using linKs), the
+// agglomerative hierarchical clustering algorithm for boolean and
+// categorical data of Guha, Rastogi and Shim (ICDE 1999).
+//
+// Instead of merging the clusters whose points are closest under a distance
+// metric, ROCK merges the clusters with the most *links*: a pair of points
+// are neighbors when their similarity is at least a threshold theta, and
+// link(p, q) is the number of common neighbors of p and q. Links pull
+// neighborhood (global) information into a pairwise relationship, which
+// makes the algorithm robust on categorical data where distance metrics and
+// the raw Jaccard coefficient mislead.
+//
+// # Quick start
+//
+//	txns := []rock.Transaction{
+//		rock.NewTransaction(1, 2, 3), rock.NewTransaction(1, 2, 4), // ...
+//	}
+//	res, err := rock.ClusterTransactions(txns, rock.Config{K: 2, Theta: 0.5})
+//
+// The package clusters three shapes of data:
+//
+//   - ClusterTransactions: market-basket data (sets of items) under the
+//     Jaccard coefficient (Section 3.1.1 of the paper).
+//   - ClusterRecords: categorical records, converted to transactions with
+//     one attribute=value item each, missing values omitted (Section 3.1.2).
+//   - ClusterRecordsPairwise: categorical records under the time-series
+//     rule, where each pair is compared only on attributes present in both
+//     records (Section 3.1.2).
+//   - ClusterSim: anything else, via a caller-supplied normalized
+//     similarity — e.g. a domain-expert similarity table (Section 3.1).
+//
+// For data sets too large to cluster whole, ClusterLarge and ClusterScanner
+// run the paper's full pipeline (Figure 2): draw a random sample, cluster
+// it, then assign every remaining point to the cluster in whose labeled
+// subset it has the most (normalized) neighbors.
+package rock

@@ -1,0 +1,126 @@
+package rock_test
+
+import (
+	"fmt"
+
+	"rock"
+)
+
+// The paper's Figure 1 data: two overlapping market-basket clusters that
+// distance-based methods cannot separate.
+func figure1Txns() []rock.Transaction {
+	var txns []rock.Transaction
+	add := func(items []rock.Item) {
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				for k := j + 1; k < len(items); k++ {
+					txns = append(txns, rock.NewTransaction(items[i], items[j], items[k]))
+				}
+			}
+		}
+	}
+	add([]rock.Item{1, 2, 3, 4, 5})
+	add([]rock.Item{1, 2, 6, 7})
+	return txns
+}
+
+func ExampleClusterTransactions() {
+	txns := figure1Txns()
+	res, err := rock.ClusterTransactions(txns, rock.Config{
+		K:     2,
+		Theta: 0.5,
+		F:     func(float64) float64 { return 1 }, // dense mini-example
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d clusters of sizes %d and %d\n",
+		len(res.Clusters), len(res.Clusters[0]), len(res.Clusters[1]))
+	// Output: 2 clusters of sizes 10 and 4
+}
+
+func ExampleClusterRecords() {
+	schema := &rock.Schema{Attrs: []rock.Attribute{
+		{Name: "color", Domain: []string{"red", "blue"}},
+		{Name: "size", Domain: []string{"small", "large"}},
+		{Name: "shape", Domain: []string{"round", "square"}},
+	}}
+	records := []rock.Record{
+		{0, 0, 0}, {0, 0, 1}, {0, 1, 0},
+		{1, 1, 1}, {1, 1, 0}, {1, 0, 1},
+	}
+	res, err := rock.ClusterRecords(schema, records, rock.Config{K: 2, Theta: 0.3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", len(res.Clusters))
+	// Output: clusters: 2
+}
+
+func ExampleClusterRecordsPairwise() {
+	// Time-series style records with missing values: similarity is
+	// computed only over attributes present in both records.
+	const m = rock.MissingValue
+	records := []rock.Record{
+		{0, 0, 0, m},
+		{0, 0, m, 0},
+		{m, 0, 0, 0},
+		{1, 1, 1, m},
+		{1, 1, m, 1},
+		{m, 1, 1, 1},
+	}
+	res, err := rock.ClusterRecordsPairwise(records, rock.Config{K: 2, Theta: 0.9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", len(res.Clusters), "outliers:", len(res.Outliers))
+	// Output: clusters: 2 outliers: 0
+}
+
+func ExampleClusterSim() {
+	// A domain-expert similarity table over 6 entities.
+	expert := func(i, j int) float64 {
+		if (i < 3) == (j < 3) {
+			return 0.9
+		}
+		return 0.1
+	}
+	res, err := rock.ClusterSim(6, expert, rock.Config{K: 2, Theta: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", len(res.Clusters))
+	// Output: clusters: 2
+}
+
+func ExampleComponents() {
+	txns := []rock.Transaction{
+		rock.NewTransaction(1, 2, 3),
+		rock.NewTransaction(1, 2, 4),
+		rock.NewTransaction(8, 9, 10),
+		rock.NewTransaction(8, 9, 11),
+	}
+	comps := rock.Components(txns, 0.4, nil)
+	fmt.Println("components:", len(comps))
+	// Output: components: 2
+}
+
+func ExampleBestK() {
+	// Three groups of baskets over disjoint item sets.
+	var txns []rock.Transaction
+	for _, base := range []rock.Item{0, 100, 200} {
+		for i := rock.Item(0); i < 4; i++ {
+			txns = append(txns, rock.NewTransaction(base, base+1, base+2+i))
+		}
+	}
+	res, err := rock.ClusterTransactions(txns, rock.Config{
+		K:           1, // merge all the way, recording the trace
+		Theta:       0.5,
+		TraceMerges: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("suggested clusters:", rock.BestK(res.Trace, res.F))
+	// Output: suggested clusters: 3
+}

@@ -1,0 +1,78 @@
+// Domain-expert similarity: Section 3.1 of the paper admits "a
+// distance/similarity function provided by a domain expert" as the
+// similarity source — links only need a normalized sim and a threshold.
+//
+// This example clusters job titles: no attribute vectors exist, only an
+// expert-filled similarity table (e.g. how related two roles are). ROCK
+// clusters straight off the table via rock.ClusterSim.
+//
+// Run with: go run ./examples/expertsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rock"
+	"rock/internal/sim"
+)
+
+func main() {
+	titles := []string{
+		"backend engineer",   // 0
+		"frontend engineer",  // 1
+		"SRE",                // 2
+		"data engineer",      // 3
+		"accountant",         // 4
+		"financial analyst",  // 5
+		"payroll specialist", // 6
+		"nurse",              // 7
+		"physician",          // 8
+		"paramedic",          // 9
+		"beekeeper",          // 10: an outlier
+	}
+
+	// The expert's table: asymmetries and vagueness included — only the
+	// normalized [0,1] values matter.
+	table := sim.NewTable(len(titles))
+	rate := func(i, j int, v float64) { table.Set(i, j, v) }
+	// Engineering.
+	rate(0, 1, 0.7)
+	rate(0, 2, 0.8)
+	rate(0, 3, 0.75)
+	rate(1, 2, 0.6)
+	rate(1, 3, 0.55)
+	rate(2, 3, 0.65)
+	// Finance.
+	rate(4, 5, 0.8)
+	rate(4, 6, 0.85)
+	rate(5, 6, 0.6)
+	// Medicine.
+	rate(7, 8, 0.8)
+	rate(7, 9, 0.75)
+	rate(8, 9, 0.7)
+	// Weak cross-domain impressions.
+	rate(3, 5, 0.3) // data engineer ~ financial analyst
+	rate(7, 6, 0.2)
+
+	res, err := rock.ClusterSim(len(titles), table.Func(), rock.Config{
+		K:            3,
+		Theta:        0.5,
+		MinNeighbors: 1, // the beekeeper has no neighbors and is an outlier
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d clusters\n", len(res.Clusters))
+	for ci, members := range res.Clusters {
+		fmt.Printf("cluster %d:", ci+1)
+		for _, p := range members {
+			fmt.Printf(" %q", titles[p])
+		}
+		fmt.Println()
+	}
+	for _, p := range res.Outliers {
+		fmt.Printf("outlier: %q\n", titles[p])
+	}
+}

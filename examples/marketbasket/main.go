@@ -1,0 +1,67 @@
+// Market-basket example: the paper's large-database pipeline (Figure 2) on
+// the Section 5.3 synthetic workload — draw a random sample, cluster it with
+// links, then label every remaining transaction on "disk".
+//
+// Run with: go run ./examples/marketbasket [-scale 10] [-sample 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rock"
+	"rock/internal/datagen"
+	"rock/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 10, "divide the paper's 114586-transaction workload by this")
+	sampleSize := flag.Int("sample", 2000, "random sample size")
+	theta := flag.Float64("theta", 0.5, "neighbor threshold")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(1))
+	data := datagen.Basket(datagen.ScaledBasketConfig(*scale), rng)
+	fmt.Printf("generated %d transactions, %d true clusters + %d outliers, %d items\n",
+		len(data.Txns), data.NumClusters(), countOutliers(data.Labels), data.NumItems)
+
+	cfg := rock.PipelineConfig{
+		Cluster: rock.Config{
+			K:              data.NumClusters(),
+			Theta:          *theta,
+			MinNeighbors:   2,
+			StopMultiple:   3,
+			MinClusterSize: *sampleSize / 100,
+		},
+		SampleSize: *sampleSize,
+		Seed:       1,
+	}
+	lr, err := rock.ClusterLarge(data.Txns, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sampled %d, found %d clusters, labeled %d remaining transactions\n",
+		len(lr.Sample), len(lr.SampleResult.Clusters), lr.Labeled)
+	for ci, members := range lr.Clusters() {
+		fmt.Printf("  cluster %d: %d transactions\n", ci+1, len(members))
+	}
+
+	mis := experiments.CountMisclassified(lr.Assign, data.Labels,
+		len(lr.SampleResult.Clusters), data.NumClusters())
+	total := len(data.Txns) - countOutliers(data.Labels)
+	fmt.Printf("misclassified: %d of %d cluster transactions (%.2f%%)\n",
+		mis, total, 100*float64(mis)/float64(total))
+}
+
+func countOutliers(labels []int) int {
+	n := 0
+	for _, l := range labels {
+		if l == datagen.OutlierLabel {
+			n++
+		}
+	}
+	return n
+}

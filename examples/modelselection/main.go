@@ -1,0 +1,62 @@
+// Model selection: how many clusters are in the data? The paper treats K as
+// an input hint, but the merge trace lets the data answer: run ROCK to K=1
+// with tracing, then find the largest multiplicative drop in merge goodness
+// (rock.BestK) and the peak of the criterion E_l (rock.CriterionTrajectory).
+//
+// Run with: go run ./examples/modelselection
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rock"
+	"rock/internal/datagen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	data := datagen.Basket(datagen.ScaledBasketConfig(300), rng)
+	fmt.Printf("generated %d transactions with %d hidden clusters\n",
+		len(data.Txns), data.NumClusters())
+
+	res, err := rock.ClusterTransactions(data.Txns, rock.Config{
+		K:            1, // merge all the way down, recording the trace
+		Theta:        0.5,
+		MinNeighbors: 2,
+		TraceMerges:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d merges\n", len(res.Trace))
+
+	k := rock.BestK(res.Trace, res.F)
+	fmt.Printf("BestK (criterion peak): %d clusters\n", k)
+
+	traj := rock.CriterionTrajectory(res.Trace, res.F)
+	bestAt, best := -1, 0.0
+	for i, v := range traj {
+		if v > best {
+			bestAt, best = i, v
+		}
+	}
+	if bestAt >= 0 {
+		fmt.Printf("criterion E_l peaks at %.2f after merge %d (%d clusters remaining)\n",
+			best, bestAt+1, res.Trace[bestAt].Remaining)
+	}
+
+	// Show the goodness cliff around the suggested K.
+	fmt.Println("\nlast merges before and first merges after the natural structure:")
+	for i, m := range res.Trace {
+		if m.Remaining <= k+3 && m.Remaining >= k-3 {
+			marker := " "
+			if m.Remaining == k {
+				marker = "<- BestK boundary"
+			}
+			fmt.Printf("  merge %4d: sizes %4d+%4d  goodness %10.4f  remaining %3d %s\n",
+				i+1, m.SizeA, m.SizeB, m.Goodness, m.Remaining, marker)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module rock
+
+go 1.22

@@ -1,0 +1,208 @@
+// Package apriori implements level-wise frequent-itemset mining (Agrawal &
+// Srikant's Apriori). It is the first half of the association-rule
+// hypergraph clustering baseline of [HKKM97], which the ROCK paper's
+// Section 2 discusses and refutes with a counterexample; the second half is
+// package hypergraph.
+package apriori
+
+import (
+	"sort"
+
+	"rock/internal/dataset"
+)
+
+// Frequent is a frequent itemset with its absolute support count.
+type Frequent struct {
+	Items   dataset.Transaction
+	Support int
+}
+
+// Config controls the miner.
+type Config struct {
+	// MinSupport is the minimum absolute support (transaction count).
+	MinSupport int
+	// MaxLen bounds itemset size; zero means unbounded.
+	MaxLen int
+}
+
+// Mine returns all frequent itemsets of the transaction database, in
+// increasing size order, each sorted lexicographically.
+func Mine(txns []dataset.Transaction, cfg Config) []Frequent {
+	if cfg.MinSupport < 1 {
+		cfg.MinSupport = 1
+	}
+
+	// L1: frequent single items.
+	counts := make(map[dataset.Item]int)
+	for _, t := range txns {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	var level []Frequent
+	for it, c := range counts {
+		if c >= cfg.MinSupport {
+			level = append(level, Frequent{Items: dataset.Transaction{it}, Support: c})
+		}
+	}
+	sortFrequent(level)
+
+	var out []Frequent
+	out = append(out, level...)
+	k := 1
+	for len(level) > 0 {
+		k++
+		if cfg.MaxLen > 0 && k > cfg.MaxLen {
+			break
+		}
+		cands := candidates(level)
+		if len(cands) == 0 {
+			break
+		}
+		next := countAndFilter(txns, cands, cfg.MinSupport)
+		out = append(out, next...)
+		level = next
+	}
+	return out
+}
+
+// candidates joins frequent (k-1)-itemsets sharing a (k-2)-prefix and
+// prunes candidates with an infrequent subset (the Apriori property).
+func candidates(level []Frequent) []dataset.Transaction {
+	have := make(map[string]bool, len(level))
+	for _, f := range level {
+		have[key(f.Items)] = true
+	}
+	var cands []dataset.Transaction
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i].Items, level[j].Items
+			if !samePrefix(a, b) {
+				// level is sorted, so once prefixes diverge no later j
+				// matches either.
+				break
+			}
+			c := append(append(dataset.Transaction{}, a...), b[len(b)-1])
+			if allSubsetsFrequent(c, have) {
+				cands = append(cands, c)
+			}
+		}
+	}
+	return cands
+}
+
+func samePrefix(a, b dataset.Transaction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] < b[len(b)-1]
+}
+
+// allSubsetsFrequent checks every (k-1)-subset of c against the previous
+// level.
+func allSubsetsFrequent(c dataset.Transaction, have map[string]bool) bool {
+	sub := make(dataset.Transaction, 0, len(c)-1)
+	for skip := range c {
+		sub = sub[:0]
+		for i, it := range c {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !have[key(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+func countAndFilter(txns []dataset.Transaction, cands []dataset.Transaction, minSupport int) []Frequent {
+	counts := make([]int, len(cands))
+	for _, t := range txns {
+		for ci, c := range cands {
+			if t.IntersectLen(c) == len(c) {
+				counts[ci]++
+			}
+		}
+	}
+	var out []Frequent
+	for ci, c := range cands {
+		if counts[ci] >= minSupport {
+			out = append(out, Frequent{Items: c, Support: counts[ci]})
+		}
+	}
+	sortFrequent(out)
+	return out
+}
+
+func sortFrequent(fs []Frequent) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Items, fs[j].Items
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+func key(t dataset.Transaction) string {
+	b := make([]byte, 0, 4*len(t))
+	for _, it := range t {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+// SupportIndex builds a lookup from itemset to support over the mined
+// result, used for rule-confidence computations.
+type SupportIndex map[string]int
+
+// NewSupportIndex indexes mined itemsets.
+func NewSupportIndex(fs []Frequent) SupportIndex {
+	idx := make(SupportIndex, len(fs))
+	for _, f := range fs {
+		idx[key(f.Items)] = f.Support
+	}
+	return idx
+}
+
+// Support returns the support of itemset s, or 0 if it was not frequent.
+func (idx SupportIndex) Support(s dataset.Transaction) int { return idx[key(s)] }
+
+// AvgRuleConfidence computes the average confidence of all association
+// rules X → (e \ X) with nonempty X ⊂ e, the hyperedge weight of [HKKM97].
+// Subset supports missing from the index (possible only if e itself is
+// infrequent) make the rule count as zero confidence.
+func AvgRuleConfidence(e dataset.Transaction, idx SupportIndex) float64 {
+	supE := idx.Support(e)
+	if supE == 0 || len(e) < 2 {
+		return 0
+	}
+	var sum float64
+	rules := 0
+	// Enumerate proper nonempty subsets X of e as antecedents.
+	n := len(e)
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		x := make(dataset.Transaction, 0, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				x = append(x, e[i])
+			}
+		}
+		rules++
+		if supX := idx.Support(x); supX > 0 {
+			sum += float64(supE) / float64(supX)
+		}
+	}
+	if rules == 0 {
+		return 0
+	}
+	return sum / float64(rules)
+}

@@ -1,0 +1,126 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"rock/internal/dataset"
+)
+
+func tx(items ...dataset.Item) dataset.Transaction { return dataset.NewTransaction(items...) }
+
+func TestMineTextbookExample(t *testing.T) {
+	// Classic 4-transaction example.
+	txns := []dataset.Transaction{
+		tx(1, 3, 4),
+		tx(2, 3, 5),
+		tx(1, 2, 3, 5),
+		tx(2, 5),
+	}
+	fs := Mine(txns, Config{MinSupport: 2})
+	idx := NewSupportIndex(fs)
+	want := map[string]int{
+		"{1}":       2,
+		"{2}":       3,
+		"{3}":       3,
+		"{5}":       3,
+		"{1, 3}":    2,
+		"{2, 3}":    2,
+		"{2, 5}":    3,
+		"{3, 5}":    2,
+		"{2, 3, 5}": 2,
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("mined %d itemsets, want %d: %v", len(fs), len(want), fs)
+	}
+	for _, f := range fs {
+		if want[f.Items.String()] != f.Support {
+			t.Errorf("support(%v) = %d, want %d", f.Items, f.Support, want[f.Items.String()])
+		}
+	}
+	if idx.Support(tx(2, 3, 5)) != 2 {
+		t.Error("index lookup failed")
+	}
+	if idx.Support(tx(1, 5)) != 0 {
+		t.Error("infrequent itemset has support in index")
+	}
+}
+
+func TestMineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		txns := make([]dataset.Transaction, 30)
+		for i := range txns {
+			items := make([]dataset.Item, 1+rng.Intn(5))
+			for j := range items {
+				items[j] = dataset.Item(rng.Intn(8))
+			}
+			txns[i] = dataset.NewTransaction(items...)
+		}
+		minSup := 2 + rng.Intn(4)
+		fs := Mine(txns, Config{MinSupport: minSup})
+		got := make(map[string]int)
+		for _, f := range fs {
+			got[f.Items.String()] = f.Support
+		}
+		// Brute force over all itemsets of the 8-item universe.
+		for mask := 1; mask < 256; mask++ {
+			var set dataset.Transaction
+			for b := 0; b < 8; b++ {
+				if mask&(1<<b) != 0 {
+					set = append(set, dataset.Item(b))
+				}
+			}
+			sup := 0
+			for _, t2 := range txns {
+				if t2.IntersectLen(set) == len(set) {
+					sup++
+				}
+			}
+			key := set.String()
+			if sup >= minSup {
+				if got[key] != sup {
+					t.Fatalf("trial %d: support(%v) = %d, want %d", trial, set, got[key], sup)
+				}
+			} else if _, ok := got[key]; ok {
+				t.Fatalf("trial %d: infrequent %v reported", trial, set)
+			}
+		}
+	}
+}
+
+func TestMineMaxLen(t *testing.T) {
+	txns := []dataset.Transaction{tx(1, 2, 3), tx(1, 2, 3), tx(1, 2, 3)}
+	fs := Mine(txns, Config{MinSupport: 2, MaxLen: 2})
+	for _, f := range fs {
+		if len(f.Items) > 2 {
+			t.Fatalf("itemset %v exceeds MaxLen", f.Items)
+		}
+	}
+}
+
+func TestMineEmptyAndMinSupportFloor(t *testing.T) {
+	if fs := Mine(nil, Config{MinSupport: 0}); len(fs) != 0 {
+		t.Fatal("mining nothing should yield nothing")
+	}
+}
+
+func TestAvgRuleConfidence(t *testing.T) {
+	// supports: {1}=4, {2}=2, {1,2}=2.
+	txns := []dataset.Transaction{
+		tx(1), tx(1), tx(1, 2), tx(1, 2),
+	}
+	fs := Mine(txns, Config{MinSupport: 1})
+	idx := NewSupportIndex(fs)
+	// Rules on {1,2}: 1->2 conf 2/4, 2->1 conf 2/2. Average 0.75.
+	got := AvgRuleConfidence(tx(1, 2), idx)
+	if got != 0.75 {
+		t.Fatalf("avg confidence = %v, want 0.75", got)
+	}
+	if AvgRuleConfidence(tx(1), idx) != 0 {
+		t.Fatal("singleton should have no rules")
+	}
+	if AvgRuleConfidence(tx(7, 8), idx) != 0 {
+		t.Fatal("infrequent edge should weigh 0")
+	}
+}

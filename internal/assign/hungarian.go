@@ -1,0 +1,117 @@
+// Package assign implements the Hungarian (Kuhn–Munkres) algorithm for
+// optimal assignment. The evaluation harness uses it to match discovered
+// clusters to ground-truth classes so that "misclassified transactions"
+// (Table 6 of the paper) is measured against the best possible matching
+// rather than a greedy one.
+package assign
+
+import "math"
+
+// MinCost solves the square assignment problem on the n×n cost matrix,
+// returning for each row the column assigned to it and the total cost. The
+// implementation is the O(n³) shortest-augmenting-path formulation with
+// potentials.
+func MinCost(cost [][]float64) (rowToCol []int, total float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	// 1-indexed internals per the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0, delta, j1 := p[j0], math.Inf(1), -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	rowToCol = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][rowToCol[i]]
+	}
+	return rowToCol, total
+}
+
+// MaxOverlap matches rows to columns of the (possibly rectangular) overlap
+// matrix so that the total overlap is maximized; it pads with zeros to a
+// square matrix and negates to reuse MinCost. rowToCol[i] is -1 for rows
+// matched to a padding column.
+func MaxOverlap(overlap [][]int) (rowToCol []int, total int) {
+	r := len(overlap)
+	if r == 0 {
+		return nil, 0
+	}
+	c := len(overlap[0])
+	n := r
+	if c > n {
+		n = c
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i < r && j < c {
+				cost[i][j] = -float64(overlap[i][j])
+			}
+		}
+	}
+	m, neg := MinCost(cost)
+	rowToCol = make([]int, r)
+	for i := 0; i < r; i++ {
+		j := m[i]
+		if j >= c || overlap[i][j] == 0 {
+			rowToCol[i] = -1
+		} else {
+			rowToCol[i] = j
+		}
+	}
+	return rowToCol, int(-neg)
+}

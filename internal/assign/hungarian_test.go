@@ -1,0 +1,158 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinCostKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	m, total := MinCost(cost)
+	if total != 5 {
+		t.Fatalf("total = %v, want 5", total)
+	}
+	// Optimal: row0->col1 (1), row1->col0 (2), row2->col2 (2).
+	want := []int{1, 0, 2}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("matching = %v, want %v", m, want)
+		}
+	}
+}
+
+func TestMinCostIdentity(t *testing.T) {
+	n := 6
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i != j {
+				cost[i][j] = 10
+			}
+		}
+	}
+	m, total := MinCost(cost)
+	if total != 0 {
+		t.Fatalf("total = %v", total)
+	}
+	for i := range m {
+		if m[i] != i {
+			t.Fatalf("matching = %v", m)
+		}
+	}
+}
+
+func TestMinCostEmpty(t *testing.T) {
+	m, total := MinCost(nil)
+	if m != nil || total != 0 {
+		t.Fatal("empty input should be trivial")
+	}
+}
+
+// TestMinCostMatchesBruteForce compares against exhaustive search on random
+// matrices up to 7x7.
+func TestMinCostMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		_, got := MinCost(cost)
+		want := bruteForce(cost)
+		if got != want {
+			t.Fatalf("n=%d: MinCost = %v, brute force %v", n, got, want)
+		}
+	}
+}
+
+func bruteForce(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := -1.0
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			s := 0.0
+			for i, j := range perm {
+				s += cost[i][j]
+			}
+			if best < 0 || s < best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestMaxOverlapSquare(t *testing.T) {
+	overlap := [][]int{
+		{10, 0, 2},
+		{1, 8, 0},
+		{0, 3, 9},
+	}
+	m, total := MaxOverlap(overlap)
+	if total != 27 {
+		t.Fatalf("total = %d, want 27", total)
+	}
+	for i := range m {
+		if m[i] != i {
+			t.Fatalf("matching = %v", m)
+		}
+	}
+}
+
+func TestMaxOverlapRectangular(t *testing.T) {
+	// More clusters (rows) than classes (columns): extras match nothing.
+	overlap := [][]int{
+		{5, 0},
+		{0, 7},
+		{1, 1},
+	}
+	m, total := MaxOverlap(overlap)
+	if total != 12 {
+		t.Fatalf("total = %d, want 12", total)
+	}
+	if m[0] != 0 || m[1] != 1 || m[2] != -1 {
+		t.Fatalf("matching = %v", m)
+	}
+}
+
+func TestMaxOverlapZeroMatchesReportedAsUnmatched(t *testing.T) {
+	overlap := [][]int{
+		{3, 0},
+		{0, 0},
+	}
+	m, total := MaxOverlap(overlap)
+	if total != 3 {
+		t.Fatalf("total = %d", total)
+	}
+	if m[1] != -1 {
+		t.Fatalf("row with no overlap should be unmatched, got %v", m)
+	}
+}
+
+func TestMaxOverlapEmpty(t *testing.T) {
+	m, total := MaxOverlap(nil)
+	if m != nil || total != 0 {
+		t.Fatal("empty overlap should be trivial")
+	}
+}

@@ -1,0 +1,206 @@
+package birch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCFAlgebra(t *testing.T) {
+	a := NewCF([]float64{1, 2})
+	b := NewCF([]float64{3, 4})
+	a.Add(b)
+	if a.N != 2 || a.LS[0] != 4 || a.LS[1] != 6 {
+		t.Fatalf("merged CF = %+v", a)
+	}
+	wantSS := 1.0 + 4 + 9 + 16
+	if a.SS != wantSS {
+		t.Fatalf("SS = %v, want %v", a.SS, wantSS)
+	}
+	c := a.Centroid()
+	if c[0] != 2 || c[1] != 3 {
+		t.Fatalf("centroid = %v", c)
+	}
+}
+
+// Property: the CF radius equals the directly computed RMS distance from
+// the centroid, for random point sets.
+func TestCFRadiusMatchesDirectQuick(t *testing.T) {
+	f := func(raw [6][2]float64) bool {
+		var cf CF
+		pts := make([][]float64, 0, len(raw))
+		for _, p := range raw {
+			q := []float64{clamp(p[0]), clamp(p[1])}
+			pts = append(pts, q)
+			cf.Add(NewCF(q))
+		}
+		c := cf.Centroid()
+		var s float64
+		for _, p := range pts {
+			for d := range p {
+				diff := p[d] - c[d]
+				s += diff * diff
+			}
+		}
+		want := math.Sqrt(s / float64(len(pts)))
+		return math.Abs(cf.Radius()-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 100)
+}
+
+func TestCentroidDist2(t *testing.T) {
+	a := NewCF([]float64{0, 0})
+	b := NewCF([]float64{3, 4})
+	if got := CentroidDist2(&a, &b); got != 25 {
+		t.Fatalf("dist2 = %v, want 25", got)
+	}
+}
+
+func blobs(rng *rand.Rand, centers [][]float64, per int, noise float64) ([][]float64, []int) {
+	var vecs [][]float64
+	var labels []int
+	for c, ctr := range centers {
+		for i := 0; i < per; i++ {
+			v := make([]float64, len(ctr))
+			for d := range v {
+				v[d] = ctr[d] + rng.NormFloat64()*noise
+			}
+			vecs = append(vecs, v)
+			labels = append(labels, c)
+		}
+	}
+	return vecs, labels
+}
+
+func TestBirchSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vecs, labels := blobs(rng, [][]float64{{0, 0}, {20, 0}, {0, 20}}, 80, 0.6)
+	res, err := Cluster(vecs, Config{K: 3, Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	for _, c := range res.Clusters {
+		l := labels[c[0]]
+		for _, p := range c {
+			if labels[p] != l {
+				t.Fatal("mixed cluster")
+			}
+		}
+	}
+	// The CF-tree must have compressed the points into far fewer entries.
+	if res.LeafEntries >= len(vecs) {
+		t.Errorf("no compression: %d entries for %d points", res.LeafEntries, len(vecs))
+	}
+}
+
+func TestBirchRebuildGrowsThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vecs, _ := blobs(rng, [][]float64{{0, 0}}, 600, 3.0)
+	res, err := Cluster(vecs, Config{K: 1, Threshold: 0.01, MaxLeafEntries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold <= 0.01 {
+		t.Errorf("threshold did not grow: %v", res.Threshold)
+	}
+	if res.LeafEntries > 33 {
+		t.Errorf("leaf entries %d exceed the budget", res.LeafEntries)
+	}
+	total := 0
+	for _, c := range res.Clusters {
+		total += len(c)
+	}
+	if total != len(vecs) {
+		t.Fatalf("clusters cover %d of %d points", total, len(vecs))
+	}
+}
+
+func TestBirchAssignConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs, _ := blobs(rng, [][]float64{{0, 0}, {9, 9}}, 50, 0.5)
+	res, err := Cluster(vecs, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, members := range res.Clusters {
+		for _, p := range members {
+			if res.Assign[p] >= len(res.Clusters) {
+				t.Fatal("assign out of range")
+			}
+			_ = c
+		}
+	}
+	// Every point appears in exactly one cluster.
+	seen := map[int]bool{}
+	for _, c := range res.Clusters {
+		for _, p := range c {
+			if seen[p] {
+				t.Fatal("point in two clusters")
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != len(vecs) {
+		t.Fatal("not a partition")
+	}
+}
+
+func TestBirchValidation(t *testing.T) {
+	if _, err := Cluster(nil, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	res, err := Cluster(nil, Config{K: 2})
+	if err != nil || len(res.Clusters) != 0 {
+		t.Errorf("empty input: %v %v", res, err)
+	}
+}
+
+func TestTreeInsertAbsorbsWithinThreshold(t *testing.T) {
+	tree := NewTree(Config{Threshold: 10})
+	a := tree.insertCF(NewCF([]float64{0, 0}))
+	b := tree.insertCF(NewCF([]float64{1, 0}))
+	if a != b {
+		t.Fatalf("nearby points should share an entry: %d vs %d", a, b)
+	}
+	c := tree.insertCF(NewCF([]float64{1000, 0}))
+	if c == a {
+		t.Fatal("distant point absorbed")
+	}
+	if tree.NumEntries() != 2 {
+		t.Fatalf("entries = %d", tree.NumEntries())
+	}
+}
+
+func TestTreeSplitsAtCapacity(t *testing.T) {
+	tree := NewTree(Config{Threshold: 0.1, LeafCapacity: 4, Branching: 3})
+	for i := 0; i < 64; i++ {
+		tree.insertCF(NewCF([]float64{float64(i * 10)}))
+	}
+	if tree.NumEntries() != 64 {
+		t.Fatalf("entries = %d, want 64 distinct", tree.NumEntries())
+	}
+	// The collected entries must preserve every inserted centroid.
+	entries := tree.leafEntries()
+	seen := map[int]bool{}
+	for _, e := range entries {
+		seen[int(e.Centroid()[0])] = true
+	}
+	for i := 0; i < 64; i++ {
+		if !seen[i*10] {
+			t.Fatalf("centroid %d lost in splits", i*10)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package birch implements BIRCH (Zhang, Ramakrishnan & Livny, SIGMOD
+// 1996), the preclustering baseline Section 2 of the ROCK paper describes:
+// "BIRCH first preclusters data and then uses a centroid-based hierarchical
+// algorithm to cluster the partial clusters". Points stream into a CF-tree
+// of clustering features; the leaf entries (subcluster summaries) are then
+// globally clustered with the centroid method, and each point inherits its
+// leaf entry's cluster. As the ROCK paper argues, the centroid foundation
+// makes it a numeric-data algorithm; on boolean-encoded categoricals it
+// serves as another traditional baseline.
+package birch
+
+import "math"
+
+// CF is a clustering feature: the count, linear sum and squared sum of a
+// set of points. CFs are additive, which is the whole trick.
+type CF struct {
+	N  int
+	LS []float64
+	SS float64
+}
+
+// NewCF returns the clustering feature of a single point.
+func NewCF(p []float64) CF {
+	ls := append([]float64(nil), p...)
+	var ss float64
+	for _, x := range p {
+		ss += x * x
+	}
+	return CF{N: 1, LS: ls, SS: ss}
+}
+
+// Add merges other into cf.
+func (cf *CF) Add(other CF) {
+	if cf.N == 0 {
+		cf.LS = append([]float64(nil), other.LS...)
+		cf.N, cf.SS = other.N, other.SS
+		return
+	}
+	cf.N += other.N
+	for d := range cf.LS {
+		cf.LS[d] += other.LS[d]
+	}
+	cf.SS += other.SS
+}
+
+// Centroid returns LS/N.
+func (cf *CF) Centroid() []float64 {
+	c := make([]float64, len(cf.LS))
+	for d, v := range cf.LS {
+		c[d] = v / float64(cf.N)
+	}
+	return c
+}
+
+// Radius is the RMS distance of the summarized points from their centroid:
+// sqrt(SS/N - ||LS/N||²), clamped at zero against float cancellation.
+func (cf *CF) Radius() float64 {
+	n := float64(cf.N)
+	var c2 float64
+	for _, v := range cf.LS {
+		c2 += (v / n) * (v / n)
+	}
+	r2 := cf.SS/n - c2
+	if r2 < 0 {
+		r2 = 0
+	}
+	return math.Sqrt(r2)
+}
+
+// CentroidDist2 is the squared Euclidean distance between two CF centroids.
+func CentroidDist2(a, b *CF) float64 {
+	na, nb := float64(a.N), float64(b.N)
+	var s float64
+	for d := range a.LS {
+		diff := a.LS[d]/na - b.LS[d]/nb
+		s += diff * diff
+	}
+	return s
+}
+
+// merged returns the CF of a ∪ b without mutating either.
+func merged(a, b *CF) CF {
+	m := CF{N: a.N, LS: append([]float64(nil), a.LS...), SS: a.SS}
+	m.Add(*b)
+	return m
+}

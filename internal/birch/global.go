@@ -1,0 +1,24 @@
+package birch
+
+import "rock/internal/hier"
+
+// clusterCentroids runs the global phase: centroid-based hierarchical
+// clustering of the leaf-entry centroids (the ROCK paper: BIRCH "uses a
+// centroid-based hierarchical algorithm to cluster the partial clusters").
+// Returns the cluster index of each entry.
+func clusterCentroids(centroids [][]float64, k int) ([]int, error) {
+	res, err := hier.Agglomerate(len(centroids), hier.EuclideanSquared(centroids), hier.Config{
+		Method: hier.Centroid,
+		K:      k,
+	})
+	if err != nil {
+		return nil, err
+	}
+	assign := make([]int, len(centroids))
+	for c, members := range res.Clusters {
+		for _, e := range members {
+			assign[e] = c
+		}
+	}
+	return assign, nil
+}

@@ -1,0 +1,334 @@
+package birch
+
+import (
+	"errors"
+	"math"
+)
+
+// Config controls CF-tree construction and the global clustering phase.
+type Config struct {
+	// K is the number of final clusters.
+	K int
+	// Branching bounds entries per internal node; zero means 8.
+	Branching int
+	// LeafCapacity bounds entries per leaf; zero means 8.
+	LeafCapacity int
+	// Threshold is the initial leaf-entry radius bound T. Zero starts at
+	// 0 (every distinct point its own entry) and lets rebuilds grow it.
+	Threshold float64
+	// MaxLeafEntries caps the total number of leaf entries; exceeding it
+	// triggers a rebuild with a doubled threshold (BIRCH's memory bound).
+	// Zero means 512.
+	MaxLeafEntries int
+}
+
+func (c Config) branching() int {
+	if c.Branching <= 1 {
+		return 8
+	}
+	return c.Branching
+}
+
+func (c Config) leafCap() int {
+	if c.LeafCapacity <= 1 {
+		return 8
+	}
+	return c.LeafCapacity
+}
+
+func (c Config) maxLeaves() int {
+	if c.MaxLeafEntries <= 0 {
+		return 512
+	}
+	return c.MaxLeafEntries
+}
+
+// node is a CF-tree node; leaves hold entry CFs, internal nodes hold child
+// pointers with summary CFs.
+type node struct {
+	leaf    bool
+	cfs     []CF    // per entry (leaf) or per child summary (internal)
+	child   []*node // internal only
+	entryID []int   // leaf only: global leaf-entry ids
+}
+
+// Tree is a CF-tree under construction.
+type Tree struct {
+	cfg        Config
+	root       *node
+	threshold  float64
+	numEntries int
+	dim        int
+}
+
+// NewTree returns an empty CF-tree.
+func NewTree(cfg Config) *Tree {
+	return &Tree{
+		cfg:       cfg,
+		root:      &node{leaf: true},
+		threshold: cfg.Threshold,
+	}
+}
+
+// Threshold returns the current radius bound (it grows across rebuilds).
+func (t *Tree) Threshold() float64 { return t.threshold }
+
+// NumEntries returns the number of leaf entries (subclusters).
+func (t *Tree) NumEntries() int { return t.numEntries }
+
+// insertCF inserts a CF (a point, or a whole entry during rebuild) and
+// returns the leaf-entry id it was absorbed into.
+func (t *Tree) insertCF(cf CF) int {
+	id, split := t.insert(t.root, cf)
+	if split != nil {
+		// Root split: grow the tree upward.
+		oldSummary := summarize(t.root)
+		newSummary := summarize(split)
+		t.root = &node{
+			leaf:  false,
+			cfs:   []CF{oldSummary, newSummary},
+			child: []*node{t.root, split},
+		}
+	}
+	return id
+}
+
+func summarize(n *node) CF {
+	var s CF
+	for i := range n.cfs {
+		s.Add(n.cfs[i])
+	}
+	return s
+}
+
+// insert descends to the closest leaf, absorbing or creating an entry, and
+// returns a new sibling node when the visited node split.
+func (t *Tree) insert(n *node, cf CF) (entryID int, split *node) {
+	if n.leaf {
+		// Find the closest entry.
+		best, bestD := -1, math.Inf(1)
+		for i := range n.cfs {
+			if d := CentroidDist2(&n.cfs[i], &cf); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			m := merged(&n.cfs[best], &cf)
+			if m.Radius() <= t.threshold {
+				n.cfs[best] = m
+				return n.entryID[best], nil
+			}
+		}
+		// New entry.
+		id := t.numEntries
+		t.numEntries++
+		n.cfs = append(n.cfs, cf)
+		n.entryID = append(n.entryID, id)
+		if len(n.cfs) > t.cfg.leafCap() {
+			return id, t.split(n)
+		}
+		return id, nil
+	}
+
+	// Internal: descend into the closest child.
+	best, bestD := 0, math.Inf(1)
+	for i := range n.cfs {
+		if d := CentroidDist2(&n.cfs[i], &cf); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	id, childSplit := t.insert(n.child[best], cf)
+	n.cfs[best] = summarize(n.child[best])
+	if childSplit != nil {
+		n.cfs = append(n.cfs, summarize(childSplit))
+		n.child = append(n.child, childSplit)
+		if len(n.child) > t.cfg.branching() {
+			return id, t.split(n)
+		}
+	}
+	return id, nil
+}
+
+// split divides node n's entries between n and a new sibling, seeding with
+// the farthest pair of entries (BIRCH's splitting rule).
+func (t *Tree) split(n *node) *node {
+	// Farthest pair.
+	ai, bi := 0, 1
+	worst := -1.0
+	for i := range n.cfs {
+		for j := i + 1; j < len(n.cfs); j++ {
+			if d := CentroidDist2(&n.cfs[i], &n.cfs[j]); d > worst {
+				ai, bi, worst = i, j, d
+			}
+		}
+	}
+	sib := &node{leaf: n.leaf}
+	keepCFs := n.cfs[:0:0]
+	var keepChild []*node
+	var keepIDs []int
+	for i := range n.cfs {
+		da := CentroidDist2(&n.cfs[i], &n.cfs[ai])
+		db := CentroidDist2(&n.cfs[i], &n.cfs[bi])
+		toSib := db < da || i == bi
+		if i == ai {
+			toSib = false
+		}
+		if toSib {
+			sib.cfs = append(sib.cfs, n.cfs[i])
+			if n.leaf {
+				sib.entryID = append(sib.entryID, n.entryID[i])
+			} else {
+				sib.child = append(sib.child, n.child[i])
+			}
+		} else {
+			keepCFs = append(keepCFs, n.cfs[i])
+			if n.leaf {
+				keepIDs = append(keepIDs, n.entryID[i])
+			} else {
+				keepChild = append(keepChild, n.child[i])
+			}
+		}
+	}
+	n.cfs = keepCFs
+	n.child = keepChild
+	n.entryID = keepIDs
+	return sib
+}
+
+// leafEntries collects the tree's leaf entries in id order.
+func (t *Tree) leafEntries() []CF {
+	out := make([]CF, t.numEntries)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			for i := range n.cfs {
+				out[n.entryID[i]] = n.cfs[i]
+			}
+			return
+		}
+		for _, c := range n.child {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Result is the outcome of a BIRCH run.
+type Result struct {
+	// Assign maps each input point to a final cluster.
+	Assign []int
+	// Clusters holds sorted member indices, largest first.
+	Clusters [][]int
+	// LeafEntries is the number of CF-tree leaf entries (subclusters)
+	// before the global phase.
+	LeafEntries int
+	// Threshold is the final radius bound after rebuilds.
+	Threshold float64
+}
+
+// Cluster runs the full BIRCH pipeline over the points: stream them into a
+// CF-tree (rebuilding with a doubled threshold whenever the leaf-entry
+// budget is exceeded), then cluster the leaf-entry centroids with the
+// centroid-based hierarchical method and map points through their entries.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		return nil, errors.New("birch: K must be positive")
+	}
+	if len(points) == 0 {
+		return &Result{}, nil
+	}
+
+	tree := NewTree(cfg)
+	entryOf := make([]int, len(points))
+	rebuildThreshold := func() float64 {
+		if tree.threshold == 0 {
+			return initialThreshold(points)
+		}
+		return tree.threshold * 2
+	}
+	for i, p := range points {
+		entryOf[i] = tree.insertCF(NewCF(p))
+		if tree.numEntries > cfg.maxLeaves() {
+			// Rebuild: reinsert the existing leaf entries into a fresh
+			// tree with a larger threshold, then remap the points seen
+			// so far.
+			old := tree.leafEntries()
+			nt := NewTree(cfg)
+			nt.threshold = rebuildThreshold()
+			remap := make([]int, len(old))
+			for e := range old {
+				remap[e] = nt.insertCF(old[e])
+			}
+			for j := 0; j <= i; j++ {
+				entryOf[j] = remap[entryOf[j]]
+			}
+			tree = nt
+		}
+	}
+
+	entries := tree.leafEntries()
+	// Global phase: centroid-hierarchical over entry centroids, weighted
+	// by entry size via repeated... the standard simplification clusters
+	// the centroids directly.
+	centroids := make([][]float64, len(entries))
+	for i := range entries {
+		centroids[i] = entries[i].Centroid()
+	}
+	k := cfg.K
+	if k > len(centroids) {
+		k = len(centroids)
+	}
+	entryCluster, err := clusterCentroids(centroids, k)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Assign:      make([]int, len(points)),
+		LeafEntries: len(entries),
+		Threshold:   tree.threshold,
+	}
+	numClusters := 0
+	for _, c := range entryCluster {
+		if c+1 > numClusters {
+			numClusters = c + 1
+		}
+	}
+	members := make([][]int, numClusters)
+	for i := range points {
+		c := entryCluster[entryOf[i]]
+		res.Assign[i] = c
+		members[c] = append(members[c], i)
+	}
+	for _, m := range members {
+		if len(m) > 0 {
+			res.Clusters = append(res.Clusters, m)
+		}
+	}
+	// Largest first.
+	for i := 0; i < len(res.Clusters); i++ {
+		for j := i + 1; j < len(res.Clusters); j++ {
+			if len(res.Clusters[j]) > len(res.Clusters[i]) {
+				res.Clusters[i], res.Clusters[j] = res.Clusters[j], res.Clusters[i]
+			}
+		}
+	}
+	return res, nil
+}
+
+// initialThreshold estimates a starting radius from a few point pairs.
+func initialThreshold(points [][]float64) float64 {
+	var s float64
+	n := 0
+	step := len(points)/16 + 1
+	for i := 0; i+step < len(points); i += step {
+		a, b := NewCF(points[i]), NewCF(points[i+step])
+		s += math.Sqrt(CentroidDist2(&a, &b))
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return s / float64(n) / 8
+}

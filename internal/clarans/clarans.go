@@ -1,0 +1,138 @@
+// Package clarans implements CLARANS (Ng & Han, VLDB 1994), the randomized
+// k-medoids search Section 2 of the ROCK paper cites: "CLARANS employs a
+// randomized search to find the k best cluster medoids". Because medoids
+// are actual points and the cost is a sum of point-to-medoid
+// dissimilarities, CLARANS runs on arbitrary dissimilarities — including
+// 1 - Jaccard on categorical data — making it a meaningful baseline here.
+package clarans
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Config controls the randomized search.
+type Config struct {
+	// K is the number of medoids.
+	K int
+	// NumLocal is the number of local searches from random restarts
+	// (the paper's numlocal, typically 2).
+	NumLocal int
+	// MaxNeighbor is the number of random swap neighbors examined without
+	// improvement before declaring a local optimum (the paper's
+	// maxneighbor).
+	MaxNeighbor int
+	// Rng drives the search; required.
+	Rng *rand.Rand
+}
+
+// Result is the outcome of a CLARANS run.
+type Result struct {
+	// Medoids are the selected representative points.
+	Medoids []int
+	// Assign maps each point to the index (into Medoids) of its medoid.
+	Assign []int
+	// Cost is the total dissimilarity of points to their medoids.
+	Cost float64
+}
+
+// Cluster searches for K medoids minimizing total dissimilarity.
+func Cluster(n int, dist func(i, j int) float64, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		return nil, errors.New("clarans: K must be positive")
+	}
+	if cfg.Rng == nil {
+		return nil, errors.New("clarans: Rng is required")
+	}
+	if n == 0 {
+		return &Result{}, nil
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	numLocal := cfg.NumLocal
+	if numLocal <= 0 {
+		numLocal = 2
+	}
+	maxNeighbor := cfg.MaxNeighbor
+	if maxNeighbor <= 0 {
+		// The paper suggests max(250, 1.25% of k(n-k)).
+		maxNeighbor = k * (n - k) / 80
+		if maxNeighbor < 250 {
+			maxNeighbor = 250
+		}
+	}
+
+	var best *Result
+	for local := 0; local < numLocal; local++ {
+		cur := randomMedoids(n, k, cfg.Rng)
+		curCost, curAssign := evaluate(n, dist, cur)
+		for tries := 0; tries < maxNeighbor; {
+			mi := cfg.Rng.Intn(k)
+			cand := cfg.Rng.Intn(n)
+			if contains(cur, cand) {
+				continue
+			}
+			tries++
+			old := cur[mi]
+			cur[mi] = cand
+			newCost, newAssign := evaluate(n, dist, cur)
+			if newCost < curCost {
+				curCost, curAssign = newCost, newAssign
+				tries = 0 // restart the neighbor count at the new node
+			} else {
+				cur[mi] = old
+			}
+		}
+		if best == nil || curCost < best.Cost {
+			best = &Result{
+				Medoids: append([]int(nil), cur...),
+				Assign:  curAssign,
+				Cost:    curCost,
+			}
+		}
+	}
+	return best, nil
+}
+
+func randomMedoids(n, k int, rng *rand.Rand) []int {
+	perm := rng.Perm(n)
+	return append([]int(nil), perm[:k]...)
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluate assigns every point to its nearest medoid and totals the cost.
+func evaluate(n int, dist func(i, j int) float64, medoids []int) (float64, []int) {
+	assign := make([]int, n)
+	var cost float64
+	for p := 0; p < n; p++ {
+		best, bestD := 0, math.Inf(1)
+		for mi, m := range medoids {
+			if d := dist(p, m); d < bestD {
+				best, bestD = mi, d
+			}
+		}
+		assign[p] = best
+		cost += bestD
+	}
+	return cost, assign
+}
+
+// Clusters materializes member lists from the assignment.
+func (r *Result) Clusters() [][]int {
+	out := make([][]int, len(r.Medoids))
+	for p, m := range r.Assign {
+		out[m] = append(out[m], p)
+	}
+	return out
+}

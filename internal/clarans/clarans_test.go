@@ -1,0 +1,114 @@
+package clarans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rock/internal/dataset"
+	"rock/internal/sim"
+)
+
+func lineDist(pos []float64) func(i, j int) float64 {
+	return func(i, j int) float64 { return math.Abs(pos[i] - pos[j]) }
+}
+
+func TestClaransSeparatesLineClusters(t *testing.T) {
+	var pos []float64
+	var labels []int
+	rng := rand.New(rand.NewSource(1))
+	for c, ctr := range []float64{0, 100, 200} {
+		for i := 0; i < 20; i++ {
+			pos = append(pos, ctr+rng.Float64()*5)
+			labels = append(labels, c)
+		}
+	}
+	res, err := Cluster(len(pos), lineDist(pos), Config{K: 3, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clusters() {
+		l := labels[c[0]]
+		for _, p := range c {
+			if labels[p] != l {
+				t.Fatal("mixed cluster")
+			}
+		}
+	}
+	// Medoids are real points, one per blob.
+	seen := map[int]bool{}
+	for _, m := range res.Medoids {
+		seen[labels[m]] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("medoids cover %d blobs", len(seen))
+	}
+}
+
+func TestClaransCostIsOptimalOnTiny(t *testing.T) {
+	// Four points, K=2: optimum pairs {0,1} and {2,3} with cost 2.
+	pos := []float64{0, 1, 10, 11}
+	rng := rand.New(rand.NewSource(2))
+	res, err := Cluster(len(pos), lineDist(pos), Config{K: 2, NumLocal: 4, MaxNeighbor: 50, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 2 {
+		t.Fatalf("cost = %v, want 2", res.Cost)
+	}
+}
+
+func TestClaransOnJaccard(t *testing.T) {
+	txns := []dataset.Transaction{
+		dataset.NewTransaction(1, 2, 3),
+		dataset.NewTransaction(1, 2, 4),
+		dataset.NewTransaction(1, 3, 4),
+		dataset.NewTransaction(8, 9, 10),
+		dataset.NewTransaction(8, 9, 11),
+		dataset.NewTransaction(8, 10, 11),
+	}
+	d := func(i, j int) float64 { return 1 - sim.Jaccard(txns[i], txns[j]) }
+	res, err := Cluster(len(txns), d, Config{K: 2, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := res.Clusters()
+	if len(cl[0]) != 3 || len(cl[1]) != 3 {
+		t.Fatalf("clusters = %v", cl)
+	}
+	in := map[int]int{}
+	for c, members := range cl {
+		for _, p := range members {
+			in[p] = c
+		}
+	}
+	if in[0] != in[1] || in[0] != in[2] || in[3] != in[4] || in[3] != in[5] || in[0] == in[3] {
+		t.Fatalf("wrong split: %v", cl)
+	}
+}
+
+func TestClaransValidation(t *testing.T) {
+	if _, err := Cluster(3, nil, Config{K: 0, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Cluster(3, nil, Config{K: 2}); err == nil {
+		t.Error("nil rng accepted")
+	}
+	res, err := Cluster(0, nil, Config{K: 2, Rng: rand.New(rand.NewSource(1))})
+	if err != nil || len(res.Medoids) != 0 {
+		t.Errorf("empty input: %v %v", res, err)
+	}
+}
+
+func TestClaransDeterministicGivenSeed(t *testing.T) {
+	pos := make([]float64, 50)
+	rng := rand.New(rand.NewSource(4))
+	for i := range pos {
+		pos[i] = rng.Float64() * 100
+	}
+	r1, _ := Cluster(len(pos), lineDist(pos), Config{K: 4, Rng: rand.New(rand.NewSource(5))})
+	r2, _ := Cluster(len(pos), lineDist(pos), Config{K: 4, Rng: rand.New(rand.NewSource(5))})
+	if r1.Cost != r2.Cost {
+		t.Fatal("not deterministic")
+	}
+}

@@ -1,0 +1,225 @@
+// Package cure implements CURE (Guha, Rastogi & Shim, SIGMOD 1998) — the
+// ROCK authors' companion algorithm for numeric data, which Section 2 of
+// the ROCK paper describes: agglomerative clustering where each cluster is
+// represented by a fixed number of well-scattered points shrunk toward the
+// centroid, and the inter-cluster distance is the minimum distance between
+// representatives. ROCK's evaluation does not run CURE (it targets numeric
+// data), but the ROCK pipeline borrows CURE's random-sampling analysis;
+// this implementation completes the family and serves as a further baseline
+// on boolean-encoded categorical data.
+package cure
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Config controls a CURE run.
+type Config struct {
+	// K is the number of clusters to stop at.
+	K int
+	// NumRep is the number of representative points per cluster (the
+	// paper's c, typically 10).
+	NumRep int
+	// Shrink is the fraction each representative moves toward the
+	// centroid (the paper's alpha, typically 0.2–0.7).
+	Shrink float64
+}
+
+// Result is the outcome of a CURE run.
+type Result struct {
+	// Clusters holds sorted member indices, largest cluster first.
+	Clusters [][]int
+	// Representatives holds each cluster's shrunk representative points,
+	// aligned with Clusters.
+	Representatives [][][]float64
+}
+
+type cluster struct {
+	members  []int
+	centroid []float64
+	reps     [][]float64
+}
+
+// Cluster agglomerates the points under Euclidean distance.
+func Cluster(points [][]float64, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		return nil, errors.New("cure: K must be positive")
+	}
+	if cfg.NumRep <= 0 {
+		return nil, errors.New("cure: NumRep must be positive")
+	}
+	if cfg.Shrink < 0 || cfg.Shrink > 1 {
+		return nil, errors.New("cure: Shrink must be in [0,1]")
+	}
+	n := len(points)
+	if n == 0 {
+		return &Result{}, nil
+	}
+	clusters := make([]*cluster, n)
+	for i, p := range points {
+		clusters[i] = &cluster{
+			members:  []int{i},
+			centroid: append([]float64(nil), p...),
+			reps:     [][]float64{append([]float64(nil), p...)},
+		}
+	}
+
+	dist := func(a, b *cluster) float64 {
+		best := math.Inf(1)
+		for _, ra := range a.reps {
+			for _, rb := range b.reps {
+				if d := sqDist(ra, rb); d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+
+	// Nearest-neighbor cache per live cluster, maintained like the hier
+	// engine's: refresh when a cluster's cached neighbor dies, and check
+	// every cluster against the freshly merged one (representative-based
+	// distances are not reducible).
+	nn := make([]int, n)
+	nnd := make([]float64, n)
+	refresh := func(i int) {
+		nn[i] = -1
+		nnd[i] = math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i || clusters[j] == nil {
+				continue
+			}
+			if d := dist(clusters[i], clusters[j]); d < nnd[i] {
+				nn[i], nnd[i] = j, d
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		refresh(i)
+	}
+
+	live := n
+	for live > cfg.K {
+		bi, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if clusters[i] != nil && nn[i] >= 0 && nnd[i] < best {
+				bi, best = i, nnd[i]
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		bj := nn[bi]
+		clusters[bi] = merge(points, clusters[bi], clusters[bj], cfg)
+		clusters[bj] = nil
+		live--
+		refresh(bi)
+		for i := 0; i < n; i++ {
+			if clusters[i] == nil || i == bi {
+				continue
+			}
+			if nn[i] == bi || nn[i] == bj {
+				refresh(i)
+			} else if d := dist(clusters[i], clusters[bi]); d < nnd[i] {
+				nn[i], nnd[i] = bi, d
+			}
+		}
+	}
+
+	res := &Result{}
+	for _, c := range clusters {
+		if c == nil {
+			continue
+		}
+		m := append([]int(nil), c.members...)
+		sort.Ints(m)
+		res.Clusters = append(res.Clusters, m)
+		res.Representatives = append(res.Representatives, c.reps)
+	}
+	// Largest first, ties by first member; keep representatives aligned.
+	order := make([]int, len(res.Clusters))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		x, y := res.Clusters[order[a]], res.Clusters[order[b]]
+		if len(x) != len(y) {
+			return len(x) > len(y)
+		}
+		return x[0] < y[0]
+	})
+	cs := make([][]int, len(order))
+	rs := make([][][]float64, len(order))
+	for i, o := range order {
+		cs[i] = res.Clusters[o]
+		rs[i] = res.Representatives[o]
+	}
+	res.Clusters, res.Representatives = cs, rs
+	return res, nil
+}
+
+// merge joins two clusters and recomputes centroid and representatives: the
+// paper's farthest-point heuristic picks NumRep well-scattered members,
+// each then shrunk toward the centroid by Shrink.
+func merge(points [][]float64, a, b *cluster, cfg Config) *cluster {
+	na, nb := float64(len(a.members)), float64(len(b.members))
+	dim := len(a.centroid)
+	c := &cluster{members: append(append([]int(nil), a.members...), b.members...)}
+	c.centroid = make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		c.centroid[d] = (a.centroid[d]*na + b.centroid[d]*nb) / (na + nb)
+	}
+
+	// Well-scattered points: first the member farthest from the centroid,
+	// then iteratively the member farthest from the chosen set.
+	numRep := cfg.NumRep
+	if numRep > len(c.members) {
+		numRep = len(c.members)
+	}
+	chosen := make([]int, 0, numRep)
+	minDistToChosen := make([]float64, len(c.members))
+	for i := range minDistToChosen {
+		minDistToChosen[i] = math.Inf(1)
+	}
+	for r := 0; r < numRep; r++ {
+		best, bestD := -1, -1.0
+		for mi, p := range c.members {
+			var d float64
+			if r == 0 {
+				d = sqDist(points[p], c.centroid)
+			} else {
+				d = minDistToChosen[mi]
+			}
+			if d > bestD {
+				best, bestD = mi, d
+			}
+		}
+		chosen = append(chosen, c.members[best])
+		for mi, p := range c.members {
+			if d := sqDist(points[p], points[c.members[best]]); d < minDistToChosen[mi] {
+				minDistToChosen[mi] = d
+			}
+		}
+	}
+	// Shrink toward the centroid.
+	c.reps = make([][]float64, len(chosen))
+	for i, p := range chosen {
+		rep := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			rep[d] = points[p][d] + cfg.Shrink*(c.centroid[d]-points[p][d])
+		}
+		c.reps[i] = rep
+	}
+	return c
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

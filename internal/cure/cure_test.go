@@ -1,0 +1,122 @@
+package cure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobs(rng *rand.Rand, centers [][]float64, per int, noise float64) ([][]float64, []int) {
+	var vecs [][]float64
+	var labels []int
+	for c, ctr := range centers {
+		for i := 0; i < per; i++ {
+			v := make([]float64, len(ctr))
+			for d := range v {
+				v[d] = ctr[d] + rng.NormFloat64()*noise
+			}
+			vecs = append(vecs, v)
+			labels = append(labels, c)
+		}
+	}
+	return vecs, labels
+}
+
+func TestCureSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vecs, labels := blobs(rng, [][]float64{{0, 0}, {10, 0}, {0, 10}}, 25, 0.5)
+	res, err := Cluster(vecs, Config{K: 3, NumRep: 5, Shrink: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	for _, c := range res.Clusters {
+		l := labels[c[0]]
+		for _, p := range c {
+			if labels[p] != l {
+				t.Fatalf("mixed cluster")
+			}
+		}
+	}
+}
+
+// TestCureElongatedClusters is CURE's raison d'être: representative points
+// let it find non-spherical clusters that centroid methods split. Two
+// parallel line segments.
+func TestCureElongatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var vecs [][]float64
+	var labels []int
+	for i := 0; i < 60; i++ {
+		x := rng.Float64() * 20
+		vecs = append(vecs, []float64{x, rng.NormFloat64() * 0.2})
+		labels = append(labels, 0)
+		vecs = append(vecs, []float64{x, 5 + rng.NormFloat64()*0.2})
+		labels = append(labels, 1)
+	}
+	res, err := Cluster(vecs, Config{K: 2, NumRep: 10, Shrink: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clusters {
+		l := labels[c[0]]
+		for _, p := range c {
+			if labels[p] != l {
+				t.Fatalf("elongated clusters mixed")
+			}
+		}
+	}
+}
+
+func TestCureRepresentativesShrink(t *testing.T) {
+	vecs := [][]float64{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	res, err := Cluster(vecs, Config{K: 1, NumRep: 4, Shrink: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centroid is (1,1); with shrink 0.5 every representative must lie
+	// halfway between a point and the centroid.
+	for _, rep := range res.Representatives[0] {
+		for d := range rep {
+			if rep[d] != 0.5 && rep[d] != 1.5 {
+				t.Fatalf("representative %v not shrunk halfway", rep)
+			}
+		}
+	}
+}
+
+func TestCureRepsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs, _ := blobs(rng, [][]float64{{0, 0}}, 30, 1)
+	res, err := Cluster(vecs, Config{K: 1, NumRep: 7, Shrink: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Representatives[0]) != 7 {
+		t.Fatalf("reps = %d, want 7", len(res.Representatives[0]))
+	}
+}
+
+func TestCureValidation(t *testing.T) {
+	if _, err := Cluster(nil, Config{K: 0, NumRep: 1, Shrink: 0.2}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Cluster(nil, Config{K: 1, NumRep: 0, Shrink: 0.2}); err == nil {
+		t.Error("NumRep=0 accepted")
+	}
+	if _, err := Cluster(nil, Config{K: 1, NumRep: 1, Shrink: 2}); err == nil {
+		t.Error("Shrink=2 accepted")
+	}
+}
+
+func TestCureEmptyAndSingleton(t *testing.T) {
+	res, err := Cluster(nil, Config{K: 2, NumRep: 3, Shrink: 0.2})
+	if err != nil || len(res.Clusters) != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+	res, err = Cluster([][]float64{{1, 2}}, Config{K: 2, NumRep: 3, Shrink: 0.2})
+	if err != nil || len(res.Clusters) != 1 {
+		t.Fatalf("singleton: %v %v", res, err)
+	}
+}

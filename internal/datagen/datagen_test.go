@@ -1,0 +1,354 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rock/internal/dataset"
+	"rock/internal/timeseries"
+)
+
+func TestBasketShapeMatchesTable5(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Basket(DefaultBasketConfig(), rng)
+	if got, want := len(d.Txns), 114586; got != want {
+		t.Errorf("transactions = %d, want %d (Table 5)", got, want)
+	}
+	counts := make(map[int]int)
+	for _, l := range d.Labels {
+		counts[l]++
+	}
+	if counts[OutlierLabel] != 5456 {
+		t.Errorf("outliers = %d, want 5456", counts[OutlierLabel])
+	}
+	wantSizes := []int{9736, 13029, 14832, 10893, 13022, 7391, 8564, 11973, 14279, 5411}
+	for c, want := range wantSizes {
+		if counts[c] != want {
+			t.Errorf("cluster %d size = %d, want %d", c+1, counts[c], want)
+		}
+	}
+	wantItems := []int{19, 20, 19, 19, 22, 19, 19, 21, 22, 19}
+	for c, want := range wantItems {
+		if got := len(d.Defining[c]); got != want {
+			t.Errorf("cluster %d defining items = %d, want %d", c+1, got, want)
+		}
+	}
+}
+
+func TestBasketTransactionSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Basket(ScaledBasketConfig(20), rng)
+	// "98% of transactions have sizes between 11 and 19" (Section 5.3).
+	in, total := 0, 0
+	var sum float64
+	for _, tx := range d.Txns {
+		total++
+		sum += float64(len(tx))
+		if len(tx) >= 11 && len(tx) <= 19 {
+			in++
+		}
+	}
+	mean := sum / float64(total)
+	if mean < 14 || mean > 16 {
+		t.Errorf("mean transaction size = %.2f, want ~15", mean)
+	}
+	if frac := float64(in) / float64(total); frac < 0.93 {
+		t.Errorf("only %.1f%% of sizes in [11,19], want ~98%%", 100*frac)
+	}
+}
+
+func TestBasketTransactionsDrawnFromDefiningItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := Basket(ScaledBasketConfig(50), rng)
+	for i, tx := range d.Txns {
+		l := d.Labels[i]
+		if l == OutlierLabel {
+			continue
+		}
+		for _, it := range tx {
+			if !d.Defining[l].Contains(it) {
+				t.Fatalf("transaction %d (cluster %d) contains item %d outside its defining set", i, l, it)
+			}
+		}
+	}
+}
+
+func TestBasketSharedItemsFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := Basket(DefaultBasketConfig(), rng)
+	// "Roughly 40% of the items that define a cluster are common with
+	// items for other clusters."
+	for c, def := range d.Defining {
+		shared := 0
+		for _, it := range def {
+			for o, other := range d.Defining {
+				if o != c && other.Contains(it) {
+					shared++
+					break
+				}
+			}
+		}
+		frac := float64(shared) / float64(len(def))
+		if frac < 0.25 || frac > 0.55 {
+			t.Errorf("cluster %d shared-item fraction = %.2f, want ~0.4", c+1, frac)
+		}
+	}
+}
+
+func TestVotesShapeMatchesTable1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Votes(DefaultVotesConfig(), rng)
+	if len(d.Records) != 435 {
+		t.Errorf("records = %d, want 435", len(d.Records))
+	}
+	if d.Schema.NumAttrs() != 16 {
+		t.Errorf("attributes = %d, want 16", d.Schema.NumAttrs())
+	}
+	rep, dem := 0, 0
+	for _, l := range d.Labels {
+		switch l {
+		case Republican:
+			rep++
+		case Democrat:
+			dem++
+		default:
+			t.Fatalf("unexpected label %d", l)
+		}
+	}
+	if rep != 168 || dem != 267 {
+		t.Errorf("party counts = %d/%d, want 168/267", rep, dem)
+	}
+}
+
+func TestVotesMajorityPositionsFollowTable7(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := Votes(DefaultVotesConfig(), rng)
+	// On physician-fee-freeze the Republican majority votes Yes and the
+	// Democrat majority No; on aid-to-nicaraguan-contras the reverse.
+	check := func(attrName string, repYes bool) {
+		a := -1
+		for i, at := range d.Schema.Attrs {
+			if at.Name == attrName {
+				a = i
+			}
+		}
+		if a < 0 {
+			t.Fatalf("attribute %s missing", attrName)
+		}
+		var repY, repN, demY, demN int
+		for i, r := range d.Records {
+			if r[a] == dataset.Missing {
+				continue
+			}
+			if d.Labels[i] == Republican {
+				if r[a] == 1 {
+					repY++
+				} else {
+					repN++
+				}
+			} else {
+				if r[a] == 1 {
+					demY++
+				} else {
+					demN++
+				}
+			}
+		}
+		if (repY > repN) != repYes {
+			t.Errorf("%s: Republican majority Yes=%v, want %v", attrName, repY > repN, repYes)
+		}
+		if (demY > demN) == repYes {
+			t.Errorf("%s: Democrat majority should oppose the Republican one", attrName)
+		}
+	}
+	check("physician-fee-freeze", true)
+	check("aid-to-nicaraguan-contras", false)
+}
+
+func TestMushroomShapeMatchesTable1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Mushroom(DefaultMushroomConfig(), rng)
+	if len(d.Records) != 8124 {
+		t.Errorf("records = %d, want 8124", len(d.Records))
+	}
+	if d.Schema.NumAttrs() != 22 {
+		t.Errorf("attributes = %d, want 22", d.Schema.NumAttrs())
+	}
+	e, p := 0, 0
+	for _, l := range d.Labels {
+		if l == Edible {
+			e++
+		} else {
+			p++
+		}
+	}
+	if e != 4208 || p != 3916 {
+		t.Errorf("edible/poisonous = %d/%d, want 4208/3916", e, p)
+	}
+	if d.NumComponents != len(mushroomComponents) {
+		t.Errorf("components = %d, want %d", d.NumComponents, len(mushroomComponents))
+	}
+}
+
+func TestMushroomComponentSizesSumExactly(t *testing.T) {
+	sum, e, p := 0, 0, 0
+	for _, c := range mushroomComponents {
+		sum += c.size
+		if c.class == Edible {
+			e += c.size
+		} else {
+			p += c.size
+		}
+		// Factors must multiply to at least the size (the slack sampler
+		// needs enough cells).
+		prod := 1
+		for _, f := range c.factors {
+			prod *= f
+		}
+		if prod < c.size {
+			t.Errorf("component size %d exceeds its factor product %d", c.size, prod)
+		}
+	}
+	if sum != 8124 || e != 4208 || p != 3916 {
+		t.Errorf("component sums = %d (%de/%dp), want 8124 (4208/3916)", sum, e, p)
+	}
+}
+
+func TestMushroomOdorSeparatesClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Mushroom(DefaultMushroomConfig(), rng)
+	edible := map[string]bool{"none": true, "anise": true, "almond": true}
+	for i, r := range d.Records {
+		if r[attrOdor] == dataset.Missing {
+			continue
+		}
+		name := d.Schema.Attrs[attrOdor].Domain[r[attrOdor]]
+		if edible[name] != (d.Labels[i] == Edible) {
+			t.Fatalf("record %d: odor %q inconsistent with class %s", i, name, MushroomClassNames[d.Labels[i]])
+		}
+	}
+}
+
+func TestMushroomComponentsShareValues(t *testing.T) {
+	// The paper: "every pair of clusters generally have some common values
+	// for the attributes and thus clusters are not well-separated".
+	rng := rand.New(rand.NewSource(3))
+	specs := buildMushroomSpecs(DefaultMushroomConfig(), rng)
+	sharing := 0
+	for i := 0; i < len(specs); i++ {
+		for j := i + 1; j < len(specs); j++ {
+			if s := len(mushroomAttrs) - separation(specs[i], specs[j]); s > 10 {
+				sharing++
+			}
+		}
+	}
+	pairs := len(specs) * (len(specs) - 1) / 2
+	if float64(sharing) < 0.8*float64(pairs) {
+		t.Errorf("only %d/%d component pairs share >10 attribute values", sharing, pairs)
+	}
+}
+
+func TestMushroomDeterministicPerSeed(t *testing.T) {
+	a := Mushroom(DefaultMushroomConfig(), rand.New(rand.NewSource(5)))
+	b := Mushroom(DefaultMushroomConfig(), rand.New(rand.NewSource(5)))
+	for i := range a.Records {
+		for j := range a.Records[i] {
+			if a.Records[i][j] != b.Records[i][j] {
+				t.Fatal("generation not deterministic for equal seeds")
+			}
+		}
+	}
+}
+
+func TestFundsShapeMatchesTable1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Funds(DefaultFundsConfig(), rng)
+	if len(d.Series) != 795 {
+		t.Errorf("funds = %d, want 795", len(d.Series))
+	}
+	if d.Days != 549 {
+		t.Errorf("days = %d, want 549 (548 change attributes)", d.Days)
+	}
+	groups := make(map[int]int)
+	for _, l := range d.Labels {
+		groups[l]++
+	}
+	if groups[OutlierLabel] == 0 {
+		t.Error("expected outlier funds")
+	}
+	// Table 4 sizes for the 16 named groups.
+	want := []int{4, 10, 24, 15, 5, 3, 26, 3, 10, 4, 4, 6, 5, 8, 107, 70}
+	for g, w := range want {
+		if groups[g] != w {
+			t.Errorf("group %s size = %d, want %d", d.GroupNames[g], groups[g], w)
+		}
+	}
+	// 24 pairs.
+	pairs := 0
+	for g := 16; g < len(d.GroupNames); g++ {
+		if groups[g] == 2 {
+			pairs++
+		}
+	}
+	if pairs != 24 {
+		t.Errorf("pairs = %d, want 24", pairs)
+	}
+}
+
+func TestFundsYoungHaveMissingPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Funds(DefaultFundsConfig(), rng)
+	young := 0
+	for _, s := range d.Series {
+		if s.Missing(0) {
+			young++
+			// Missing must be a prefix: once present, always present.
+			seen := false
+			for t2 := 0; t2 < len(s); t2++ {
+				if !s.Missing(t2) {
+					seen = true
+				} else if seen {
+					t.Fatal("missing value after launch")
+				}
+			}
+		}
+	}
+	if frac := float64(young) / float64(len(d.Series)); frac < 0.15 || frac > 0.35 {
+		t.Errorf("young-fund fraction = %.2f, want ~0.25", frac)
+	}
+}
+
+func TestFundsPricesRoundTripMoves(t *testing.T) {
+	// Discretizing the synthesized prices must yield moves of all three
+	// kinds, with bond groups showing more "No" days than growth groups.
+	rng := rand.New(rand.NewSource(3))
+	d := Funds(DefaultFundsConfig(), rng)
+	countNo := func(gi int) float64 {
+		var no, tot float64
+		for i, l := range d.Labels {
+			if l != gi {
+				continue
+			}
+			rec := timeseries.Discretize(d.Series[i])
+			for _, v := range rec {
+				if v == dataset.Missing {
+					continue
+				}
+				tot++
+				if v == int(timeseries.NoChange) {
+					no++
+				}
+			}
+		}
+		if tot == 0 {
+			return math.NaN()
+		}
+		return no / tot
+	}
+	bondNo := countNo(0)    // Bonds 1
+	growthNo := countNo(14) // Growth 2
+	if !(bondNo > growthNo+0.2) {
+		t.Errorf("bond No-fraction %.2f should well exceed growth %.2f", bondNo, growthNo)
+	}
+}

@@ -1,0 +1,220 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rock/internal/timeseries"
+)
+
+// FundGroup describes one true cluster of mutual funds: funds in a group
+// track a shared latent daily-move pattern with high fidelity. The group
+// taxonomy mirrors the paper's Table 4 (seven bond groups, financial
+// services, precious metals, three international groups, balanced, and
+// three growth groups) plus the 24 two-fund clusters Section 5.2 describes.
+type FundGroup struct {
+	Name string
+	Size int
+	// PUp, PDown, PNo is the latent pattern's daily move distribution.
+	// Bond funds barely move day to day (high PNo); growth funds move
+	// nearly every day.
+	PUp, PDown, PNo float64
+}
+
+// DefaultFundGroups reproduces the Table 4 cluster sizes plus 24 pairs.
+func DefaultFundGroups() []FundGroup {
+	bond := func(name string, size int) FundGroup {
+		return FundGroup{Name: name, Size: size, PUp: 0.28, PDown: 0.22, PNo: 0.50}
+	}
+	eq := func(name string, size int) FundGroup {
+		return FundGroup{Name: name, Size: size, PUp: 0.46, PDown: 0.42, PNo: 0.12}
+	}
+	groups := []FundGroup{
+		bond("Bonds 1", 4), bond("Bonds 2", 10), bond("Bonds 3", 24),
+		bond("Bonds 4", 15), bond("Bonds 5", 5), bond("Bonds 6", 3),
+		bond("Bonds 7", 26),
+		eq("Financial Service", 3),
+		eq("Precious Metals", 10),
+		eq("International 1", 4), eq("International 2", 4), eq("International 3", 6),
+		{Name: "Balanced", Size: 5, PUp: 0.40, PDown: 0.33, PNo: 0.27},
+		eq("Growth 1", 8), eq("Growth 2", 107), eq("Growth 3", 70),
+	}
+	pairNames := []string{
+		"Harbor/Ivy International", "Japan", "Europe", "Energy",
+		"Emerging Markets", "Utilities", "Health", "Technology",
+		"Real Estate", "Small Cap", "Mid Cap", "Index",
+		"Convertible", "High Yield", "Global Bond", "Municipal NY",
+		"Municipal CA", "Treasury", "Ginnie Mae", "Corporate",
+		"Equity Income", "Aggressive Growth", "Latin America", "Pacific",
+	}
+	for _, n := range pairNames {
+		groups = append(groups, eq("Pair: "+n, 2))
+	}
+	return groups
+}
+
+// FundsConfig parameterizes the mutual-fund generator.
+type FundsConfig struct {
+	// Groups are the true clusters; defaults to DefaultFundGroups.
+	Groups []FundGroup
+	// TotalFunds is the total record count including outlier funds
+	// (paper: 795). Funds beyond the group sizes become outliers with
+	// independent patterns.
+	TotalFunds int
+	// Fidelity is the probability a fund's daily move copies its group's
+	// latent move (the rest are idiosyncratic draws).
+	Fidelity float64
+	// YoungFrac is the fraction of funds launched after the epoch start,
+	// which therefore have missing leading prices (paper: funds launched
+	// after Jan 4, 1993).
+	YoungFrac float64
+	// MaxLaunchDay bounds how late a young fund may launch, as an index
+	// into the trading calendar.
+	MaxLaunchDay int
+	// AssociatesPerPair and AssociateFidelity control the loosely-tracking
+	// funds generated around each two-fund group. A pair in isolation can
+	// never have a common neighbor and hence never any links; in the real
+	// data other funds (e.g. other Japan funds) loosely track the same
+	// pattern and bridge the pair. Associates copy the pair's latent
+	// pattern with AssociateFidelity — tuned so they sit at the edge of
+	// the theta = 0.8 neighborhood — and are labeled outliers in the
+	// ground truth.
+	AssociatesPerPair int
+	AssociateFidelity float64
+}
+
+// DefaultFundsConfig returns the paper's Table 1 shape.
+func DefaultFundsConfig() FundsConfig {
+	return FundsConfig{
+		Groups:            DefaultFundGroups(),
+		TotalFunds:        795,
+		Fidelity:          0.96,
+		YoungFrac:         0.25,
+		MaxLaunchDay:      350,
+		AssociatesPerPair: 2,
+		AssociateFidelity: 0.85,
+	}
+}
+
+// FundsData is a generated mutual-fund data set.
+type FundsData struct {
+	// Days is the shared trading calendar.
+	Days int
+	// Series holds each fund's closing prices (NaN before launch).
+	Series []timeseries.Series
+	// Names are synthetic ticker-style fund names.
+	Names []string
+	// Labels holds each fund's group index, or OutlierLabel.
+	Labels []int
+	// GroupNames indexes the group labels.
+	GroupNames []string
+}
+
+// Funds generates the mutual-fund stand-in: per group a latent Up/Down/No
+// pattern over the 549-day trading calendar; each fund follows its group's
+// pattern with the configured fidelity; outlier funds follow independent
+// patterns; young funds miss a price prefix. Prices are synthesized so the
+// Up/Down/No discretization recovers the intended moves exactly (moves of at
+// least one cent, "No" days flat).
+func Funds(cfg FundsConfig, rng *rand.Rand) *FundsData {
+	if cfg.Groups == nil {
+		cfg.Groups = DefaultFundGroups()
+	}
+	days := len(timeseries.FundCalendar())
+	d := &FundsData{Days: days}
+
+	grouped := 0
+	for _, g := range cfg.Groups {
+		grouped += g.Size
+	}
+	if grouped > cfg.TotalFunds {
+		panic(fmt.Sprintf("datagen: group sizes (%d) exceed TotalFunds (%d)", grouped, cfg.TotalFunds))
+	}
+
+	fund := 0
+	emit := func(label int, g FundGroup, latent []timeseries.Move, fidelity float64) {
+		moves := make([]timeseries.Move, days-1)
+		for t := range moves {
+			if latent != nil && rng.Float64() < fidelity {
+				moves[t] = latent[t]
+			} else {
+				moves[t] = drawMove(g, rng)
+			}
+		}
+		launch := 0
+		if rng.Float64() < cfg.YoungFrac {
+			launch = 1 + rng.Intn(cfg.MaxLaunchDay)
+		}
+		d.Series = append(d.Series, synthesizePrices(moves, launch, days, rng))
+		d.Names = append(d.Names, fmt.Sprintf("FUND%03d", fund))
+		d.Labels = append(d.Labels, label)
+		fund++
+	}
+
+	for gi, g := range cfg.Groups {
+		d.GroupNames = append(d.GroupNames, g.Name)
+		latent := make([]timeseries.Move, days-1)
+		for t := range latent {
+			latent[t] = drawMove(g, rng)
+		}
+		for i := 0; i < g.Size; i++ {
+			emit(gi, g, latent, cfg.Fidelity)
+		}
+		if g.Size == 2 {
+			// Loosely-tracking associates bridge the pair (see
+			// AssociatesPerPair); they count against the outlier budget.
+			for i := 0; i < cfg.AssociatesPerPair && fund < cfg.TotalFunds; i++ {
+				emit(OutlierLabel, g, latent, cfg.AssociateFidelity)
+			}
+		}
+	}
+	solo := FundGroup{PUp: 0.40, PDown: 0.35, PNo: 0.25}
+	for fund < cfg.TotalFunds {
+		emit(OutlierLabel, solo, nil, 0)
+	}
+	// Shuffle so fund order carries no group signal.
+	rng.Shuffle(len(d.Series), func(i, j int) {
+		d.Series[i], d.Series[j] = d.Series[j], d.Series[i]
+		d.Names[i], d.Names[j] = d.Names[j], d.Names[i]
+		d.Labels[i], d.Labels[j] = d.Labels[j], d.Labels[i]
+	})
+	return d
+}
+
+func drawMove(g FundGroup, rng *rand.Rand) timeseries.Move {
+	r := rng.Float64()
+	switch {
+	case r < g.PUp:
+		return timeseries.Up
+	case r < g.PUp+g.PDown:
+		return timeseries.Down
+	default:
+		return timeseries.NoChange
+	}
+}
+
+// synthesizePrices builds a price path consistent with the move sequence:
+// Up days gain 1–25 cents, Down days lose 1–25 cents, No days are exactly
+// flat. The starting price is high enough that the worst-case cumulative
+// loss cannot reach zero. Days before launch are NaN.
+func synthesizePrices(moves []timeseries.Move, launch, days int, rng *rand.Rand) timeseries.Series {
+	s := make(timeseries.Series, days)
+	price := 150.0 + rng.Float64()*50
+	for t := 0; t < days; t++ {
+		if t < launch {
+			s[t] = math.NaN()
+			continue
+		}
+		if t > launch {
+			switch moves[t-1] {
+			case timeseries.Up:
+				price += float64(1+rng.Intn(25)) / 100
+			case timeseries.Down:
+				price -= float64(1+rng.Intn(25)) / 100
+			}
+		}
+		s[t] = price
+	}
+	return s
+}

@@ -1,0 +1,227 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"rock/internal/dataset"
+)
+
+// voteIssue is one of the 16 issues of the 1984 congressional voting data,
+// with the probability of a Yes vote conditioned on party. The probabilities
+// are read off the paper's Table 7, which reports the frequent value and its
+// frequency per cluster (Republican cluster 1, Democrat cluster 2); e.g.
+// "(physician-fee-freeze, y, 0.92)" for Republicans gives pRepYes = 0.92,
+// and "(physician-fee-freeze, n, 0.96)" for Democrats gives pDemYes = 0.04.
+type voteIssue struct {
+	name             string
+	pRepYes, pDemYes float64
+}
+
+var voteIssues = []voteIssue{
+	{"handicapped-infants", 0.15, 0.65},
+	{"water-project-cost-sharing", 0.51, 0.50},
+	{"adoption-of-the-budget-resolution", 0.13, 0.94},
+	{"physician-fee-freeze", 0.92, 0.04},
+	{"el-salvador-aid", 0.99, 0.08},
+	{"religious-groups-in-schools", 0.93, 0.33},
+	{"anti-satellite-test-ban", 0.16, 0.89},
+	{"aid-to-nicaraguan-contras", 0.10, 0.97},
+	{"mx-missile", 0.07, 0.86},
+	{"immigration", 0.51, 0.51},
+	{"synfuels-corporation-cutback", 0.23, 0.44},
+	{"education-spending", 0.86, 0.10},
+	{"superfund-right-to-sue", 0.90, 0.21},
+	{"crime", 0.98, 0.27},
+	{"duty-free-exports", 0.11, 0.68},
+	{"export-administration-act-south-africa", 0.55, 0.70},
+}
+
+// Party labels for the votes data set.
+const (
+	Republican = 0
+	Democrat   = 1
+)
+
+// VoteClassNames index the party labels.
+var VoteClassNames = []string{"Republicans", "Democrats"}
+
+// VotesConfig parameterizes the congressional-votes generator.
+type VotesConfig struct {
+	// Republicans and Democrats are the record counts (paper: 168 / 267).
+	Republicans, Democrats int
+	// MissingRate is the per-attribute probability of a missing value
+	// (the original has "very few").
+	MissingRate float64
+	// DemFullCrossover is the number of Democrats who vote exactly like
+	// loyal Republicans (the handful of 1984 Democrats with Republican
+	// voting records). Both algorithms inevitably place them in the
+	// Republican cluster; they are the irreducible ~12% contamination the
+	// paper's Table 2 shows for ROCK.
+	DemFullCrossover int
+	// DemBloc, BlocBlend and BlocFidelity model the southern-Democrat
+	// bloc: DemBloc Democrats vote a concrete shared platform (drawn with
+	// weight BlocBlend toward the Republican positions) with probability
+	// BlocFidelity. The bloc is internally tight, so under the centroid
+	// algorithm its members coalesce early and the bloc cluster is later
+	// absorbed into the nearer (Republican) cluster — the paper's extra
+	// traditional-algorithm contamination. Under ROCK at theta = 0.73 the
+	// bloc has no cross links to either party core, so it survives as a
+	// separate small cluster that outlier weeding removes.
+	DemBloc      int
+	BlocBlend    float64
+	BlocFidelity float64
+	// RepCrossoverFrac and RepBlendLo/Hi add a few moderate Republicans.
+	RepCrossoverFrac       float64
+	RepBlendLo, RepBlendHi float64
+	// FactionsPerParty, FactionFidelity and SoftIssueBand model intra-party
+	// vote correlation: on "soft" issues (party Yes probability within
+	// SoftIssueBand of 0.5) a loyal member votes their faction's fixed
+	// position with FactionFidelity instead of flipping an independent
+	// coin. Real roll-call data is duplicate-rich because factions vote
+	// together; without this, independently drawn records are so spread
+	// out that centroid clustering leaves a third of them as singletons.
+	FactionsPerParty int
+	FactionFidelity  float64
+	SoftIssueBand    float64
+}
+
+// DefaultVotesConfig returns the paper's Table 1 shape.
+func DefaultVotesConfig() VotesConfig {
+	return VotesConfig{
+		Republicans: 168, Democrats: 267,
+		MissingRate:      0.02,
+		DemFullCrossover: 20,
+		DemBloc:          43, BlocBlend: 0.55, BlocFidelity: 0.96,
+		RepCrossoverFrac: 0.04, RepBlendLo: 0.35, RepBlendHi: 0.60,
+		FactionsPerParty: 2, FactionFidelity: 0.90, SoftIssueBand: 0.20,
+	}
+}
+
+// VotesData is a generated congressional-votes data set.
+type VotesData struct {
+	Schema  *dataset.Schema
+	Records []dataset.Record
+	// Labels holds Republican or Democrat per record.
+	Labels []int
+}
+
+// Votes generates the 435-record, 16-boolean-attribute congressional voting
+// stand-in: each Congress member votes Yes on each issue with their party's
+// Table 7 probability, independently across issues, with a small missing
+// rate. As in the original, the two classes are well-separated (on 12 of 13
+// contested issues the party majorities differ) and of comparable size.
+func Votes(cfg VotesConfig, rng *rand.Rand) *VotesData {
+	attrs := make([]dataset.Attribute, len(voteIssues))
+	for i, is := range voteIssues {
+		attrs[i] = dataset.Attribute{Name: is.name, Domain: []string{"n", "y"}}
+	}
+	d := &VotesData{Schema: dataset.NewSchema(attrs...)}
+
+	// Faction platforms: per party and faction, fixed positions on the
+	// soft (contested) issues, drawn from the party probability.
+	soft := func(p float64) bool { return p > 0.5-cfg.SoftIssueBand && p < 0.5+cfg.SoftIssueBand }
+	nf := cfg.FactionsPerParty
+	if nf < 1 {
+		nf = 1
+	}
+	factions := make([][][]int, 2) // [party][faction][issue] -> 0/1
+	for party := 0; party < 2; party++ {
+		factions[party] = make([][]int, nf)
+		for f := 0; f < nf; f++ {
+			plat := make([]int, len(voteIssues))
+			for a, is := range voteIssues {
+				p := is.pRepYes
+				if party == Democrat {
+					p = is.pDemYes
+				}
+				if rng.Float64() < p {
+					plat[a] = 1
+				}
+			}
+			factions[party][f] = plat
+		}
+	}
+	partyP := func(party int, is voteIssue) float64 {
+		if party == Democrat {
+			return is.pDemYes
+		}
+		return is.pRepYes
+	}
+	// loyalP returns the per-issue Yes probability of a loyal member of
+	// the given party and faction, optionally blended toward the other
+	// party (Republican moderates).
+	loyalP := func(party, faction int, blend float64) func(a int, is voteIssue) float64 {
+		return func(a int, is voteIssue) float64 {
+			own := partyP(party, is)
+			if soft(own) && blend == 0 {
+				if factions[party][faction][a] == 1 {
+					return cfg.FactionFidelity
+				}
+				return 1 - cfg.FactionFidelity
+			}
+			other := partyP(1-party, is)
+			return (1-blend)*own + blend*other
+		}
+	}
+
+	// vote draws one record given per-issue Yes probabilities.
+	vote := func(pYes func(a int, is voteIssue) float64) dataset.Record {
+		rec := dataset.NewRecord(len(voteIssues))
+		for a, is := range voteIssues {
+			if rng.Float64() < cfg.MissingRate {
+				continue
+			}
+			if rng.Float64() < pYes(a, is) {
+				rec[a] = 1
+			} else {
+				rec[a] = 0
+			}
+		}
+		return rec
+	}
+
+	for r := 0; r < cfg.Republicans; r++ {
+		blend := 0.0
+		if rng.Float64() < cfg.RepCrossoverFrac {
+			blend = cfg.RepBlendLo + rng.Float64()*(cfg.RepBlendHi-cfg.RepBlendLo)
+		}
+		d.Records = append(d.Records, vote(loyalP(Republican, rng.Intn(nf), blend)))
+		d.Labels = append(d.Labels, Republican)
+	}
+	// The southern-Democrat bloc platform: a concrete vote per issue, drawn
+	// from the blend of the two party positions (leaning Republican).
+	blocPlatform := make([]int, len(voteIssues))
+	for a, is := range voteIssues {
+		p := (1-cfg.BlocBlend)*is.pDemYes + cfg.BlocBlend*is.pRepYes
+		if rng.Float64() < p {
+			blocPlatform[a] = 1
+		}
+	}
+	full, bloc := cfg.DemFullCrossover, cfg.DemBloc
+	if full+bloc > cfg.Democrats {
+		full, bloc = 0, 0
+	}
+	for r := 0; r < cfg.Democrats; r++ {
+		switch {
+		case r < full:
+			// Votes exactly like a loyal Republican.
+			d.Records = append(d.Records, vote(loyalP(Republican, rng.Intn(nf), 0)))
+		case r < full+bloc:
+			d.Records = append(d.Records, vote(func(a int, is voteIssue) float64 {
+				if blocPlatform[a] == 1 {
+					return cfg.BlocFidelity
+				}
+				return 1 - cfg.BlocFidelity
+			}))
+		default:
+			d.Records = append(d.Records, vote(loyalP(Democrat, rng.Intn(nf), 0)))
+		}
+		d.Labels = append(d.Labels, Democrat)
+	}
+	// Shuffle so record order carries no class signal.
+	rng.Shuffle(len(d.Records), func(i, j int) {
+		d.Records[i], d.Records[j] = d.Records[j], d.Records[i]
+		d.Labels[i], d.Labels[j] = d.Labels[j], d.Labels[i]
+	})
+	return d
+}

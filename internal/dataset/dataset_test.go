@@ -1,0 +1,302 @@
+package dataset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTransactionNormalizes(t *testing.T) {
+	tx := NewTransaction(5, 1, 3, 1, 5)
+	want := Transaction{1, 3, 5}
+	if !tx.Equal(want) {
+		t.Fatalf("got %v, want %v", tx, want)
+	}
+}
+
+func TestTransactionSetOps(t *testing.T) {
+	a := NewTransaction(1, 2, 3, 5)
+	b := NewTransaction(2, 3, 4, 5)
+	if got := a.IntersectLen(b); got != 3 {
+		t.Errorf("IntersectLen = %d, want 3", got)
+	}
+	if got := a.UnionLen(b); got != 5 {
+		t.Errorf("UnionLen = %d, want 5", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewTransaction(2, 3, 5)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); !got.Equal(NewTransaction(1, 2, 3, 4, 5)) {
+		t.Errorf("Union = %v", got)
+	}
+}
+
+func TestTransactionEmptyOps(t *testing.T) {
+	var empty Transaction
+	a := NewTransaction(1, 2)
+	if empty.IntersectLen(a) != 0 || a.IntersectLen(empty) != 0 {
+		t.Error("intersect with empty should be 0")
+	}
+	if a.UnionLen(empty) != 2 {
+		t.Error("union with empty should keep size")
+	}
+	if !empty.Equal(Transaction{}) {
+		t.Error("empty transactions should be equal")
+	}
+}
+
+func TestTransactionContains(t *testing.T) {
+	tx := NewTransaction(2, 4, 6, 8)
+	for _, it := range []Item{2, 4, 6, 8} {
+		if !tx.Contains(it) {
+			t.Errorf("Contains(%d) = false", it)
+		}
+	}
+	for _, it := range []Item{1, 3, 5, 7, 9} {
+		if tx.Contains(it) {
+			t.Errorf("Contains(%d) = true", it)
+		}
+	}
+}
+
+func TestTransactionString(t *testing.T) {
+	if got := NewTransaction(1, 2, 3).String(); got != "{1, 2, 3}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: |a ∩ b| + |a ∪ b| == |a| + |b| for all normalized transactions.
+func TestInclusionExclusionQuick(t *testing.T) {
+	f := func(as, bs []uint8) bool {
+		a := fromBytes(as)
+		b := fromBytes(bs)
+		return a.IntersectLen(b)+a.UnionLen(b) == len(a)+len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intersect and Union results are sorted, duplicate-free, and
+// consistent with the length functions.
+func TestSetOpsConsistentQuick(t *testing.T) {
+	f := func(as, bs []uint8) bool {
+		a, b := fromBytes(as), fromBytes(bs)
+		in, un := a.Intersect(b), a.Union(b)
+		if len(in) != a.IntersectLen(b) || len(un) != a.UnionLen(b) {
+			return false
+		}
+		return isNormalized(in) && isNormalized(un)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fromBytes(bs []uint8) Transaction {
+	items := make([]Item, len(bs))
+	for i, b := range bs {
+		items[i] = Item(b % 32)
+	}
+	return NewTransaction(items...)
+}
+
+func isNormalized(t Transaction) bool {
+	for i := 1; i < len(t); i++ {
+		if t[i] <= t[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVocabRoundTrip(t *testing.T) {
+	v := NewVocab()
+	a := v.ID("apple")
+	b := v.ID("banana")
+	if a == b {
+		t.Fatal("distinct names share an id")
+	}
+	if v.ID("apple") != a {
+		t.Fatal("repeated ID changed")
+	}
+	if v.Name(a) != "apple" || v.Name(b) != "banana" {
+		t.Fatal("Name round trip failed")
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", v.Len())
+	}
+	if id, ok := v.Lookup("banana"); !ok || id != b {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := v.Lookup("cherry"); ok {
+		t.Fatal("Lookup invented a name")
+	}
+}
+
+func TestVocabNamePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVocab().Name(0)
+}
+
+func testSchema() *Schema {
+	return NewSchema(
+		Attribute{Name: "color", Domain: []string{"red", "green", "blue"}},
+		Attribute{Name: "size", Domain: []string{"small", "large"}},
+		Attribute{Name: "shape", Domain: []string{"round", "square"}},
+	)
+}
+
+func TestEncoderItems(t *testing.T) {
+	enc := NewEncoder(testSchema())
+	if enc.NumItems() != 7 {
+		t.Fatalf("NumItems = %d, want 7", enc.NumItems())
+	}
+	if enc.Vocab().Name(enc.Item(0, 2)) != "color.blue" {
+		t.Errorf("item name = %q", enc.Vocab().Name(enc.Item(0, 2)))
+	}
+	// Round trip attr/value for every item.
+	for a, attr := range enc.Schema().Attrs {
+		for v := range attr.Domain {
+			ga, gv := enc.AttrValue(enc.Item(a, v))
+			if ga != a || gv != v {
+				t.Errorf("AttrValue(Item(%d,%d)) = (%d,%d)", a, v, ga, gv)
+			}
+		}
+	}
+}
+
+func TestEncodeSkipsMissing(t *testing.T) {
+	enc := NewEncoder(testSchema())
+	rec := Record{0, Missing, 1}
+	tx := enc.Encode(rec)
+	if len(tx) != 2 {
+		t.Fatalf("transaction %v, want 2 items", tx)
+	}
+	if !isNormalized(tx) {
+		t.Fatalf("transaction %v not sorted", tx)
+	}
+	names := []string{enc.Vocab().Name(tx[0]), enc.Vocab().Name(tx[1])}
+	if names[0] != "color.red" || names[1] != "shape.square" {
+		t.Errorf("items = %v", names)
+	}
+}
+
+func TestEncodeAllMatchesEncode(t *testing.T) {
+	enc := NewEncoder(testSchema())
+	recs := []Record{{0, 0, 0}, {2, 1, 1}, {Missing, Missing, Missing}}
+	all := enc.EncodeAll(recs)
+	for i, r := range recs {
+		if !all[i].Equal(enc.Encode(r)) {
+			t.Errorf("EncodeAll[%d] differs", i)
+		}
+	}
+	if len(all[2]) != 0 {
+		t.Error("all-missing record should encode to empty transaction")
+	}
+}
+
+func TestBooleanVector(t *testing.T) {
+	enc := NewEncoder(testSchema())
+	v := enc.BooleanVector(Record{1, Missing, 0})
+	if len(v) != enc.NumItems() {
+		t.Fatalf("len = %d", len(v))
+	}
+	ones := 0
+	for _, x := range v {
+		if x == 1 {
+			ones++
+		} else if x != 0 {
+			t.Fatalf("non-boolean value %v", x)
+		}
+	}
+	if ones != 2 {
+		t.Fatalf("ones = %d, want 2 (one attribute missing)", ones)
+	}
+	if v[enc.Item(0, 1)] != 1 || v[enc.Item(2, 0)] != 1 {
+		t.Error("wrong dimensions set")
+	}
+}
+
+func TestPairwiseJaccard(t *testing.T) {
+	// Identical where both present -> 1 even with missing elsewhere.
+	a := Record{0, 1, Missing, 2}
+	b := Record{0, 1, 5, Missing}
+	if got := PairwiseJaccard(a, b); got != 1 {
+		t.Errorf("PairwiseJaccard = %v, want 1", got)
+	}
+	// Agree on 1 of 2 common attrs: a/(2m-a) = 1/3.
+	c := Record{0, 0, Missing, Missing}
+	if got := PairwiseJaccard(a, c); got != 1.0/3 {
+		t.Errorf("PairwiseJaccard = %v, want 1/3", got)
+	}
+	// No common attributes -> 0.
+	d := Record{Missing, Missing, 1, Missing}
+	e := Record{1, 1, Missing, Missing}
+	if got := PairwiseJaccard(d, e); got != 0 {
+		t.Errorf("PairwiseJaccard = %v, want 0", got)
+	}
+}
+
+// Property: PairwiseJaccard is symmetric and in [0, 1]; 1 iff all common
+// attributes agree (and at least one exists).
+func TestPairwiseJaccardQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(10)
+		a, b := NewRecord(n), NewRecord(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) > 0 {
+				a[i] = rng.Intn(3)
+			}
+			if rng.Intn(4) > 0 {
+				b[i] = rng.Intn(3)
+			}
+		}
+		x, y := PairwiseJaccard(a, b), PairwiseJaccard(b, a)
+		if x != y {
+			t.Fatalf("not symmetric: %v vs %v", x, y)
+		}
+		if x < 0 || x > 1 {
+			t.Fatalf("out of range: %v", x)
+		}
+	}
+}
+
+func TestSchemaValueIndex(t *testing.T) {
+	s := testSchema()
+	if s.ValueIndex(0, "green") != 1 {
+		t.Error("ValueIndex(color, green) != 1")
+	}
+	if s.ValueIndex(0, "purple") != Missing {
+		t.Error("unknown value should map to Missing")
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(bs []uint8) bool {
+		tx := fromBytes(bs)
+		before := tx.Clone()
+		tx.Normalize()
+		return reflect.DeepEqual(before, tx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := NewTransaction(1, 2, 3)
+	b := a.Clone()
+	b[0] = 99
+	if a[0] == 99 {
+		t.Fatal("Clone shares storage")
+	}
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+}

@@ -1,0 +1,222 @@
+package dataset
+
+import "fmt"
+
+// Missing marks an attribute whose value is absent in a record. The paper
+// (Section 3.1.2) handles missing values by omitting the corresponding items
+// from the derived transaction.
+const Missing = -1
+
+// Attribute describes one categorical attribute: its name and the finite
+// domain of values it may take.
+type Attribute struct {
+	Name   string
+	Domain []string
+}
+
+// Schema is the ordered list of categorical attributes of a data set.
+type Schema struct {
+	Attrs []Attribute
+}
+
+// NewSchema builds a schema from attribute name/domain pairs.
+func NewSchema(attrs ...Attribute) *Schema { return &Schema{Attrs: attrs} }
+
+// NumAttrs returns the number of attributes.
+func (s *Schema) NumAttrs() int { return len(s.Attrs) }
+
+// ValueIndex returns the index of value v in the domain of attribute a, or
+// Missing if v is not in the domain.
+func (s *Schema) ValueIndex(a int, v string) int {
+	for i, dv := range s.Attrs[a].Domain {
+		if dv == v {
+			return i
+		}
+	}
+	return Missing
+}
+
+// Record is a single categorical data point: one domain-value index per
+// attribute, with Missing for absent values.
+type Record []int
+
+// NewRecord returns a record with every attribute missing.
+func NewRecord(n int) Record {
+	r := make(Record, n)
+	for i := range r {
+		r[i] = Missing
+	}
+	return r
+}
+
+// IsMissing reports whether attribute a has no value in the record.
+func (r Record) IsMissing(a int) bool { return r[a] == Missing }
+
+// MissingPolicy selects how the encoder treats missing attribute values.
+type MissingPolicy int
+
+const (
+	// OmitMissing is the paper's proposal (Section 3.1.2): a missing value
+	// contributes no item, so the attribute is simply absent from the
+	// transaction.
+	OmitMissing MissingPolicy = iota
+	// MissingAsValue treats "missing" as one more domain value with its
+	// own item "A.?" — the alternative the paper alludes to ("one of
+	// several possible ways to handle them"). Useful when missingness is
+	// itself informative (e.g. the original mushroom data's stalk-root).
+	MissingAsValue
+)
+
+// Encoder converts categorical records into transactions following Section
+// 3.1.2 of the paper: for every attribute A and domain value v an item "A.v"
+// is introduced, and the transaction for a record contains A.v iff the
+// record's value for A is v. Missing values are handled per the
+// MissingPolicy (the default omits them).
+type Encoder struct {
+	schema *Schema
+	vocab  *Vocab
+	// base[a] is the item id of the first domain value of attribute a, so
+	// the item for (a, v) is base[a]+v without a map lookup.
+	base    []Item
+	missing []Item // per attribute, the "A.?" item (MissingAsValue only)
+	policy  MissingPolicy
+}
+
+// NewEncoder builds an encoder (and the item vocabulary) for schema with
+// the paper's OmitMissing policy.
+func NewEncoder(schema *Schema) *Encoder {
+	return NewEncoderWithPolicy(schema, OmitMissing)
+}
+
+// NewEncoderWithPolicy builds an encoder with an explicit missing-value
+// policy.
+func NewEncoderWithPolicy(schema *Schema, policy MissingPolicy) *Encoder {
+	e := &Encoder{
+		schema: schema,
+		vocab:  NewVocab(),
+		base:   make([]Item, len(schema.Attrs)),
+		policy: policy,
+	}
+	if policy == MissingAsValue {
+		e.missing = make([]Item, len(schema.Attrs))
+	}
+	for a, attr := range schema.Attrs {
+		e.base[a] = Item(e.vocab.Len())
+		for _, v := range attr.Domain {
+			e.vocab.ID(attr.Name + "." + v)
+		}
+		if policy == MissingAsValue {
+			e.missing[a] = e.vocab.ID(attr.Name + ".?")
+		}
+	}
+	return e
+}
+
+// Schema returns the schema the encoder was built for.
+func (e *Encoder) Schema() *Schema { return e.schema }
+
+// Vocab returns the item vocabulary ("attr.value" names).
+func (e *Encoder) Vocab() *Vocab { return e.vocab }
+
+// NumItems returns the total number of attribute=value items.
+func (e *Encoder) NumItems() int { return e.vocab.Len() }
+
+// Item returns the item id for value index v of attribute a.
+func (e *Encoder) Item(a, v int) Item {
+	if v < 0 || v >= len(e.schema.Attrs[a].Domain) {
+		panic(fmt.Sprintf("dataset: value index %d out of range for attribute %q", v, e.schema.Attrs[a].Name))
+	}
+	return e.base[a] + Item(v)
+}
+
+// AttrValue is the inverse of Item: it maps an item id back to its
+// (attribute index, value index) pair.
+func (e *Encoder) AttrValue(it Item) (attr, val int) {
+	// Linear scan over attributes; schemas are small (tens of attributes).
+	for a := len(e.base) - 1; a >= 0; a-- {
+		if it >= e.base[a] {
+			return a, int(it - e.base[a])
+		}
+	}
+	panic(fmt.Sprintf("dataset: item %d not produced by this encoder", it))
+}
+
+// Encode converts a record into its transaction. Missing values follow the
+// encoder's policy: omitted (the paper's Section 3.1.2 proposal) or encoded
+// as a dedicated "A.?" item.
+func (e *Encoder) Encode(r Record) Transaction {
+	if len(r) != len(e.schema.Attrs) {
+		panic(fmt.Sprintf("dataset: record has %d attributes, schema has %d", len(r), len(e.schema.Attrs)))
+	}
+	t := make(Transaction, 0, len(r))
+	for a, v := range r {
+		if v == Missing {
+			if e.policy == MissingAsValue {
+				t = append(t, e.missing[a])
+			}
+			continue
+		}
+		t = append(t, e.Item(a, v))
+	}
+	// Items are emitted in increasing attribute order and ids increase
+	// with attribute (the "A.?" item is the last of each attribute's
+	// block), so t is already sorted.
+	return t
+}
+
+// EncodeAll converts a slice of records into transactions.
+func (e *Encoder) EncodeAll(rs []Record) []Transaction {
+	out := make([]Transaction, len(rs))
+	for i, r := range rs {
+		out[i] = e.Encode(r)
+	}
+	return out
+}
+
+// PairwiseJaccard computes the similarity between two records under the
+// paper's time-series rule (Section 3.1.2): only attributes whose values are
+// present in *both* records are considered; the per-pair transactions then
+// contain one item per common attribute, and their Jaccard coefficient is
+// a / (2m - a) where m is the number of common attributes and a the number
+// on which the records agree. Returns 0 when the records share no attributes.
+func PairwiseJaccard(a, b Record) float64 {
+	common, agree := 0, 0
+	for i := range a {
+		if a[i] == Missing || b[i] == Missing {
+			continue
+		}
+		common++
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	if common == 0 {
+		return 0
+	}
+	return float64(agree) / float64(2*common-agree)
+}
+
+// BooleanVector converts a record into the dense 0/1 vector representation
+// used by the traditional centroid-based baseline (Section 5): one boolean
+// dimension per attribute=value pair; missing values leave all of the
+// attribute's dimensions at zero.
+func (e *Encoder) BooleanVector(r Record) []float64 {
+	v := make([]float64, e.NumItems())
+	for a, val := range r {
+		if val == Missing {
+			continue
+		}
+		v[e.Item(a, val)] = 1
+	}
+	return v
+}
+
+// BooleanVectorTxn converts a transaction over e's items into a dense 0/1
+// vector (used when the baseline runs directly on market-basket data).
+func BooleanVectorTxn(t Transaction, numItems int) []float64 {
+	v := make([]float64, numItems)
+	for _, it := range t {
+		v[it] = 1
+	}
+	return v
+}

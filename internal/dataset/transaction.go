@@ -1,0 +1,157 @@
+// Package dataset defines the data model shared by every component of the
+// ROCK reproduction: transactions (sets of items), categorical records, the
+// record→transaction mapping of Section 3.1.2 of the paper, and vocabularies
+// that translate between external string names and the compact integer item
+// identifiers used internally.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item is a compact integer identifier for a market-basket item or for an
+// attribute=value pair produced by the categorical encoding.
+type Item int32
+
+// Transaction is a set of items, stored sorted and without duplicates.
+// The zero value is the empty transaction.
+type Transaction []Item
+
+// NewTransaction builds a normalized (sorted, deduplicated) transaction from
+// the given items. The input slice is not modified.
+func NewTransaction(items ...Item) Transaction {
+	t := make(Transaction, len(items))
+	copy(t, items)
+	t.Normalize()
+	return t
+}
+
+// Normalize sorts the transaction and removes duplicate items in place.
+func (t *Transaction) Normalize() {
+	s := *t
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for i, it := range s {
+		if i == 0 || it != s[i-1] {
+			out = append(out, it)
+		}
+	}
+	*t = out
+}
+
+// Len returns the number of items in the transaction.
+func (t Transaction) Len() int { return len(t) }
+
+// Contains reports whether the transaction contains item v.
+func (t Transaction) Contains(v Item) bool {
+	i := sort.Search(len(t), func(i int) bool { return t[i] >= v })
+	return i < len(t) && t[i] == v
+}
+
+// IntersectLen returns |t ∩ u| for two normalized transactions.
+func (t Transaction) IntersectLen(u Transaction) int {
+	i, j, n := 0, 0, 0
+	for i < len(t) && j < len(u) {
+		switch {
+		case t[i] < u[j]:
+			i++
+		case t[i] > u[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// UnionLen returns |t ∪ u| for two normalized transactions.
+func (t Transaction) UnionLen(u Transaction) int {
+	return len(t) + len(u) - t.IntersectLen(u)
+}
+
+// Intersect returns t ∩ u as a new transaction.
+func (t Transaction) Intersect(u Transaction) Transaction {
+	out := make(Transaction, 0, min(len(t), len(u)))
+	i, j := 0, 0
+	for i < len(t) && j < len(u) {
+		switch {
+		case t[i] < u[j]:
+			i++
+		case t[i] > u[j]:
+			j++
+		default:
+			out = append(out, t[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns t ∪ u as a new transaction.
+func (t Transaction) Union(u Transaction) Transaction {
+	out := make(Transaction, 0, len(t)+len(u))
+	i, j := 0, 0
+	for i < len(t) && j < len(u) {
+		switch {
+		case t[i] < u[j]:
+			out = append(out, t[i])
+			i++
+		case t[i] > u[j]:
+			out = append(out, u[j])
+			j++
+		default:
+			out = append(out, t[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, t[i:]...)
+	out = append(out, u[j:]...)
+	return out
+}
+
+// Equal reports whether two normalized transactions contain the same items.
+func (t Transaction) Equal(u Transaction) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the transaction.
+func (t Transaction) Clone() Transaction {
+	out := make(Transaction, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the transaction as "{1, 2, 3}" for debugging and examples.
+func (t Transaction) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, it := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", it)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package dataset
+
+import "fmt"
+
+// Vocab is a bidirectional mapping between external string item names and
+// compact Item identifiers. Identifiers are assigned densely in insertion
+// order starting at zero, so they double as slice indices.
+type Vocab struct {
+	byName map[string]Item
+	names  []string
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{byName: make(map[string]Item)}
+}
+
+// ID returns the identifier for name, assigning a fresh one if the name has
+// not been seen before.
+func (v *Vocab) ID(name string) Item {
+	if id, ok := v.byName[name]; ok {
+		return id
+	}
+	id := Item(len(v.names))
+	v.byName[name] = id
+	v.names = append(v.names, name)
+	return id
+}
+
+// Lookup returns the identifier for name and whether it is known.
+func (v *Vocab) Lookup(name string) (Item, bool) {
+	id, ok := v.byName[name]
+	return id, ok
+}
+
+// Name returns the external name for id. It panics if id was never assigned.
+func (v *Vocab) Name(id Item) string {
+	if int(id) < 0 || int(id) >= len(v.names) {
+		panic(fmt.Sprintf("dataset: vocab id %d out of range [0,%d)", id, len(v.names)))
+	}
+	return v.names[id]
+}
+
+// Len returns the number of distinct names in the vocabulary.
+func (v *Vocab) Len() int { return len(v.names) }
+
+// Names returns the names in identifier order. The returned slice is shared;
+// callers must not modify it.
+func (v *Vocab) Names() []string { return v.names }

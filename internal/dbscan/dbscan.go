@@ -1,0 +1,104 @@
+// Package dbscan implements DBSCAN (Ester, Kriegel, Sander & Xu, KDD 1996),
+// the density-based baseline Section 2 of the ROCK paper discusses: clusters
+// grow by absorbing the dense neighborhoods of points already inside, an
+// approach the paper notes "may be prone to errors if clusters are not
+// well-separated". It operates on an arbitrary dissimilarity, so it runs
+// on categorical data under 1 - Jaccard as well as on numeric vectors.
+package dbscan
+
+import "errors"
+
+// Noise is the assignment of points belonging to no cluster.
+const Noise = -1
+
+// Config controls a DBSCAN run.
+type Config struct {
+	// Eps is the neighborhood radius: q is in p's neighborhood when
+	// dist(p, q) <= Eps.
+	Eps float64
+	// MinPts is the minimum neighborhood size (including the point
+	// itself) for a point to be a core point.
+	MinPts int
+}
+
+// Result is the outcome of a DBSCAN run.
+type Result struct {
+	// Assign maps each point to a cluster id in [0, NumClusters) or Noise.
+	Assign []int
+	// NumClusters is the number of clusters found.
+	NumClusters int
+	// CorePoints flags the core points.
+	CorePoints []bool
+}
+
+// Cluster runs DBSCAN over n points with the given dissimilarity.
+func Cluster(n int, dist func(i, j int) float64, cfg Config) (*Result, error) {
+	if cfg.MinPts < 1 {
+		return nil, errors.New("dbscan: MinPts must be positive")
+	}
+	if cfg.Eps < 0 {
+		return nil, errors.New("dbscan: Eps must be non-negative")
+	}
+	res := &Result{
+		Assign:     make([]int, n),
+		CorePoints: make([]bool, n),
+	}
+	for i := range res.Assign {
+		res.Assign[i] = Noise
+	}
+
+	// Precompute neighborhoods (O(n²) region queries).
+	nbrs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist(i, j) <= cfg.Eps {
+				nbrs[i] = append(nbrs[i], j)
+				nbrs[j] = append(nbrs[j], i)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		res.CorePoints[i] = len(nbrs[i])+1 >= cfg.MinPts
+	}
+
+	visited := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if visited[i] || !res.CorePoints[i] {
+			continue
+		}
+		// Expand a new cluster from core point i.
+		id := res.NumClusters
+		res.NumClusters++
+		queue := []int{i}
+		visited[i] = true
+		res.Assign[i] = id
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			if !res.CorePoints[p] {
+				continue // border point: belongs but does not expand
+			}
+			for _, q := range nbrs[p] {
+				if res.Assign[q] == Noise {
+					res.Assign[q] = id
+				}
+				if !visited[q] {
+					visited[q] = true
+					queue = append(queue, q)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Clusters materializes member lists from the assignment.
+func (r *Result) Clusters() [][]int {
+	out := make([][]int, r.NumClusters)
+	for p, c := range r.Assign {
+		if c >= 0 {
+			out[c] = append(out[c], p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package dbscan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rock/internal/dataset"
+	"rock/internal/sim"
+)
+
+func euclid(vecs [][]float64) func(i, j int) float64 {
+	return func(i, j int) float64 {
+		var s float64
+		for d := range vecs[i] {
+			dd := vecs[i][d] - vecs[j][d]
+			s += dd * dd
+		}
+		return math.Sqrt(s)
+	}
+}
+
+func TestDBSCANSeparatesBlobsAndNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var vecs [][]float64
+	var labels []int
+	for c, ctr := range [][]float64{{0, 0}, {10, 10}} {
+		for i := 0; i < 30; i++ {
+			vecs = append(vecs, []float64{ctr[0] + rng.NormFloat64()*0.4, ctr[1] + rng.NormFloat64()*0.4})
+			labels = append(labels, c)
+		}
+	}
+	vecs = append(vecs, []float64{5, 5}) // isolated noise
+	labels = append(labels, -1)
+
+	res, err := Cluster(len(vecs), euclid(vecs), Config{Eps: 1.0, MinPts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters)
+	}
+	if res.Assign[len(vecs)-1] != Noise {
+		t.Error("isolated point not noise")
+	}
+	for _, c := range res.Clusters() {
+		l := labels[c[0]]
+		for _, p := range c {
+			if labels[p] != l {
+				t.Fatal("mixed cluster")
+			}
+		}
+	}
+}
+
+func TestDBSCANBorderPointsDoNotExpand(t *testing.T) {
+	// A chain: core core border | gap | core core. Border point is within
+	// eps of a core point but is not core itself; it must join without
+	// bridging the gap.
+	xs := []float64{0, 0.5, 1.0, 1.9, 4.0, 4.5, 5.0}
+	vecs := make([][]float64, len(xs))
+	for i, x := range xs {
+		vecs[i] = []float64{x}
+	}
+	res, err := Cluster(len(vecs), euclid(vecs), Config{Eps: 1.0, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2 (assign %v)", res.NumClusters, res.Assign)
+	}
+	if res.Assign[3] == Noise {
+		t.Error("border point 1.9 should join the first cluster")
+	}
+	if res.Assign[3] == res.Assign[4] {
+		t.Error("border point bridged the gap")
+	}
+}
+
+func TestDBSCANOnCategoricalJaccard(t *testing.T) {
+	txns := []dataset.Transaction{
+		dataset.NewTransaction(1, 2, 3),
+		dataset.NewTransaction(1, 2, 4),
+		dataset.NewTransaction(1, 3, 4),
+		dataset.NewTransaction(2, 3, 4),
+		dataset.NewTransaction(8, 9, 10),
+		dataset.NewTransaction(8, 9, 11),
+		dataset.NewTransaction(8, 10, 11),
+		dataset.NewTransaction(9, 10, 11),
+		dataset.NewTransaction(20, 21, 22),
+	}
+	d := func(i, j int) float64 { return 1 - sim.Jaccard(txns[i], txns[j]) }
+	res, err := Cluster(len(txns), d, Config{Eps: 0.5, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters)
+	}
+	if res.Assign[8] != Noise {
+		t.Error("outlier transaction not noise")
+	}
+}
+
+func TestDBSCANValidation(t *testing.T) {
+	if _, err := Cluster(0, nil, Config{Eps: 1, MinPts: 0}); err == nil {
+		t.Error("MinPts=0 accepted")
+	}
+	if _, err := Cluster(0, nil, Config{Eps: -1, MinPts: 1}); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	vecs := [][]float64{{0}, {10}, {20}}
+	res, err := Cluster(len(vecs), euclid(vecs), Config{Eps: 1, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 {
+		t.Fatalf("clusters = %d, want 0", res.NumClusters)
+	}
+	for _, a := range res.Assign {
+		if a != Noise {
+			t.Fatal("expected all noise")
+		}
+	}
+}
+
+// TestDBSCANNotWellSeparated demonstrates the ROCK paper's Section 2
+// observation: density-based growth bridges clusters that touch. Two blobs
+// connected by a thin dense bridge collapse into one DBSCAN cluster.
+func TestDBSCANNotWellSeparated(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var vecs [][]float64
+	for _, ctr := range []float64{0, 10} {
+		for i := 0; i < 25; i++ {
+			vecs = append(vecs, []float64{ctr + rng.NormFloat64()*0.5, rng.NormFloat64() * 0.5})
+		}
+	}
+	for x := 1.0; x < 10; x += 0.4 { // the bridge
+		vecs = append(vecs, []float64{x, 0})
+	}
+	res, err := Cluster(len(vecs), euclid(vecs), Config{Eps: 1.0, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d; the bridge should merge both blobs", res.NumClusters)
+	}
+}

@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rock/internal/dataset"
+)
+
+// Fixture: two true classes; three clusters (one pure per class, one mixed).
+var (
+	fixtureClusters = [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7, 8}}
+	fixtureLabels   = []int{0, 0, 0, 1, 1, 0, 1, 1, 1}
+)
+
+func TestComposition(t *testing.T) {
+	comp := Composition(fixtureClusters, fixtureLabels, 2)
+	want := [][]int{{3, 0}, {0, 2}, {1, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if comp[i][j] != want[i][j] {
+				t.Fatalf("comp = %v, want %v", comp, want)
+			}
+		}
+	}
+}
+
+func TestPurity(t *testing.T) {
+	got := Purity(fixtureClusters, fixtureLabels, 2)
+	want := 8.0 / 9.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("purity = %v, want %v", got, want)
+	}
+	if Purity(nil, nil, 2) != 0 {
+		t.Fatal("purity of empty clustering should be 0")
+	}
+}
+
+func TestPureClusters(t *testing.T) {
+	if got := PureClusters(fixtureClusters, fixtureLabels, 2); got != 2 {
+		t.Fatalf("pure = %d, want 2", got)
+	}
+}
+
+func TestMisclassifiedPerfect(t *testing.T) {
+	clusters := [][]int{{0, 1}, {2, 3}}
+	labels := []int{0, 0, 1, 1}
+	if got := Misclassified(clusters, labels, 2, 4); got != 0 {
+		t.Fatalf("misclassified = %d, want 0", got)
+	}
+}
+
+func TestMisclassifiedCountsUnclustered(t *testing.T) {
+	clusters := [][]int{{0, 1}}
+	labels := []int{0, 0, 1}
+	// Point 2 is in no cluster: misclassified.
+	if got := Misclassified(clusters, labels, 2, 3); got != 1 {
+		t.Fatalf("misclassified = %d, want 1", got)
+	}
+}
+
+func TestMisclassifiedOptimalMatching(t *testing.T) {
+	// Clusters swapped relative to class ids; the optimal matching fixes
+	// the permutation, so only truly mixed points count.
+	clusters := [][]int{{2, 3, 4}, {0, 1}}
+	labels := []int{1, 1, 0, 0, 1}
+	if got := Misclassified(clusters, labels, 2, 5); got != 1 {
+		t.Fatalf("misclassified = %d, want 1 (point 4)", got)
+	}
+}
+
+func TestMajorityMisclassified(t *testing.T) {
+	if got := MajorityMisclassified(fixtureClusters, fixtureLabels, 2, 9); got != 1 {
+		t.Fatalf("majority misclassified = %d, want 1", got)
+	}
+}
+
+func TestRandIndexPerfectAndRandomish(t *testing.T) {
+	clusters := [][]int{{0, 1}, {2, 3}}
+	labels := []int{0, 0, 1, 1}
+	if got := RandIndex(clusters, labels, 2); got != 1 {
+		t.Fatalf("perfect Rand = %v", got)
+	}
+	if got := AdjustedRand(clusters, labels, 2); got != 1 {
+		t.Fatalf("perfect ARI = %v", got)
+	}
+	if got := NMI(clusters, labels, 2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect NMI = %v", got)
+	}
+	// Everything in one cluster: ARI 0-ish, NMI 0.
+	one := [][]int{{0, 1, 2, 3}}
+	if got := NMI(one, labels, 2); got != 0 {
+		t.Fatalf("single-cluster NMI = %v, want 0", got)
+	}
+	ari := AdjustedRand(one, labels, 2)
+	if math.Abs(ari) > 1e-9 {
+		t.Fatalf("single-cluster ARI = %v, want ~0", ari)
+	}
+}
+
+func TestRandIndexBounds(t *testing.T) {
+	got := RandIndex(fixtureClusters, fixtureLabels, 2)
+	if got < 0 || got > 1 {
+		t.Fatalf("Rand = %v out of range", got)
+	}
+	ari := AdjustedRand(fixtureClusters, fixtureLabels, 2)
+	if ari > 1 {
+		t.Fatalf("ARI = %v out of range", ari)
+	}
+}
+
+func TestSizeDistribution(t *testing.T) {
+	sizes, mean, sd := SizeDistribution(fixtureClusters)
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 2 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if math.Abs(mean-3) > 1e-12 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if sd <= 0 {
+		t.Fatalf("sd = %v", sd)
+	}
+	if s, m, d := SizeDistribution(nil); s != nil || m != 0 || d != 0 {
+		t.Fatal("empty distribution should be zero")
+	}
+}
+
+func TestFormatComposition(t *testing.T) {
+	s := FormatComposition([][]int{{3, 0}}, []string{"Rep", "Dem"})
+	if !strings.Contains(s, "Rep") || !strings.Contains(s, "3") {
+		t.Fatalf("format = %q", s)
+	}
+}
+
+func profileFixture() (*dataset.Schema, []dataset.Record) {
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "color", Domain: []string{"red", "blue"}},
+		dataset.Attribute{Name: "size", Domain: []string{"s", "l"}},
+	)
+	records := []dataset.Record{
+		{0, 0}, {0, 1}, {0, dataset.Missing}, {1, 1},
+	}
+	return schema, records
+}
+
+func TestProfile(t *testing.T) {
+	schema, records := profileFixture()
+	p := Profile(schema, records, []int{0, 1, 2, 3}, 0.5)
+	// color.red appears 3/4 = 0.75 >= 0.5; size has no value above 2/3...
+	// size.l = 2/3 >= 0.5 (missing excluded from denominator).
+	if len(p) != 2 {
+		t.Fatalf("profile = %v", p)
+	}
+	if p[0].Attr != "color" || p[0].Value != "red" || math.Abs(p[0].Freq-0.75) > 1e-12 {
+		t.Fatalf("p[0] = %v", p[0])
+	}
+	if p[1].Attr != "size" || p[1].Value != "l" || math.Abs(p[1].Freq-2.0/3) > 1e-9 {
+		t.Fatalf("p[1] = %v", p[1])
+	}
+}
+
+func TestProfileThresholdFiltersAll(t *testing.T) {
+	schema, records := profileFixture()
+	p := Profile(schema, records, []int{0, 3}, 0.9)
+	if len(p) != 0 {
+		t.Fatalf("profile = %v, want empty at 0.9 threshold", p)
+	}
+}
+
+func TestAttrValueFreqString(t *testing.T) {
+	s := AttrValueFreq{Attr: "odor", Value: "none", Freq: 1}.String()
+	if s != "(odor,none,1)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestFormatProfile(t *testing.T) {
+	p := []AttrValueFreq{{"a", "x", 1}, {"b", "y", 0.5}, {"c", "z", 0.25}, {"d", "w", 0.1}}
+	s := FormatProfile(p, 2)
+	if strings.Count(s, "\n") != 1 {
+		t.Fatalf("expected one line break in %q", s)
+	}
+}
+
+func TestPRFPerfect(t *testing.T) {
+	clusters := [][]int{{0, 1}, {2, 3, 4}}
+	labels := []int{0, 0, 1, 1, 1}
+	prf := PRF(clusters, labels, 2, 5)
+	for _, p := range prf {
+		if p.Precision != 1 || p.Recall != 1 || p.F1 != 1 {
+			t.Fatalf("class %d: %+v", p.Class, p)
+		}
+	}
+}
+
+func TestPRFPartial(t *testing.T) {
+	// Cluster 0 = {0,1,2} with labels {0,0,1}; cluster 1 = {3,4} labels {1,1}.
+	clusters := [][]int{{0, 1, 2}, {3, 4}}
+	labels := []int{0, 0, 1, 1, 1}
+	prf := PRF(clusters, labels, 2, 5)
+	if math.Abs(prf[0].Precision-2.0/3) > 1e-12 || prf[0].Recall != 1 {
+		t.Fatalf("class 0: %+v", prf[0])
+	}
+	if prf[1].Precision != 1 || math.Abs(prf[1].Recall-2.0/3) > 1e-12 {
+		t.Fatalf("class 1: %+v", prf[1])
+	}
+}
+
+func TestPRFUnmatchedClass(t *testing.T) {
+	clusters := [][]int{{0, 1}}
+	labels := []int{0, 0, 1, 1}
+	prf := PRF(clusters, labels, 2, 4)
+	if prf[1].Matched != -1 || prf[1].F1 != 0 {
+		t.Fatalf("unmatched class: %+v", prf[1])
+	}
+}
+
+func TestMacroF1Bounds(t *testing.T) {
+	got := MacroF1(fixtureClusters, fixtureLabels, 2, 9)
+	if got <= 0 || got > 1 {
+		t.Fatalf("macro F1 = %v", got)
+	}
+	if MacroF1(nil, nil, 0, 0) != 0 {
+		t.Fatal("empty macro F1 should be 0")
+	}
+}

@@ -1,0 +1,254 @@
+// Package eval provides the clustering-quality measurements the paper's
+// evaluation reports: per-cluster class composition (Tables 2 and 3),
+// misclassification counts under an optimal cluster↔class matching (Table
+// 6), and the frequent-attribute-value cluster characterizations of Tables
+// 7–9. External-validity indices beyond the paper (purity, Rand, adjusted
+// Rand, NMI) round out the toolkit.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rock/internal/assign"
+)
+
+// Composition counts, for each cluster, how many members carry each true
+// class label. clusters holds member point indices; labels maps a point to
+// its class in [0, numClasses).
+func Composition(clusters [][]int, labels []int, numClasses int) [][]int {
+	out := make([][]int, len(clusters))
+	for ci, members := range clusters {
+		row := make([]int, numClasses)
+		for _, p := range members {
+			row[labels[p]]++
+		}
+		out[ci] = row
+	}
+	return out
+}
+
+// Purity returns the fraction of clustered points whose class matches their
+// cluster's majority class. Points not in any cluster (outliers) are not
+// counted.
+func Purity(clusters [][]int, labels []int, numClasses int) float64 {
+	comp := Composition(clusters, labels, numClasses)
+	total, agree := 0, 0
+	for _, row := range comp {
+		best := 0
+		for _, c := range row {
+			total += c
+			if c > best {
+				best = c
+			}
+		}
+		agree += best
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(agree) / float64(total)
+}
+
+// PureClusters returns how many clusters contain members of exactly one
+// class — the paper's headline observation for the mushroom data set
+// ("all except one of the clusters discovered by ROCK are pure clusters").
+func PureClusters(clusters [][]int, labels []int, numClasses int) int {
+	pure := 0
+	for _, row := range Composition(clusters, labels, numClasses) {
+		nz := 0
+		for _, c := range row {
+			if c > 0 {
+				nz++
+			}
+		}
+		if nz == 1 {
+			pure++
+		}
+	}
+	return pure
+}
+
+// Misclassified measures the paper's Table 6 metric: the number of points
+// whose cluster does not correspond to their true class, under the optimal
+// (Hungarian) matching of clusters to classes. Outlier points — members of
+// no cluster — are counted as misclassified, as are members of clusters
+// matched to no class.
+func Misclassified(clusters [][]int, labels []int, numClasses, n int) int {
+	comp := Composition(clusters, labels, numClasses)
+	_, matched := assign.MaxOverlap(comp)
+	return n - matched
+}
+
+// MajorityMisclassified is the greedy alternative: each cluster is labeled
+// with its majority class (several clusters may claim the same class), and
+// every non-majority member plus every unclustered point counts as
+// misclassified. This is the measure to use when the number of clusters
+// found differs wildly from the number of classes.
+func MajorityMisclassified(clusters [][]int, labels []int, numClasses, n int) int {
+	comp := Composition(clusters, labels, numClasses)
+	agree := 0
+	for _, row := range comp {
+		best := 0
+		for _, c := range row {
+			if c > best {
+				best = c
+			}
+		}
+		agree += best
+	}
+	return n - agree
+}
+
+// pairCount returns x*(x-1)/2 as float to avoid overflow on large inputs.
+func pairCount(x int) float64 { return float64(x) * float64(x-1) / 2 }
+
+// RandIndex returns the (unadjusted) Rand index between a clustering and the
+// true labels over the clustered points only.
+func RandIndex(clusters [][]int, labels []int, numClasses int) float64 {
+	comp := Composition(clusters, labels, numClasses)
+	n := 0
+	var sumC, sumK, sumCK float64
+	classTot := make([]int, numClasses)
+	for _, row := range comp {
+		sz := 0
+		for cl, c := range row {
+			sz += c
+			classTot[cl] += c
+			sumCK += pairCount(c)
+		}
+		sumC += pairCount(sz)
+		n += sz
+	}
+	for _, t := range classTot {
+		sumK += pairCount(t)
+	}
+	tot := pairCount(n)
+	if tot == 0 {
+		return 1
+	}
+	// Agreements = pairs together in both + pairs apart in both.
+	return (tot + 2*sumCK - sumC - sumK) / tot
+}
+
+// AdjustedRand returns the Hubert–Arabie adjusted Rand index over the
+// clustered points.
+func AdjustedRand(clusters [][]int, labels []int, numClasses int) float64 {
+	comp := Composition(clusters, labels, numClasses)
+	n := 0
+	var index, sumC, sumK float64
+	classTot := make([]int, numClasses)
+	for _, row := range comp {
+		sz := 0
+		for cl, c := range row {
+			sz += c
+			classTot[cl] += c
+			index += pairCount(c)
+		}
+		sumC += pairCount(sz)
+		n += sz
+	}
+	for _, t := range classTot {
+		sumK += pairCount(t)
+	}
+	tot := pairCount(n)
+	if tot == 0 {
+		return 1
+	}
+	expected := sumC * sumK / tot
+	maxIdx := (sumC + sumK) / 2
+	if maxIdx == expected {
+		return 1
+	}
+	return (index - expected) / (maxIdx - expected)
+}
+
+// NMI returns the normalized mutual information (arithmetic-mean
+// normalization) between clustering and labels over the clustered points.
+func NMI(clusters [][]int, labels []int, numClasses int) float64 {
+	comp := Composition(clusters, labels, numClasses)
+	n := 0
+	clusterTot := make([]int, len(comp))
+	classTot := make([]int, numClasses)
+	for ci, row := range comp {
+		for cl, c := range row {
+			clusterTot[ci] += c
+			classTot[cl] += c
+			n += c
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	fn := float64(n)
+	var mi, hc, hk float64
+	for ci, row := range comp {
+		for cl, c := range row {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / fn
+			mi += p * math.Log(p*fn*fn/(float64(clusterTot[ci])*float64(classTot[cl])))
+		}
+	}
+	for _, t := range clusterTot {
+		if t > 0 {
+			p := float64(t) / fn
+			hc -= p * math.Log(p)
+		}
+	}
+	for _, t := range classTot {
+		if t > 0 {
+			p := float64(t) / fn
+			hk -= p * math.Log(p)
+		}
+	}
+	if hc+hk == 0 {
+		return 1
+	}
+	return 2 * mi / (hc + hk)
+}
+
+// FormatComposition renders a composition matrix with class names, in the
+// style of the paper's Tables 2 and 3 ("Cluster No | No of <class> ...").
+func FormatComposition(comp [][]int, classNames []string) string {
+	var b []byte
+	b = append(b, "Cluster"...)
+	for _, cn := range classNames {
+		b = append(b, fmt.Sprintf("\t%s", cn)...)
+	}
+	b = append(b, '\n')
+	for i, row := range comp {
+		b = append(b, fmt.Sprintf("%d", i+1)...)
+		for _, c := range row {
+			b = append(b, fmt.Sprintf("\t%d", c)...)
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// SizeDistribution returns cluster sizes sorted descending, plus basic
+// dispersion statistics — the evidence behind the paper's "wide variance
+// among the sizes of the clusters" observation for mushroom.
+func SizeDistribution(clusters [][]int) (sizes []int, mean, stddev float64) {
+	if len(clusters) == 0 {
+		return nil, 0, 0
+	}
+	sizes = make([]int, len(clusters))
+	var sum float64
+	for i, c := range clusters {
+		sizes[i] = len(c)
+		sum += float64(len(c))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	mean = sum / float64(len(sizes))
+	var ss float64
+	for _, s := range sizes {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	stddev = math.Sqrt(ss / float64(len(sizes)))
+	return sizes, mean, stddev
+}

@@ -1,0 +1,74 @@
+package eval
+
+import "rock/internal/assign"
+
+// ClassPRF is precision/recall/F1 for one class under an optimal
+// cluster↔class matching.
+type ClassPRF struct {
+	Class     int
+	Precision float64
+	Recall    float64
+	F1        float64
+	// Matched is the cluster matched to the class, or -1.
+	Matched int
+}
+
+// PRF computes per-class precision, recall and F1 for a clustering against
+// true labels, matching clusters to classes with the Hungarian algorithm
+// (each class gets at most one cluster). Unclustered points count against
+// recall only; unmatched classes score zero.
+func PRF(clusters [][]int, labels []int, numClasses, n int) []ClassPRF {
+	comp := Composition(clusters, labels, numClasses)
+	match, _ := assign.MaxOverlap(comp)
+
+	clusterFor := make([]int, numClasses)
+	for i := range clusterFor {
+		clusterFor[i] = -1
+	}
+	for c, cl := range match {
+		if cl >= 0 {
+			clusterFor[cl] = c
+		}
+	}
+	classTotal := make([]int, numClasses)
+	for _, l := range labels {
+		if l >= 0 && l < numClasses {
+			classTotal[l]++
+		}
+	}
+
+	out := make([]ClassPRF, numClasses)
+	for cl := 0; cl < numClasses; cl++ {
+		out[cl] = ClassPRF{Class: cl, Matched: clusterFor[cl]}
+		c := clusterFor[cl]
+		if c < 0 || classTotal[cl] == 0 {
+			continue
+		}
+		tp := comp[c][cl]
+		clusterSize := 0
+		for _, v := range comp[c] {
+			clusterSize += v
+		}
+		if clusterSize > 0 {
+			out[cl].Precision = float64(tp) / float64(clusterSize)
+		}
+		out[cl].Recall = float64(tp) / float64(classTotal[cl])
+		if p, r := out[cl].Precision, out[cl].Recall; p+r > 0 {
+			out[cl].F1 = 2 * p * r / (p + r)
+		}
+	}
+	return out
+}
+
+// MacroF1 averages per-class F1 scores.
+func MacroF1(clusters [][]int, labels []int, numClasses, n int) float64 {
+	prf := PRF(clusters, labels, numClasses, n)
+	if len(prf) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range prf {
+		s += p.F1
+	}
+	return s / float64(len(prf))
+}

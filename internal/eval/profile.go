@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rock/internal/dataset"
+)
+
+// AttrValueFreq is one (attribute, value, frequency) triple of a cluster
+// characterization, as printed in the paper's Tables 7–9, e.g.
+// "(odor, none, 1)".
+type AttrValueFreq struct {
+	Attr  string
+	Value string
+	Freq  float64
+}
+
+// String renders the triple in the paper's notation.
+func (a AttrValueFreq) String() string {
+	return fmt.Sprintf("(%s,%s,%.2g)", a.Attr, a.Value, a.Freq)
+}
+
+// Profile characterizes one cluster by the frequency of each attribute value
+// among its members, keeping values whose frequency is at least minFreq.
+// Frequencies are relative to members with a non-missing value for the
+// attribute. Triples are ordered by attribute then descending frequency.
+func Profile(schema *dataset.Schema, records []dataset.Record, members []int, minFreq float64) []AttrValueFreq {
+	var out []AttrValueFreq
+	for a, attr := range schema.Attrs {
+		counts := make([]int, len(attr.Domain))
+		present := 0
+		for _, p := range members {
+			v := records[p][a]
+			if v == dataset.Missing {
+				continue
+			}
+			counts[v]++
+			present++
+		}
+		if present == 0 {
+			continue
+		}
+		type vf struct {
+			v int
+			f float64
+		}
+		var vfs []vf
+		for v, c := range counts {
+			f := float64(c) / float64(present)
+			if f >= minFreq && c > 0 {
+				vfs = append(vfs, vf{v, f})
+			}
+		}
+		sort.Slice(vfs, func(i, j int) bool {
+			if vfs[i].f != vfs[j].f {
+				return vfs[i].f > vfs[j].f
+			}
+			return vfs[i].v < vfs[j].v
+		})
+		for _, x := range vfs {
+			out = append(out, AttrValueFreq{Attr: attr.Name, Value: attr.Domain[x.v], Freq: x.f})
+		}
+	}
+	return out
+}
+
+// FormatProfile renders a profile as the paper's tables do: one triple per
+// token, a few per line.
+func FormatProfile(p []AttrValueFreq, perLine int) string {
+	if perLine <= 0 {
+		perLine = 3
+	}
+	var b strings.Builder
+	for i, t := range p {
+		if i > 0 {
+			if i%perLine == 0 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"rock/internal/birch"
+	"rock/internal/clarans"
+	"rock/internal/cure"
+	"rock/internal/datagen"
+	"rock/internal/dataset"
+	"rock/internal/dbscan"
+	"rock/internal/eval"
+	"rock/internal/hier"
+	"rock/internal/links"
+	"rock/internal/partitional"
+	"rock/internal/rockcore"
+	"rock/internal/sample"
+	"rock/internal/sim"
+)
+
+// BaselineRow is one algorithm's outcome on the shared workload.
+type BaselineRow struct {
+	Name          string
+	Clusters      int
+	Outliers      int
+	Purity        float64
+	ARI           float64
+	Misclassified int
+	Elapsed       time.Duration
+}
+
+// BaselinesResult is the head-to-head comparison of every clustering
+// algorithm in this repository on one sample of the Section 5.3 synthetic
+// market-basket workload. It extends the paper's evaluation: ROCK and the
+// traditional centroid algorithm are the paper's own comparison; the rest
+// are the Section 1-2 discussion made quantitative.
+type BaselinesResult struct {
+	SampleSize   int
+	TrueClusters int
+	Rows         []BaselineRow
+}
+
+func (r *BaselinesResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload: %d sampled transactions, %d true clusters (+outliers)\n", r.SampleSize, r.TrueClusters)
+	b.WriteString("algorithm\tclusters\toutliers\tpurity\tARI\tmisclassified\ttime\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s\t%d\t%d\t%.3f\t%.3f\t%d\t%v\n",
+			row.Name, row.Clusters, row.Outliers, row.Purity, row.ARI,
+			row.Misclassified, row.Elapsed.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// Baselines runs every algorithm on the same random sample of the synthetic
+// basket data set.
+func Baselines(seed int64, sampleSize int) (*BaselinesResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	d := datagen.Basket(datagen.DefaultBasketConfig(), rng)
+	idx := sample.Indices(len(d.Txns), sampleSize, rng)
+	txns := make([]dataset.Transaction, len(idx))
+	labels := make([]int, len(idx))
+	outlierClass := d.NumClusters()
+	for i, p := range idx {
+		txns[i] = d.Txns[p]
+		labels[i] = d.Labels[p]
+		if labels[i] < 0 {
+			labels[i] = outlierClass
+		}
+	}
+	numClasses := outlierClass + 1
+	k := d.NumClusters()
+	res := &BaselinesResult{SampleSize: len(txns), TrueClusters: k}
+
+	vecs := make([][]float64, len(txns))
+	for i, t := range txns {
+		vecs[i] = dataset.BooleanVectorTxn(t, d.NumItems)
+	}
+	jd := hier.JaccardDissim(txns)
+
+	score := func(name string, clusters [][]int, outliers int, elapsed time.Duration) {
+		mis := 0
+		{
+			assign := make([]int, len(txns))
+			for i := range assign {
+				assign[i] = -1
+			}
+			for c, members := range clusters {
+				for _, p := range members {
+					assign[p] = c
+				}
+			}
+			mis = CountMisclassified(assign, restoreOutlierLabels(labels, outlierClass), len(clusters), k)
+		}
+		res.Rows = append(res.Rows, BaselineRow{
+			Name:          name,
+			Clusters:      len(clusters),
+			Outliers:      outliers,
+			Purity:        eval.Purity(clusters, labels, numClasses),
+			ARI:           eval.AdjustedRand(clusters, labels, numClasses),
+			Misclassified: mis,
+			Elapsed:       elapsed,
+		})
+	}
+
+	// ROCK.
+	start := time.Now()
+	rres, err := rockcore.Cluster(len(txns), sim.ByIndex(txns, sim.Jaccard), rockcore.Config{
+		K: k, Theta: 0.5, MinNeighbors: 2, StopMultiple: 3, MinClusterSize: len(txns) / 100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	score("ROCK (theta=0.5)", rres.Clusters, len(rres.Outliers), time.Since(start))
+
+	// QROCK: connected components of the neighbor graph.
+	start = time.Now()
+	nb := listsFor(txns, 0.6)
+	comps := rockcore.ConnectedComponents(nb)
+	var qClusters [][]int
+	qOutliers := 0
+	for _, c := range comps {
+		if len(c) >= len(txns)/100 {
+			sort.Ints(c)
+			qClusters = append(qClusters, c)
+		} else {
+			qOutliers += len(c)
+		}
+	}
+	score("QROCK components (theta=0.6)", qClusters, qOutliers, time.Since(start))
+
+	// Traditional centroid on boolean vectors.
+	start = time.Now()
+	tres, err := hier.CentroidClusterVectors(vecs, k)
+	if err != nil {
+		return nil, err
+	}
+	score("centroid hierarchical", tres.Clusters, len(tres.Outliers), time.Since(start))
+
+	// Single link (MST), group average, complete link under Jaccard.
+	for _, m := range []hier.Method{hier.Single, hier.Average, hier.Complete} {
+		start = time.Now()
+		hres, err := hier.Agglomerate(len(txns), jd, hier.Config{Method: m, K: k})
+		if err != nil {
+			return nil, err
+		}
+		score(m.String()+" (Jaccard)", hres.Clusters, len(hres.Outliers), time.Since(start))
+	}
+
+	// k-means on boolean vectors.
+	start = time.Now()
+	km, err := partitional.KMeans(vecs, partitional.Config{K: k, Rng: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		return nil, err
+	}
+	score("k-means (boolean)", partitional.Clusters(km.Assign, k), 0, time.Since(start))
+
+	// DBSCAN under Jaccard distance.
+	start = time.Now()
+	db, err := dbscan.Cluster(len(txns), jd, dbscan.Config{Eps: 0.5, MinPts: 4})
+	if err != nil {
+		return nil, err
+	}
+	noise := 0
+	for _, a := range db.Assign {
+		if a == dbscan.Noise {
+			noise++
+		}
+	}
+	score("DBSCAN (Jaccard, eps=0.5)", db.Clusters(), noise, time.Since(start))
+
+	// CURE on boolean vectors.
+	start = time.Now()
+	cu, err := cure.Cluster(vecs, cure.Config{K: k, NumRep: 10, Shrink: 0.3})
+	if err != nil {
+		return nil, err
+	}
+	score("CURE (boolean)", cu.Clusters, 0, time.Since(start))
+
+	// BIRCH on boolean vectors (CF-tree precluster + centroid global phase).
+	start = time.Now()
+	bi, err := birch.Cluster(vecs, birch.Config{K: k, Threshold: 1.5, MaxLeafEntries: 256})
+	if err != nil {
+		return nil, err
+	}
+	score("BIRCH (boolean)", bi.Clusters, 0, time.Since(start))
+
+	// CLARANS medoid search under Jaccard.
+	start = time.Now()
+	cl, err := clarans.Cluster(len(txns), jd, clarans.Config{
+		K: k, Rng: rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	score("CLARANS (Jaccard medoids)", cl.Clusters(), 0, time.Since(start))
+
+	return res, nil
+}
+
+// restoreOutlierLabels maps the parked outlier class back to -1 for the
+// misclassification count (which excludes true outliers).
+func restoreOutlierLabels(labels []int, outlierClass int) []int {
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		if l == outlierClass {
+			out[i] = -1
+		} else {
+			out[i] = l
+		}
+	}
+	return out
+}
+
+// listsFor computes neighbor lists for the QROCK row.
+func listsFor(txns []dataset.Transaction, theta float64) [][]int32 {
+	nb := links.ComputeNeighbors(len(txns), sim.ByIndex(txns, sim.Jaccard), links.Config{Theta: theta})
+	return nb.Lists
+}

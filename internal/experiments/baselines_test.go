@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBaselinesShape runs the head-to-head comparison and asserts the
+// paper's qualitative ordering: ROCK (and its QROCK simplification) beat
+// every distance-based baseline on the overlapping-cluster basket workload,
+// and single-link — "known to be fragile when clusters are not
+// well-separated" — is among the worst.
+func TestBaselinesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine algorithms over a 1000-transaction sample")
+	}
+	r, err := Baselines(DefaultSeed, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]BaselineRow)
+	for _, row := range r.Rows {
+		byName[row.Name] = row
+	}
+	rock := byName["ROCK (theta=0.5)"]
+	if rock.Purity < 0.99 {
+		t.Errorf("ROCK purity = %.3f", rock.Purity)
+	}
+	if rock.Clusters != r.TrueClusters {
+		t.Errorf("ROCK clusters = %d, want %d", rock.Clusters, r.TrueClusters)
+	}
+	qrock := byName["QROCK components (theta=0.6)"]
+	if qrock.Purity < 0.99 {
+		t.Errorf("QROCK purity = %.3f", qrock.Purity)
+	}
+	single := byName["single-link (MST) (Jaccard)"]
+	if single.Purity > 0.5 {
+		t.Errorf("single-link purity = %.3f; the paper expects fragility here", single.Purity)
+	}
+	for _, row := range r.Rows {
+		if row.Name == rock.Name {
+			continue
+		}
+		// On this well-separated workload the neighbor-graph methods
+		// (QROCK, DBSCAN) and the medoid search also succeed; everything
+		// distance-centroid-based must not beat ROCK.
+		switch row.Name {
+		case "QROCK components (theta=0.6)", "DBSCAN (Jaccard, eps=0.5)", "CLARANS (Jaccard medoids)":
+			continue
+		}
+		if row.Misclassified < rock.Misclassified {
+			t.Errorf("%s misclassified %d < ROCK's %d", row.Name, row.Misclassified, rock.Misclassified)
+		}
+	}
+}
+
+// TestOverlapSweepShape asserts the robustness thesis: through moderate
+// overlap (up to 60% shared defining items) ROCK stays essentially perfect
+// while k-means degrades monotonically.
+func TestOverlapSweepShape(t *testing.T) {
+	r, err := OverlapSweep(DefaultSeed, []float64{0.2, 0.4, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevKM := 2.0
+	for _, p := range r.Points {
+		if p.ROCKARI < 0.99 {
+			t.Errorf("shared=%.1f: ROCK ARI %.3f, want ~1", p.SharedFrac, p.ROCKARI)
+		}
+		if p.KMeansARI >= p.ROCKARI {
+			t.Errorf("shared=%.1f: k-means ARI %.3f not below ROCK %.3f", p.SharedFrac, p.KMeansARI, p.ROCKARI)
+		}
+		if p.KMeansARI > prevKM+0.05 {
+			t.Errorf("k-means ARI rose with overlap: %.3f after %.3f", p.KMeansARI, prevKM)
+		}
+		prevKM = p.KMeansARI
+	}
+}
+
+// TestFundsCorrShape verifies that an externally supplied time-series
+// similarity (the [ALSS95]-style return correlation) drives ROCK to the
+// same structure as the paper's Up/Down/No discretization.
+func TestFundsCorrShape(t *testing.T) {
+	r, err := FundsCorr(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PureBig < r.BigClusters-2 {
+		t.Errorf("pure big clusters = %d of %d", r.PureBig, r.BigClusters)
+	}
+	if r.AgreementWithDiscretized < 0.97 {
+		t.Errorf("agreement with discretized clustering = %.3f", r.AgreementWithDiscretized)
+	}
+	if r.Clusters < 16 {
+		t.Errorf("clusters = %d, want at least the 16 named groups", r.Clusters)
+	}
+}
+
+// TestQuadraticFit checks the Figure 5 shape helper on synthetic timings.
+func TestQuadraticFit(t *testing.T) {
+	pts := []Figure5Point{
+		{SampleSize: 1000, Elapsed: 100 * time.Millisecond},
+		{SampleSize: 2000, Elapsed: 400 * time.Millisecond},
+		{SampleSize: 3000, Elapsed: 900 * time.Millisecond},
+	}
+	for i, r := range QuadraticFit(pts) {
+		if math.Abs(r-1) > 1e-9 {
+			t.Fatalf("ratio[%d] = %v, want 1 for perfectly quadratic data", i, r)
+		}
+	}
+	if QuadraticFit(nil) != nil {
+		t.Fatal("empty input should give nil")
+	}
+	// Superquadratic data gives ratios above 1.
+	pts[2].Elapsed = 2 * time.Second
+	rs := QuadraticFit(pts)
+	if rs[2] <= 1 {
+		t.Fatalf("superquadratic ratio = %v", rs[2])
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rock/internal/datagen"
+	"rock/internal/dataset"
+	"rock/internal/eval"
+	"rock/internal/partitional"
+	"rock/internal/rockcore"
+	"rock/internal/sim"
+)
+
+// OverlapPoint is one measurement of the overlap sweep.
+type OverlapPoint struct {
+	SharedFrac float64
+	ROCKARI    float64
+	KMeansARI  float64
+}
+
+// OverlapResult quantifies the paper's central thesis beyond its own
+// evaluation: as the fraction of defining items shared between clusters
+// grows, distance/criterion-based methods degrade while links keep
+// identifying the clusters. (Figure 1's example is the extreme of this
+// spectrum.)
+type OverlapResult struct {
+	Points []OverlapPoint
+}
+
+func (r *OverlapResult) String() string {
+	var b strings.Builder
+	b.WriteString("shared-item fraction\tROCK ARI\tk-means ARI\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%.1f\t%.3f\t%.3f\n", p.SharedFrac, p.ROCKARI, p.KMeansARI)
+	}
+	return b.String()
+}
+
+// OverlapSweep generates basket workloads with increasing cluster overlap
+// and measures ROCK vs k-means by adjusted Rand index.
+func OverlapSweep(seed int64, fracs []float64) (*OverlapResult, error) {
+	res := &OverlapResult{}
+	for _, frac := range fracs {
+		cfg := datagen.ScaledBasketConfig(100)
+		cfg.SharedFrac = frac
+		rng := rand.New(rand.NewSource(seed))
+		d := datagen.Basket(cfg, rng)
+
+		labels := make([]int, len(d.Labels))
+		outClass := d.NumClusters()
+		for i, l := range d.Labels {
+			if l < 0 {
+				labels[i] = outClass
+			} else {
+				labels[i] = l
+			}
+		}
+		numClasses := outClass + 1
+
+		rres, err := rockcore.Cluster(len(d.Txns), sim.ByIndex(d.Txns, sim.Jaccard), rockcore.Config{
+			K: d.NumClusters(), Theta: 0.5,
+			MinNeighbors: 2, StopMultiple: 3, MinClusterSize: len(d.Txns) / 100,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		vecs := make([][]float64, len(d.Txns))
+		for i, t := range d.Txns {
+			vecs[i] = dataset.BooleanVectorTxn(t, d.NumItems)
+		}
+		km, err := partitional.KMeans(vecs, partitional.Config{
+			K: d.NumClusters(), Rng: rand.New(rand.NewSource(seed)),
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		res.Points = append(res.Points, OverlapPoint{
+			SharedFrac: frac,
+			ROCKARI:    eval.AdjustedRand(rres.Clusters, labels, numClasses),
+			KMeansARI:  eval.AdjustedRand(partitional.Clusters(km.Assign, d.NumClusters()), labels, numClasses),
+		})
+	}
+	return res, nil
+}
+
+// DefaultOverlapFracs is the sweep used by the harness.
+var DefaultOverlapFracs = []float64{0.2, 0.4, 0.6, 0.8}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rock/internal/datagen"
+	"rock/internal/dataset"
+	"rock/internal/eval"
+	"rock/internal/rockcore"
+	"rock/internal/sim"
+)
+
+// ClusterProfile is the characterization of one cluster, in the style of
+// the paper's Tables 7-9: the frequent (attribute, value, frequency)
+// triples of its members.
+type ClusterProfile struct {
+	Title   string
+	Size    int
+	Triples []eval.AttrValueFreq
+}
+
+func (p *ClusterProfile) String() string {
+	return fmt.Sprintf("%s (size %d)\n%s\n", p.Title, p.Size, eval.FormatProfile(p.Triples, 3))
+}
+
+// Table7Result holds the frequent attribute values of the two vote clusters.
+type Table7Result struct {
+	Profiles []ClusterProfile
+	// DifferingMajorities counts contested issues on which the two
+	// clusters' majority votes differ — the paper found 12 of 13.
+	DifferingMajorities, Contested int
+}
+
+func (r *Table7Result) String() string {
+	var b strings.Builder
+	for i := range r.Profiles {
+		b.WriteString(r.Profiles[i].String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "majorities differ on %d of %d contested issues\n", r.DifferingMajorities, r.Contested)
+	return b.String()
+}
+
+// Table7 re-runs the Table 2 ROCK clustering of the votes data and profiles
+// the two clusters (paper Table 7), reporting values with frequency >= 0.5.
+func Table7(seed int64) (*Table7Result, error) {
+	vd := datagen.Votes(datagen.DefaultVotesConfig(), rand.New(rand.NewSource(seed)))
+	enc := dataset.NewEncoder(vd.Schema)
+	txns := enc.EncodeAll(vd.Records)
+	res, err := rockcore.Cluster(len(txns), sim.ByIndex(txns, sim.Jaccard), VotesROCKConfig)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table7Result{}
+	for ci, members := range res.Clusters {
+		// Name the cluster by its majority party.
+		rep := 0
+		for _, p := range members {
+			if vd.Labels[p] == datagen.Republican {
+				rep++
+			}
+		}
+		name := "Democrats"
+		if rep*2 > len(members) {
+			name = "Republicans"
+		}
+		out.Profiles = append(out.Profiles, ClusterProfile{
+			Title:   fmt.Sprintf("Cluster %d (%s)", ci+1, name),
+			Size:    len(members),
+			Triples: eval.Profile(vd.Schema, vd.Records, members, 0.5),
+		})
+	}
+	if len(res.Clusters) == 2 {
+		out.DifferingMajorities, out.Contested = majorityDiff(vd.Schema, vd.Records, res.Clusters[0], res.Clusters[1])
+	}
+	return out, nil
+}
+
+// majorityDiff counts attributes on which the two member sets' majority
+// values differ; contested is the number of attributes where at least one
+// cluster has a clear (>50%) majority in both.
+func majorityDiff(schema *dataset.Schema, records []dataset.Record, a, b []int) (differ, contested int) {
+	majority := func(members []int, attr int) int {
+		counts := make(map[int]int)
+		for _, p := range members {
+			if v := records[p][attr]; v != dataset.Missing {
+				counts[v]++
+			}
+		}
+		best, bestN := -1, 0
+		for v, n := range counts {
+			if n > bestN {
+				best, bestN = v, n
+			}
+		}
+		return best
+	}
+	for attr := range schema.Attrs {
+		ma, mb := majority(a, attr), majority(b, attr)
+		if ma < 0 || mb < 0 {
+			continue
+		}
+		contested++
+		if ma != mb {
+			differ++
+		}
+	}
+	return differ, contested
+}
+
+// Table89Result holds the characteristics of the largest edible (Table 8)
+// and poisonous (Table 9) mushroom clusters found by ROCK.
+type Table89Result struct {
+	Edible    []ClusterProfile
+	Poisonous []ClusterProfile
+}
+
+func (r *Table89Result) String() string {
+	var b strings.Builder
+	b.WriteString("== Table 8: large edible clusters ==\n")
+	for i := range r.Edible {
+		b.WriteString(r.Edible[i].String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("== Table 9: large poisonous clusters ==\n")
+	for i := range r.Poisonous {
+		b.WriteString(r.Poisonous[i].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table89 re-runs the Table 3 ROCK clustering of the mushroom data and
+// profiles the largest clusters of each class (paper Tables 8 and 9; the
+// paper shows five, we report up to three per class for brevity), keeping
+// values with frequency >= 0.1 as the paper's tables do.
+func Table89(seed int64) (*Table89Result, error) {
+	md := datagen.Mushroom(datagen.DefaultMushroomConfig(), rand.New(rand.NewSource(seed)))
+	enc := dataset.NewEncoder(md.Schema)
+	txns := enc.EncodeAll(md.Records)
+	res, err := rockcore.Cluster(len(txns), sim.ByIndex(txns, sim.Jaccard), MushroomROCKConfig)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table89Result{}
+	for ci, members := range res.Clusters {
+		e := 0
+		for _, p := range members {
+			if md.Labels[p] == datagen.Edible {
+				e++
+			}
+		}
+		profile := ClusterProfile{
+			Title:   fmt.Sprintf("Cluster %d", ci+1),
+			Size:    len(members),
+			Triples: eval.Profile(md.Schema, md.Records, members, 0.1),
+		}
+		switch {
+		case e == len(members) && len(out.Edible) < 3:
+			out.Edible = append(out.Edible, profile)
+		case e == 0 && len(out.Poisonous) < 3:
+			out.Poisonous = append(out.Poisonous, profile)
+		}
+	}
+	return out, nil
+}

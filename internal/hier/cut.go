@@ -1,0 +1,58 @@
+package hier
+
+import "sort"
+
+// CutAt re-derives the clustering obtained by stopping the agglomeration at
+// the first merge whose dissimilarity exceeds threshold — the standard
+// "cut the dendrogram at height h" operation. It needs the result of a run
+// to K=1 (or any run whose merge history covers the cut).
+//
+// The returned clusters partition exactly the points that appear in the
+// run's clusters and merge history; outliers dropped by the singleton rule
+// stay out.
+func (r *Result) CutAt(threshold float64) [][]int {
+	// Union-find over the merge prefix below the threshold.
+	parent := make(map[int]int)
+	var find func(x int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, m := range r.Merges {
+		if m.Dist > threshold {
+			break
+		}
+		union(m.A, m.B)
+	}
+	// Collect every point covered by the run.
+	groups := make(map[int][]int)
+	for _, c := range r.Clusters {
+		for _, p := range c {
+			groups[find(p)] = append(groups[find(p)], p)
+		}
+	}
+	out := make([][]int, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

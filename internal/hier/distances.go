@@ -1,0 +1,46 @@
+package hier
+
+import (
+	"rock/internal/dataset"
+)
+
+// EuclideanSquared returns a DistFunc over dense vectors computing squared
+// Euclidean distance — the form the Centroid method requires. The paper's
+// traditional baseline converts categorical attributes to boolean 0/1
+// vectors and uses Euclidean distance between centroids (Section 5).
+func EuclideanSquared(vecs [][]float64) DistFunc {
+	return func(i, j int) float64 {
+		a, b := vecs[i], vecs[j]
+		var s float64
+		for k := range a {
+			d := a[k] - b[k]
+			s += d * d
+		}
+		return s
+	}
+}
+
+// JaccardDissim returns a DistFunc over transactions computing 1 - Jaccard,
+// the dissimilarity under which the paper discusses MST and group-average
+// clustering (Section 1.1).
+func JaccardDissim(txns []dataset.Transaction) DistFunc {
+	return func(i, j int) float64 {
+		inter := txns[i].IntersectLen(txns[j])
+		union := len(txns[i]) + len(txns[j]) - inter
+		if union == 0 {
+			return 1
+		}
+		return 1 - float64(inter)/float64(union)
+	}
+}
+
+// CentroidClusterVectors runs the paper's traditional baseline end to end:
+// boolean-encoded records, squared-Euclidean centroid agglomeration, and the
+// singleton-dropping outlier rule.
+func CentroidClusterVectors(vecs [][]float64, k int) (*Result, error) {
+	return Agglomerate(len(vecs), EuclideanSquared(vecs), Config{
+		Method:         Centroid,
+		K:              k,
+		DropSingletons: true,
+	})
+}

@@ -1,0 +1,333 @@
+// Package hier implements the traditional hierarchical clustering algorithms
+// that the ROCK paper compares against and discusses (Sections 1.1 and 5):
+// the centroid-based agglomerative algorithm run on boolean-encoded
+// categorical data with Euclidean distance, the minimum-spanning-tree
+// (single-link) algorithm, group-average clustering, and complete link. All
+// are expressed through Lance–Williams dissimilarity updates over a shared
+// agglomeration engine.
+//
+// The engine also reproduces the paper's outlier handling for the
+// traditional algorithm: "eliminating clusters with only one point when the
+// number of clusters reduces to 1/3 of the original number".
+package hier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Method selects the cluster-distance update rule.
+type Method int
+
+const (
+	// Single is minimum-spanning-tree clustering: the distance between two
+	// clusters is the distance between their closest pair of points.
+	Single Method = iota
+	// Complete uses the farthest pair of points.
+	Complete
+	// Average is group average: the unweighted mean of all inter-cluster
+	// point-pair dissimilarities (UPGMA).
+	Average
+	// Centroid merges the clusters whose centroids are closest. The input
+	// dissimilarities must be SQUARED Euclidean distances for the
+	// Lance–Williams centroid update to be exact.
+	Centroid
+	// Ward minimizes the within-cluster variance increase. Input must be
+	// squared Euclidean distances.
+	Ward
+	// Median (Gower's method) uses the midpoint of the merged clusters'
+	// centers. Input must be squared Euclidean distances.
+	Median
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Single:
+		return "single-link (MST)"
+	case Complete:
+		return "complete-link"
+	case Average:
+		return "group-average"
+	case Centroid:
+		return "centroid"
+	case Ward:
+		return "Ward"
+	case Median:
+		return "median"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// DistFunc returns the initial dissimilarity between points i and j. It must
+// be symmetric and non-negative.
+type DistFunc func(i, j int) float64
+
+// Config controls an agglomeration run.
+type Config struct {
+	Method Method
+	// K is the number of clusters to stop at.
+	K int
+	// DropSingletons enables the paper's traditional-algorithm outlier
+	// rule: when the live cluster count first reaches 1/3 of the original
+	// point count, singleton clusters are discarded as outliers.
+	DropSingletons bool
+}
+
+// Merge records one agglomeration step for dendrogram consumers.
+type Merge struct {
+	// A and B are the cluster representatives merged at this step (point
+	// indices of the clusters' canonical members).
+	A, B int
+	// Dist is the inter-cluster dissimilarity at merge time.
+	Dist float64
+	// Size is the size of the merged cluster.
+	Size int
+}
+
+// Result is the outcome of a hierarchical clustering run.
+type Result struct {
+	// Clusters holds sorted member indices, ordered by decreasing size.
+	Clusters [][]int
+	// Outliers are singleton clusters dropped by the outlier rule.
+	Outliers []int
+	// Merges is the agglomeration history in order.
+	Merges []Merge
+}
+
+// Agglomerate clusters n points under the given initial dissimilarities.
+// It materializes the full triangular dissimilarity matrix (float32, as the
+// paper's n² memory model does) and therefore targets sampled inputs.
+func Agglomerate(n int, dist DistFunc, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		return nil, errors.New("hier: K must be positive")
+	}
+	if n == 0 {
+		return &Result{}, nil
+	}
+	e := &engine{
+		n:       n,
+		cfg:     cfg,
+		d:       make([]float32, n*(n-1)/2),
+		active:  make([]bool, n),
+		size:    make([]int, n),
+		members: make([][]int, n),
+		nn:      make([]int, n),
+		nnd:     make([]float32, n),
+	}
+	for i := 0; i < n; i++ {
+		e.active[i] = true
+		e.size[i] = 1
+		e.members[i] = []int{i}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := dist(i, j)
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("hier: invalid dissimilarity %v between %d and %d", v, i, j)
+			}
+			e.d[e.idx(i, j)] = float32(v)
+		}
+	}
+	e.run()
+	return e.result(), nil
+}
+
+type engine struct {
+	n       int
+	cfg     Config
+	d       []float32 // triangular dissimilarity matrix
+	active  []bool
+	size    []int
+	members [][]int
+	nn      []int     // nearest active cluster
+	nnd     []float32 // distance to it
+	merges  []Merge
+	outlier []int
+	live    int
+}
+
+func (e *engine) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return i*e.n - i*(i+1)/2 + (j - i - 1)
+}
+
+func (e *engine) dist(i, j int) float32 { return e.d[e.idx(i, j)] }
+
+const inf32 = float32(math.MaxFloat32)
+
+// refreshNN recomputes the nearest neighbor of cluster i by scanning all
+// active clusters.
+func (e *engine) refreshNN(i int) {
+	e.nn[i] = -1
+	e.nnd[i] = inf32
+	for j := 0; j < e.n; j++ {
+		if j == i || !e.active[j] {
+			continue
+		}
+		if v := e.dist(i, j); v < e.nnd[i] || (v == e.nnd[i] && j < e.nn[i]) {
+			e.nn[i] = j
+			e.nnd[i] = v
+		}
+	}
+}
+
+func (e *engine) run() {
+	e.live = e.n
+	for i := 0; i < e.n; i++ {
+		e.refreshNN(i)
+	}
+	dropAt := 0
+	if e.cfg.DropSingletons {
+		dropAt = e.n / 3
+		if dropAt < e.cfg.K {
+			dropAt = e.cfg.K
+		}
+	}
+	for e.live > e.cfg.K {
+		if dropAt > 0 && e.live <= dropAt {
+			e.dropSingletons()
+			dropAt = 0
+			continue
+		}
+		i := e.closestPair()
+		if i < 0 {
+			break
+		}
+		e.merge(i, e.nn[i])
+	}
+}
+
+// closestPair returns the active cluster whose nearest-neighbor distance is
+// globally minimal (ties toward the lower index).
+func (e *engine) closestPair() int {
+	best := -1
+	bestD := inf32
+	for i := 0; i < e.n; i++ {
+		if !e.active[i] || e.nn[i] < 0 {
+			continue
+		}
+		if e.nnd[i] < bestD {
+			best = i
+			bestD = e.nnd[i]
+		}
+	}
+	return best
+}
+
+// merge folds cluster j into cluster i and applies the Lance–Williams update
+// for the configured method to every other active cluster.
+func (e *engine) merge(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	ni, nj := float64(e.size[i]), float64(e.size[j])
+	dij := float64(e.dist(i, j))
+	e.merges = append(e.merges, Merge{A: i, B: j, Dist: dij, Size: e.size[i] + e.size[j]})
+
+	for x := 0; x < e.n; x++ {
+		if x == i || x == j || !e.active[x] {
+			continue
+		}
+		dxi, dxj := float64(e.dist(x, i)), float64(e.dist(x, j))
+		var v float64
+		switch e.cfg.Method {
+		case Single:
+			v = math.Min(dxi, dxj)
+		case Complete:
+			v = math.Max(dxi, dxj)
+		case Average:
+			v = (ni*dxi + nj*dxj) / (ni + nj)
+		case Centroid:
+			s := ni + nj
+			v = (ni/s)*dxi + (nj/s)*dxj - (ni*nj/(s*s))*dij
+		case Ward:
+			nx := float64(e.size[x])
+			s := ni + nj + nx
+			v = ((ni+nx)*dxi + (nj+nx)*dxj - nx*dij) / s
+		case Median:
+			v = dxi/2 + dxj/2 - dij/4
+		}
+		e.d[e.idx(x, i)] = float32(v)
+	}
+	e.active[j] = false
+	e.size[i] += e.size[j]
+	e.members[i] = append(e.members[i], e.members[j]...)
+	e.members[j] = nil
+	e.live--
+
+	// Repair nearest-neighbor caches. Clusters pointing at i or j must be
+	// rescanned; every other cluster x may have moved closer to the merged
+	// cluster (centroid distances can shrink — the method is not
+	// reducible), so compare against the fresh d(x, i) too.
+	e.refreshNN(i)
+	for x := 0; x < e.n; x++ {
+		if !e.active[x] || x == i {
+			continue
+		}
+		if e.nn[x] == i || e.nn[x] == j {
+			e.refreshNN(x)
+		} else if v := e.dist(x, i); v < e.nnd[x] {
+			e.nn[x] = i
+			e.nnd[x] = v
+		}
+	}
+}
+
+// dropSingletons implements the traditional algorithm's outlier rule.
+func (e *engine) dropSingletons() {
+	var dropped []int
+	for i := 0; i < e.n; i++ {
+		if e.active[i] && e.size[i] == 1 {
+			dropped = append(dropped, i)
+		}
+	}
+	// Keep at least K clusters alive.
+	if e.live-len(dropped) < e.cfg.K {
+		dropped = dropped[:e.live-e.cfg.K]
+	}
+	for _, i := range dropped {
+		e.active[i] = false
+		e.outlier = append(e.outlier, e.members[i]...)
+		e.members[i] = nil
+		e.live--
+	}
+	for i := 0; i < e.n; i++ {
+		if !e.active[i] {
+			continue
+		}
+		for _, dj := range dropped {
+			if e.nn[i] == dj {
+				e.refreshNN(i)
+				break
+			}
+		}
+	}
+}
+
+func (e *engine) result() *Result {
+	res := &Result{Outliers: e.outlier}
+	sort.Ints(res.Outliers)
+	for i := 0; i < e.n; i++ {
+		if !e.active[i] {
+			continue
+		}
+		m := append([]int(nil), e.members[i]...)
+		sort.Ints(m)
+		res.Clusters = append(res.Clusters, m)
+	}
+	sort.Slice(res.Clusters, func(a, b int) bool {
+		x, y := res.Clusters[a], res.Clusters[b]
+		if len(x) != len(y) {
+			return len(x) > len(y)
+		}
+		return x[0] < y[0]
+	})
+	res.Merges = e.merges
+	return res
+}

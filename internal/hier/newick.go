@@ -1,0 +1,62 @@
+package hier
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Newick renders the agglomeration history as a Newick tree string, the
+// interchange format phylogenetic and clustering tools consume. Leaf names
+// are point indices (or names[i] when names is non-nil); branch lengths are
+// the merge dissimilarities. Clusters never merged (the run stopped at K>1,
+// or outliers were dropped) appear as children of an artificial root with
+// branch length 0.
+func (r *Result) Newick(names []string) string {
+	name := func(p int) string {
+		if names != nil {
+			return names[p]
+		}
+		return fmt.Sprintf("p%d", p)
+	}
+	// Rebuild subtree strings bottom-up: each cluster representative's
+	// current subtree.
+	sub := make(map[int]string)
+	have := make(map[int]bool)
+	for _, m := range r.Merges {
+		a, ok := sub[m.A]
+		if !ok {
+			a = name(m.A)
+		}
+		b, ok := sub[m.B]
+		if !ok {
+			b = name(m.B)
+		}
+		sub[m.A] = fmt.Sprintf("(%s:%g,%s:%g)", a, m.Dist/2, b, m.Dist/2)
+		delete(sub, m.B)
+		have[m.A] = true
+	}
+	// Roots: one subtree per final cluster (plus never-merged singletons).
+	var roots []string
+	seen := make(map[int]bool)
+	for _, c := range r.Clusters {
+		rep := c[0]
+		// The representative of a cluster is its smallest member only if
+		// that member led the merges; find whichever member has a subtree.
+		found := ""
+		for _, p := range c {
+			if s, ok := sub[p]; ok {
+				found = s
+				seen[p] = true
+				break
+			}
+		}
+		if found == "" {
+			found = name(rep)
+		}
+		roots = append(roots, found)
+	}
+	if len(roots) == 1 {
+		return roots[0] + ";"
+	}
+	return "(" + strings.Join(roots, ":0,") + ":0);"
+}

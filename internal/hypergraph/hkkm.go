@@ -1,0 +1,108 @@
+package hypergraph
+
+import (
+	"math/rand"
+
+	"rock/internal/apriori"
+	"rock/internal/dataset"
+)
+
+// ItemClusteringConfig controls the [HKKM97] pipeline.
+type ItemClusteringConfig struct {
+	// MinSupport is the absolute support threshold for frequent itemsets.
+	MinSupport int
+	// MaxLen bounds frequent-itemset (hyperedge) size; zero means
+	// unbounded. Dense transaction data needs a cap — itemset counts grow
+	// combinatorially with size while long hyperedges add little
+	// partitioning signal.
+	MaxLen int
+	// K is the number of item clusters.
+	K int
+	// Imbalance is passed to the partitioner; [HKKM97]-style results need
+	// generous imbalance (the paper's Section 2 example splits off the
+	// single item 7).
+	Imbalance float64
+	// Rng seeds the partitioner; required.
+	Rng *rand.Rand
+}
+
+// ItemClustering is the result of the [HKKM97] pipeline.
+type ItemClustering struct {
+	// NumItems is the size of the item universe (max item id + 1).
+	NumItems int
+	// ItemPart maps every item to its cluster (items never seen in a
+	// frequent itemset are assigned round-robin to keep the partition
+	// total).
+	ItemPart []int
+	// Clusters lists the items of each cluster.
+	Clusters []dataset.Transaction
+}
+
+// ClusterItems mines frequent itemsets, builds the weighted association-rule
+// hypergraph (edge weight = average rule confidence) and partitions the
+// items.
+func ClusterItems(txns []dataset.Transaction, cfg ItemClusteringConfig) (*ItemClustering, error) {
+	numItems := 0
+	for _, t := range txns {
+		for _, it := range t {
+			if int(it) >= numItems {
+				numItems = int(it) + 1
+			}
+		}
+	}
+	fs := apriori.Mine(txns, apriori.Config{MinSupport: cfg.MinSupport, MaxLen: cfg.MaxLen})
+	idx := apriori.NewSupportIndex(fs)
+
+	h := New(numItems)
+	for _, f := range fs {
+		if len(f.Items) < 2 {
+			continue
+		}
+		verts := make([]int, len(f.Items))
+		for i, it := range f.Items {
+			verts[i] = int(it)
+		}
+		h.AddEdge(apriori.AvgRuleConfidence(f.Items, idx), verts...)
+	}
+
+	part, err := Partition(h, PartitionConfig{K: cfg.K, Imbalance: cfg.Imbalance, Rng: cfg.Rng})
+	if err != nil {
+		return nil, err
+	}
+	out := &ItemClustering{NumItems: numItems, ItemPart: part}
+	out.Clusters = make([]dataset.Transaction, cfg.K)
+	for it, p := range part {
+		out.Clusters[p] = append(out.Clusters[p], dataset.Item(it))
+	}
+	for p := range out.Clusters {
+		out.Clusters[p].Normalize()
+	}
+	return out, nil
+}
+
+// AssignTransaction scores a transaction against every item cluster with
+// the [HKKM97] metric |T ∩ C_i| / |C_i| and returns the best cluster
+// (ties toward the lower index). A transaction hitting no cluster returns
+// -1.
+func (ic *ItemClustering) AssignTransaction(t dataset.Transaction) int {
+	best, bestScore := -1, 0.0
+	for i, c := range ic.Clusters {
+		if len(c) == 0 {
+			continue
+		}
+		score := float64(t.IntersectLen(c)) / float64(len(c))
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// AssignAll assigns every transaction.
+func (ic *ItemClustering) AssignAll(txns []dataset.Transaction) []int {
+	out := make([]int, len(txns))
+	for i, t := range txns {
+		out[i] = ic.AssignTransaction(t)
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+// Package hypergraph implements a weighted hypergraph and a
+// Fiduccia–Mattheyses-style min-cut partitioner. Together with package
+// apriori it reproduces the association-rule hypergraph clustering baseline
+// of [HKKM97] that Section 2 of the ROCK paper analyses: frequent itemsets
+// become weighted hyperedges over the items, the items are partitioned to
+// minimize cut weight, and transactions are scored against the item
+// clusters.
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Edge is a weighted hyperedge over vertex indices.
+type Edge struct {
+	Verts  []int
+	Weight float64
+}
+
+// Hypergraph is a weighted hypergraph over n vertices.
+type Hypergraph struct {
+	N     int
+	Edges []Edge
+}
+
+// New returns an empty hypergraph over n vertices.
+func New(n int) *Hypergraph { return &Hypergraph{N: n} }
+
+// AddEdge appends a hyperedge.
+func (h *Hypergraph) AddEdge(weight float64, verts ...int) {
+	for _, v := range verts {
+		if v < 0 || v >= h.N {
+			panic(fmt.Sprintf("hypergraph: vertex %d out of range [0,%d)", v, h.N))
+		}
+	}
+	h.Edges = append(h.Edges, Edge{Verts: append([]int(nil), verts...), Weight: weight})
+}
+
+// CutWeight returns the total weight of hyperedges spanning more than one
+// part under the given assignment.
+func (h *Hypergraph) CutWeight(part []int) float64 {
+	var cut float64
+	for _, e := range h.Edges {
+		if len(e.Verts) == 0 {
+			continue
+		}
+		p0 := part[e.Verts[0]]
+		for _, v := range e.Verts[1:] {
+			if part[v] != p0 {
+				cut += e.Weight
+				break
+			}
+		}
+	}
+	return cut
+}
+
+// PartitionConfig controls the recursive-bisection partitioner.
+type PartitionConfig struct {
+	// K is the number of parts.
+	K int
+	// Imbalance is the allowed deviation from perfect balance per
+	// bisection, as a fraction (0.5 lets one side take up to 75%); the
+	// [HKKM97] pipeline needs generous imbalance so small item clusters
+	// like {7} can split off.
+	Imbalance float64
+	// Passes bounds FM refinement passes per bisection. Zero means 8.
+	Passes int
+	// Rng seeds the initial bisection; required.
+	Rng *rand.Rand
+}
+
+// Partition splits the vertices into K parts by recursive bisection with FM
+// refinement, returning the part index per vertex.
+func Partition(h *Hypergraph, cfg PartitionConfig) ([]int, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("hypergraph: K = %d", cfg.K)
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("hypergraph: Rng is required")
+	}
+	if cfg.Passes == 0 {
+		cfg.Passes = 8
+	}
+	part := make([]int, h.N)
+	verts := make([]int, h.N)
+	for i := range verts {
+		verts[i] = i
+	}
+	nextID := 0
+	var recurse func(verts []int, k int)
+	recurse = func(verts []int, k int) {
+		if k <= 1 || len(verts) <= 1 {
+			id := nextID
+			nextID++
+			for _, v := range verts {
+				part[v] = id
+			}
+			return
+		}
+		kl := k / 2
+		kr := k - kl
+		left, right := h.bisect(verts, float64(kl)/float64(k), cfg)
+		recurse(left, kl)
+		recurse(right, kr)
+	}
+	recurse(verts, cfg.K)
+	return part, nil
+}
+
+// bisect splits verts into two sides with target left fraction frac,
+// minimizing the cut of the induced sub-hypergraph via FM passes.
+func (h *Hypergraph) bisect(verts []int, frac float64, cfg PartitionConfig) (left, right []int) {
+	in := make(map[int]bool, len(verts))
+	for _, v := range verts {
+		in[v] = true
+	}
+	// Induced edges: restrict to vertices in this subproblem.
+	var edges []Edge
+	for _, e := range h.Edges {
+		var vs []int
+		for _, v := range e.Verts {
+			if in[v] {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) >= 2 {
+			edges = append(edges, Edge{Verts: vs, Weight: e.Weight})
+		}
+	}
+
+	side := make(map[int]int, len(verts)) // 0 = left, 1 = right
+	target := int(frac * float64(len(verts)))
+	if target < 1 {
+		target = 1
+	}
+	perm := cfg.Rng.Perm(len(verts))
+	for i, pi := range perm {
+		v := verts[pi]
+		if i < target {
+			side[v] = 0
+		} else {
+			side[v] = 1
+		}
+	}
+	sizes := [2]int{target, len(verts) - target}
+	lo := int(float64(target) * (1 - cfg.Imbalance))
+	hi := int(float64(target)*(1+cfg.Imbalance)) + 1
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > len(verts)-1 {
+		hi = len(verts) - 1
+	}
+
+	cut := func() float64 {
+		var c float64
+		for _, e := range edges {
+			s0 := side[e.Verts[0]]
+			for _, v := range e.Verts[1:] {
+				if side[v] != s0 {
+					c += e.Weight
+					break
+				}
+			}
+		}
+		return c
+	}
+
+	// FM passes: greedily move the vertex with the best cut gain, locking
+	// moved vertices; keep the best prefix of each pass.
+	for pass := 0; pass < cfg.Passes; pass++ {
+		locked := make(map[int]bool, len(verts))
+		type move struct {
+			v    int
+			gain float64
+		}
+		var seq []move
+		base := cut()
+		cur := base
+		for moved := 0; moved < len(verts); moved++ {
+			bestV, bestGain := -1, 0.0
+			for _, v := range verts {
+				if locked[v] {
+					continue
+				}
+				// Balance: the left side must stay within [lo, hi].
+				from := side[v]
+				if from == 0 && sizes[0]-1 < lo {
+					continue
+				}
+				if from == 1 && sizes[0]+1 > hi {
+					continue
+				}
+				g := h.moveGain(edges, side, v)
+				if bestV < 0 || g > bestGain {
+					bestV, bestGain = v, g
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+			from := side[bestV]
+			side[bestV] = 1 - from
+			sizes[from]--
+			sizes[1-from]++
+			locked[bestV] = true
+			cur -= bestGain
+			seq = append(seq, move{bestV, bestGain})
+		}
+		// Find the best prefix.
+		best, bestAt := base, -1
+		acc := base
+		for i, m := range seq {
+			acc -= m.gain
+			if acc < best {
+				best, bestAt = acc, i
+			}
+		}
+		// Roll back moves after the best prefix.
+		for i := len(seq) - 1; i > bestAt; i-- {
+			v := seq[i].v
+			from := side[v]
+			side[v] = 1 - from
+			sizes[from]--
+			sizes[1-from]++
+		}
+		if bestAt < 0 {
+			break // no improving prefix; converged
+		}
+	}
+
+	for _, v := range verts {
+		if side[v] == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	sort.Ints(left)
+	sort.Ints(right)
+	return left, right
+}
+
+// moveGain is the cut-weight reduction from flipping vertex v's side.
+func (h *Hypergraph) moveGain(edges []Edge, side map[int]int, v int) float64 {
+	var gain float64
+	for _, e := range edges {
+		touches := false
+		for _, u := range e.Verts {
+			if u == v {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		// Count sides among the edge's other vertices.
+		var same, diff int
+		for _, u := range e.Verts {
+			if u == v {
+				continue
+			}
+			if side[u] == side[v] {
+				same++
+			} else {
+				diff++
+			}
+		}
+		wasCut := diff > 0
+		cutAfter := same > 0
+		switch {
+		case wasCut && !cutAfter:
+			gain += e.Weight
+		case !wasCut && cutAfter:
+			gain -= e.Weight
+		}
+	}
+	return gain
+}

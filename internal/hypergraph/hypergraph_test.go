@@ -1,0 +1,163 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"rock/internal/dataset"
+)
+
+func TestCutWeight(t *testing.T) {
+	h := New(4)
+	h.AddEdge(1.0, 0, 1)
+	h.AddEdge(2.0, 2, 3)
+	h.AddEdge(4.0, 0, 2)
+	part := []int{0, 0, 1, 1}
+	if got := h.CutWeight(part); got != 4.0 {
+		t.Fatalf("cut = %v, want 4", got)
+	}
+}
+
+func TestPartitionTwoCliques(t *testing.T) {
+	// Two 4-vertex cliques joined by one light edge: the bisection must
+	// recover the cliques.
+	h := New(8)
+	for _, base := range []int{0, 4} {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				h.AddEdge(1.0, base+i, base+j)
+			}
+		}
+	}
+	h.AddEdge(0.1, 0, 4)
+	part, err := Partition(h, PartitionConfig{K: 2, Imbalance: 0.3, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 4; v++ {
+		if part[v] != part[0] {
+			t.Fatalf("clique 1 split: %v", part)
+		}
+	}
+	for v := 5; v < 8; v++ {
+		if part[v] != part[4] {
+			t.Fatalf("clique 2 split: %v", part)
+		}
+	}
+	if part[0] == part[4] {
+		t.Fatalf("cliques merged: %v", part)
+	}
+	if got := h.CutWeight(part); got != 0.1 {
+		t.Fatalf("cut = %v, want 0.1", got)
+	}
+}
+
+func TestPartitionK4(t *testing.T) {
+	// Four triangles.
+	h := New(12)
+	for c := 0; c < 4; c++ {
+		b := 3 * c
+		h.AddEdge(1, b, b+1)
+		h.AddEdge(1, b+1, b+2)
+		h.AddEdge(1, b, b+2)
+	}
+	part, err := Partition(h, PartitionConfig{K: 4, Imbalance: 0.4, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.CutWeight(part); got != 0 {
+		t.Fatalf("cut = %v, want 0; part %v", got, part)
+	}
+	ids := make(map[int]bool)
+	for _, p := range part {
+		ids[p] = true
+	}
+	if len(ids) != 4 {
+		t.Fatalf("parts used = %d, want 4", len(ids))
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	h := New(3)
+	if _, err := Partition(h, PartitionConfig{K: 0, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Partition(h, PartitionConfig{K: 2}); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestAddEdgeValidatesVertices(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(1, 0, 5)
+}
+
+// figure1Txns rebuilds the paper's Figure 1 data.
+func figure1Txns() []dataset.Transaction {
+	var txns []dataset.Transaction
+	add := func(items []dataset.Item) {
+		for i := 0; i < len(items); i++ {
+			for j := i + 1; j < len(items); j++ {
+				for k := j + 1; k < len(items); k++ {
+					txns = append(txns, dataset.NewTransaction(items[i], items[j], items[k]))
+				}
+			}
+		}
+	}
+	add([]dataset.Item{1, 2, 3, 4, 5})
+	add([]dataset.Item{1, 2, 6, 7})
+	return txns
+}
+
+// TestHKKMSection2Counterexample reproduces the ROCK paper's Section 2
+// analysis of [HKKM97]: "With minimum support set to 2 transactions, the
+// hypergraph partitioning algorithm generates two item clusters of which
+// one is {7} ... However, this results in transactions {1,2,6} and {3,4,5}
+// being assigned to the same cluster" — the item-clustering approach cannot
+// separate the two transaction clusters.
+func TestHKKMSection2Counterexample(t *testing.T) {
+	txns := figure1Txns()
+	ic, err := ClusterItems(txns, ItemClusteringConfig{
+		MinSupport: 2, K: 2, Imbalance: 0.9, Rng: rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ic.AssignTransaction(dataset.NewTransaction(1, 2, 6))
+	b := ic.AssignTransaction(dataset.NewTransaction(3, 4, 5))
+	if a != b {
+		t.Errorf("transactions {1,2,6} and {3,4,5} assigned to different clusters (%d, %d); the paper's counterexample expects the same", a, b)
+	}
+	// And that shared cluster is the big item cluster (it contains items
+	// from both true transaction clusters).
+	big := ic.Clusters[a]
+	if !big.Contains(3) || !big.Contains(6) {
+		t.Errorf("big item cluster %v should span both true clusters' items", big)
+	}
+}
+
+func TestAssignTransactionScoring(t *testing.T) {
+	ic := &ItemClustering{
+		NumItems: 6,
+		Clusters: []dataset.Transaction{
+			dataset.NewTransaction(0, 1, 2, 3),
+			dataset.NewTransaction(4, 5),
+		},
+	}
+	// |T∩C0|/|C0| = 2/4 vs |T∩C1|/|C1| = 1/2: tie toward lower index.
+	got := ic.AssignTransaction(dataset.NewTransaction(0, 1, 4))
+	if got != 0 {
+		t.Fatalf("assigned %d, want 0", got)
+	}
+	if ic.AssignTransaction(dataset.NewTransaction(99)) != -1 {
+		t.Fatal("no-hit transaction should be unassigned")
+	}
+	all := ic.AssignAll([]dataset.Transaction{dataset.NewTransaction(4, 5)})
+	if all[0] != 1 {
+		t.Fatalf("AssignAll = %v", all)
+	}
+}

@@ -1,0 +1,191 @@
+// Package iheap implements the addressable max-heap that ROCK's clustering
+// algorithm (Figure 3 of the paper) relies on. Both the per-cluster local
+// heaps q[i] and the global heap Q need, beyond the usual push/pop-max,
+// deletion and priority update of an arbitrary element identified by a
+// cluster id — operations container/heap does not expose directly — so the
+// structure is implemented from scratch with an id→position index.
+package iheap
+
+import "fmt"
+
+type entry struct {
+	key int
+	pri float64
+}
+
+// Heap is a max-heap of (key, priority) pairs supporting O(log n) push,
+// pop-max, remove-by-key and update-by-key. Keys must be unique within a
+// heap. Ties in priority are broken by smaller key, which makes every
+// consumer of the heap deterministic.
+type Heap struct {
+	es  []entry
+	pos map[int]int // key -> index in es
+}
+
+// New returns an empty heap.
+func New() *Heap {
+	return &Heap{pos: make(map[int]int)}
+}
+
+// NewWithCapacity returns an empty heap with preallocated space for n items.
+func NewWithCapacity(n int) *Heap {
+	return &Heap{es: make([]entry, 0, n), pos: make(map[int]int, n)}
+}
+
+// Len returns the number of elements in the heap.
+func (h *Heap) Len() int { return len(h.es) }
+
+// Empty reports whether the heap has no elements.
+func (h *Heap) Empty() bool { return len(h.es) == 0 }
+
+// Has reports whether key is present.
+func (h *Heap) Has(key int) bool {
+	_, ok := h.pos[key]
+	return ok
+}
+
+// Priority returns the priority of key and whether it is present.
+func (h *Heap) Priority(key int) (float64, bool) {
+	i, ok := h.pos[key]
+	if !ok {
+		return 0, false
+	}
+	return h.es[i].pri, true
+}
+
+// Push inserts key with the given priority. It panics if key is already in
+// the heap; use Update to change an existing priority.
+func (h *Heap) Push(key int, pri float64) {
+	if _, ok := h.pos[key]; ok {
+		panic(fmt.Sprintf("iheap: duplicate key %d", key))
+	}
+	h.es = append(h.es, entry{key, pri})
+	h.pos[key] = len(h.es) - 1
+	h.up(len(h.es) - 1)
+}
+
+// Max returns the key and priority of the maximum element without removing
+// it. ok is false when the heap is empty.
+func (h *Heap) Max() (key int, pri float64, ok bool) {
+	if len(h.es) == 0 {
+		return 0, 0, false
+	}
+	return h.es[0].key, h.es[0].pri, true
+}
+
+// PopMax removes and returns the maximum element. ok is false when empty.
+func (h *Heap) PopMax() (key int, pri float64, ok bool) {
+	if len(h.es) == 0 {
+		return 0, 0, false
+	}
+	e := h.es[0]
+	h.removeAt(0)
+	return e.key, e.pri, true
+}
+
+// Remove deletes key from the heap, reporting whether it was present.
+func (h *Heap) Remove(key int) bool {
+	i, ok := h.pos[key]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+// Update changes the priority of key, reporting whether it was present.
+func (h *Heap) Update(key int, pri float64) bool {
+	i, ok := h.pos[key]
+	if !ok {
+		return false
+	}
+	old := h.es[i].pri
+	h.es[i].pri = pri
+	switch {
+	case h.less(entry{key, old}, h.es[i]):
+		h.up(i)
+	default:
+		h.down(i)
+	}
+	return true
+}
+
+// Upsert sets the priority of key, inserting it if absent.
+func (h *Heap) Upsert(key int, pri float64) {
+	if !h.Update(key, pri) {
+		h.Push(key, pri)
+	}
+}
+
+// Keys returns the keys currently in the heap, in unspecified order.
+func (h *Heap) Keys() []int {
+	out := make([]int, len(h.es))
+	for i, e := range h.es {
+		out[i] = e.key
+	}
+	return out
+}
+
+// less reports whether a has strictly lower heap priority than b
+// (max-heap on pri, ties broken toward smaller key).
+func (h *Heap) less(a, b entry) bool {
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.key > b.key
+}
+
+func (h *Heap) removeAt(i int) {
+	last := len(h.es) - 1
+	delete(h.pos, h.es[i].key)
+	if i != last {
+		h.es[i] = h.es[last]
+		h.pos[h.es[i].key] = i
+	}
+	h.es = h.es[:last]
+	if i < len(h.es) {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.es[i], h.es[j] = h.es[j], h.es[i]
+	h.pos[h.es[i].key] = i
+	h.pos[h.es[j].key] = j
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.es[p], h.es[i]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+// down sifts element i toward the leaves, reporting whether it moved.
+func (h *Heap) down(i int) bool {
+	moved := false
+	n := len(h.es)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h.less(h.es[l], h.es[r]) {
+			c = r
+		}
+		if !h.less(h.es[i], h.es[c]) {
+			break
+		}
+		h.swap(i, c)
+		i = c
+		moved = true
+	}
+	return moved
+}

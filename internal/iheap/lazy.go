@@ -1,0 +1,86 @@
+package iheap
+
+// Lazy is a max-heap with lazy deletion, used by the clustering hot loop.
+// Instead of removing or updating entries in place (which requires a
+// key→position index and its hash-map churn), consumers push fresh entries
+// and filter stale ones at pop time: ROCK's merged clusters receive new ids
+// and dead ids never revive, so staleness is a cheap liveness test on the
+// consumer side.
+//
+// Ordering is deterministic: priority descending, then key ascending, then
+// revision descending (fresher first).
+type Lazy struct {
+	es []LazyEntry
+}
+
+// LazyEntry is one heap element: a target key, the revision of the pushing
+// state (so consumers can detect superseded entries) and the priority.
+type LazyEntry struct {
+	Key int32
+	Rev int32
+	Pri float64
+}
+
+func lazyLess(a, b LazyEntry) bool {
+	if a.Pri != b.Pri {
+		return a.Pri < b.Pri
+	}
+	if a.Key != b.Key {
+		return a.Key > b.Key
+	}
+	return a.Rev < b.Rev
+}
+
+// Len returns the number of entries, including stale ones.
+func (l *Lazy) Len() int { return len(l.es) }
+
+// Push inserts an entry.
+func (l *Lazy) Push(e LazyEntry) {
+	l.es = append(l.es, e)
+	i := len(l.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !lazyLess(l.es[p], l.es[i]) {
+			break
+		}
+		l.es[p], l.es[i] = l.es[i], l.es[p]
+		i = p
+	}
+}
+
+// Top returns the maximum entry without removing it.
+func (l *Lazy) Top() (LazyEntry, bool) {
+	if len(l.es) == 0 {
+		return LazyEntry{}, false
+	}
+	return l.es[0], true
+}
+
+// Pop removes and returns the maximum entry.
+func (l *Lazy) Pop() (LazyEntry, bool) {
+	if len(l.es) == 0 {
+		return LazyEntry{}, false
+	}
+	top := l.es[0]
+	last := len(l.es) - 1
+	l.es[0] = l.es[last]
+	l.es = l.es[:last]
+	// Sift down.
+	i, n := 0, len(l.es)
+	for {
+		lc, rc := 2*i+1, 2*i+2
+		if lc >= n {
+			break
+		}
+		c := lc
+		if rc < n && lazyLess(l.es[lc], l.es[rc]) {
+			c = rc
+		}
+		if !lazyLess(l.es[i], l.es[c]) {
+			break
+		}
+		l.es[i], l.es[c] = l.es[c], l.es[i]
+		i = c
+	}
+	return top, true
+}

@@ -1,0 +1,105 @@
+// Package label implements the final phase of ROCK's pipeline (Figure 2 and
+// Section 4.6, "Labeling Data on Disk"): after the sampled points have been
+// clustered, every remaining point is assigned to the cluster in whose
+// labeled subset L_i it has the most neighbors, normalized by the expected
+// neighbor count (|L_i| + 1)^f(theta).
+package label
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rock/internal/rockcore"
+	"rock/internal/sample"
+)
+
+// Set is the labeled subset L_i drawn from one cluster, together with the
+// normalization constant the assignment divides by.
+type Set struct {
+	// Cluster identifies the cluster this set labels for.
+	Cluster int
+	// Points are the indices (in the caller's point space) of the labeled
+	// points.
+	Points []int
+	// norm is (|L_i| + 1)^f(theta).
+	norm float64
+}
+
+// Config controls labeled-set construction.
+type Config struct {
+	// Fraction of each cluster to draw into its labeled set (0 < Fraction
+	// <= 1). The paper labels with "a fraction of points from each
+	// cluster".
+	Fraction float64
+	// MinPerCluster floors the labeled-set size so tiny clusters still get
+	// representation.
+	MinPerCluster int
+	// F is the f(theta) value used for normalization.
+	F float64
+}
+
+// BuildSets draws the labeled subsets from the final clusters. clusters maps
+// cluster index to member point indices; rng drives the uniform draw.
+func BuildSets(clusters [][]int, cfg Config, rng *rand.Rand) ([]Set, error) {
+	if cfg.Fraction <= 0 || cfg.Fraction > 1 {
+		return nil, fmt.Errorf("label: fraction %v out of (0,1]", cfg.Fraction)
+	}
+	minPer := cfg.MinPerCluster
+	if minPer < 1 {
+		minPer = 1
+	}
+	sets := make([]Set, 0, len(clusters))
+	for ci, members := range clusters {
+		k := int(cfg.Fraction * float64(len(members)))
+		if k < minPer {
+			k = minPer
+		}
+		if k > len(members) {
+			k = len(members)
+		}
+		idx := sample.Indices(len(members), k, rng)
+		pts := make([]int, len(idx))
+		for i, ix := range idx {
+			pts[i] = members[ix]
+		}
+		sets = append(sets, Set{
+			Cluster: ci,
+			Points:  pts,
+			norm:    rockcore.ExpectedNeighbors(len(pts), cfg.F),
+		})
+	}
+	return sets, nil
+}
+
+// NeighborFunc reports whether the point being labeled is a neighbor of the
+// labeled point with index q.
+type NeighborFunc func(q int) bool
+
+// Outlier is the cluster index Assign returns for a point with no neighbors
+// in any labeled set.
+const Outlier = -1
+
+// Assign labels one point: it returns the cluster whose labeled set contains
+// the most neighbors of the point after dividing by (|L_i| + 1)^f(theta),
+// or Outlier when the point has no neighbors in any set. Ties break toward
+// the lower cluster index, keeping the phase deterministic.
+func Assign(sets []Set, isNeighbor NeighborFunc) int {
+	best, bestScore := Outlier, 0.0
+	for si := range sets {
+		s := &sets[si]
+		n := 0
+		for _, q := range s.Points {
+			if isNeighbor(q) {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		score := float64(n) / s.norm
+		if score > bestScore {
+			best, bestScore = s.Cluster, score
+		}
+	}
+	return best
+}

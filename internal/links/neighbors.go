@@ -1,0 +1,201 @@
+// Package links implements the neighbor and link machinery of Sections 3.1,
+// 3.2 and 4.4 of the ROCK paper. A pair of points are neighbors when their
+// similarity is at least theta; link(p, q) is the number of common neighbors
+// of p and q (equivalently, the number of length-2 paths between them in the
+// neighbor graph).
+//
+// Link computation is provided in three forms: the sparse neighbor-list
+// algorithm of Figure 4 (O(Σ m_i²), the form ROCK uses), a dense
+// adjacency-matrix-squaring algorithm (the O(n³) formulation Section 4.4
+// describes before dismissing it for sparse data), and a length-3 path
+// variant used only by the ablation benchmarks (Section 3.2 discusses and
+// rejects longer paths).
+package links
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rock/internal/sim"
+)
+
+// Neighbors holds, for every point, the sorted list of its neighbors. Self
+// is never included: per the paper's examples (Section 3.2), links count
+// common *third-party* neighbors only.
+type Neighbors struct {
+	Lists [][]int32
+}
+
+// N returns the number of points.
+func (nb *Neighbors) N() int { return len(nb.Lists) }
+
+// Degree returns the number of neighbors of point i.
+func (nb *Neighbors) Degree(i int) int { return len(nb.Lists[i]) }
+
+// MaxDegree returns m_m, the maximum number of neighbors over all points.
+func (nb *Neighbors) MaxDegree() int {
+	m := 0
+	for _, l := range nb.Lists {
+		if len(l) > m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+// AvgDegree returns m_a, the average number of neighbors per point.
+func (nb *Neighbors) AvgDegree() float64 {
+	if len(nb.Lists) == 0 {
+		return 0
+	}
+	s := 0
+	for _, l := range nb.Lists {
+		s += len(l)
+	}
+	return float64(s) / float64(len(nb.Lists))
+}
+
+// Contains reports whether j is a neighbor of i.
+func (nb *Neighbors) Contains(i int, j int32) bool {
+	l := nb.Lists[i]
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(l) && l[lo] == j
+}
+
+// Config controls neighbor and link computation.
+type Config struct {
+	// Theta is the similarity threshold of Section 3.1; pairs with
+	// sim >= Theta are neighbors. Must lie in [0, 1].
+	Theta float64
+	// Workers bounds the number of goroutines used for the O(n²)
+	// similarity evaluation. Zero means GOMAXPROCS; one gives the
+	// paper's sequential behaviour.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ComputeNeighbors evaluates the similarity of every pair of the n points
+// and returns the neighbor lists. The similarity function must be symmetric;
+// only pairs i < j are evaluated and the result is mirrored.
+func ComputeNeighbors(n int, s sim.Func, cfg Config) *Neighbors {
+	if cfg.Theta < 0 || cfg.Theta > 1 {
+		panic(fmt.Sprintf("links: theta %v out of [0,1]", cfg.Theta))
+	}
+	lists := make([][]int32, n)
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		computeNeighborRows(0, n, n, s, cfg.Theta, lists)
+	} else {
+		// Rows i have n-1-i pairs each; interleave rows across workers
+		// so the load balances without a work queue.
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < n; i += w {
+					computeNeighborRow(i, n, s, cfg.Theta, lists)
+				}
+			}(g)
+		}
+		wg.Wait()
+		// Mirror: lists currently hold only j > i entries.
+	}
+	mirror(lists)
+	return &Neighbors{Lists: lists}
+}
+
+func computeNeighborRows(lo, hi, n int, s sim.Func, theta float64, lists [][]int32) {
+	for i := lo; i < hi; i++ {
+		computeNeighborRow(i, n, s, theta, lists)
+	}
+}
+
+// computeNeighborRow fills lists[i] with neighbors j > i.
+func computeNeighborRow(i, n int, s sim.Func, theta float64, lists [][]int32) {
+	var row []int32
+	for j := i + 1; j < n; j++ {
+		if s(i, j) >= theta {
+			row = append(row, int32(j))
+		}
+	}
+	lists[i] = row
+}
+
+// mirror completes neighbor lists that contain only forward (j > i) entries
+// so that every list holds all neighbors in sorted order.
+func mirror(lists [][]int32) {
+	n := len(lists)
+	back := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for _, j := range lists[i] {
+			back[j] = append(back[j], int32(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		// back[i] entries are all < i and sorted (produced in i order);
+		// lists[i] entries are all > i and sorted.
+		if len(back[i]) == 0 {
+			continue
+		}
+		merged := make([]int32, 0, len(back[i])+len(lists[i]))
+		merged = append(merged, back[i]...)
+		merged = append(merged, lists[i]...)
+		lists[i] = merged
+	}
+}
+
+// FilterMinDegree returns the indices of points with at least minDeg
+// neighbors (the survivors) and those with fewer (the outliers). This is the
+// first outlier-pruning mechanism of Section 4.6: isolated points never
+// participate in clustering.
+func (nb *Neighbors) FilterMinDegree(minDeg int) (keep, outliers []int) {
+	for i, l := range nb.Lists {
+		if len(l) >= minDeg {
+			keep = append(keep, i)
+		} else {
+			outliers = append(outliers, i)
+		}
+	}
+	return keep, outliers
+}
+
+// Subset re-indexes the neighbor structure onto the given subset of points
+// (typically the survivors of outlier pruning). keep must be sorted; the
+// returned structure has len(keep) points, and neighbors outside keep are
+// dropped.
+func (nb *Neighbors) Subset(keep []int) *Neighbors {
+	remap := make(map[int32]int32, len(keep))
+	for newID, old := range keep {
+		remap[int32(old)] = int32(newID)
+	}
+	lists := make([][]int32, len(keep))
+	for newID, old := range keep {
+		var row []int32
+		for _, j := range nb.Lists[old] {
+			if nj, ok := remap[j]; ok {
+				row = append(row, nj)
+			}
+		}
+		lists[newID] = row
+	}
+	return &Neighbors{Lists: lists}
+}

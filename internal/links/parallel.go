@@ -1,0 +1,100 @@
+package links
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ComputeParallel is Compute with the Figure 4 pair counting sharded across
+// workers. Each point's contribution (one increment per unordered pair of
+// its neighbors) is independent, so rows are striped across goroutines; the
+// dense table takes atomic increments, the sparse path accumulates
+// per-worker tables that are merged at the end. workers <= 1 falls back to
+// the sequential Compute.
+func ComputeParallel(nb *Neighbors, denseLimit, workers int) Table {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return Compute(nb, denseLimit)
+	}
+	if nb.N() <= denseLimit {
+		return computeParallelDense(nb, workers)
+	}
+	return computeParallelSparse(nb, workers)
+}
+
+func computeParallelDense(nb *Neighbors, workers int) *DenseTable {
+	t := NewDenseTable(nb.N())
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(nb.Lists); i += workers {
+				l := nb.Lists[i]
+				for a := 0; a < len(l)-1; a++ {
+					for b := a + 1; b < len(l); b++ {
+						atomic.AddUint32(&t.vals[t.idx(int(l[a]), int(l[b]))], 1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return t
+}
+
+func computeParallelSparse(nb *Neighbors, workers int) *SparseTable {
+	// Per-worker partial tables avoid all synchronization during
+	// counting; the merge sums map entries.
+	parts := make([]*SparseTable, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := NewSparseTable(nb.N())
+			for i := g; i < len(nb.Lists); i += workers {
+				l := nb.Lists[i]
+				for a := 0; a < len(l)-1; a++ {
+					for b := a + 1; b < len(l); b++ {
+						p.Add(int(l[a]), int(l[b]), 1)
+					}
+				}
+			}
+			parts[g] = p
+		}(g)
+	}
+	wg.Wait()
+
+	// Merge rows in parallel too: row i of the result is the sum of row i
+	// across the partial tables, and rows are independent.
+	out := NewSparseTable(nb.N())
+	wg = sync.WaitGroup{}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < nb.N(); i += workers {
+				var row map[int32]uint32
+				for _, p := range parts {
+					pr := p.rows[i]
+					if len(pr) == 0 {
+						continue
+					}
+					if row == nil {
+						row = make(map[int32]uint32, len(pr))
+					}
+					for j, v := range pr {
+						row[j] += v
+					}
+				}
+				out.rows[i] = row
+			}
+		}(g)
+	}
+	wg.Wait()
+	return out
+}

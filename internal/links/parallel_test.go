@@ -1,0 +1,44 @@
+package links
+
+import (
+	"math/rand"
+	"testing"
+
+	"rock/internal/sim"
+)
+
+func TestComputeParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial, workers := range []int{2, 3, 8} {
+		txns := randomTxns(rng, 150, 40, 7)
+		nb := ComputeNeighbors(len(txns), sim.ByIndex(txns, sim.Jaccard), Config{Theta: 0.3})
+		seqDense := Compute(nb, len(txns))
+		parDense := ComputeParallel(nb, len(txns), workers)
+		seqSparse := Compute(nb, -1)
+		parSparse := ComputeParallel(nb, -1, workers)
+		for i := 0; i < len(txns); i++ {
+			for j := i + 1; j < len(txns); j++ {
+				want := seqDense.Get(i, j)
+				if got := parDense.Get(i, j); got != want {
+					t.Fatalf("trial %d dense(%d,%d) = %d, want %d", trial, i, j, got, want)
+				}
+				if got := parSparse.Get(i, j); got != seqSparse.Get(i, j) {
+					t.Fatalf("trial %d sparse(%d,%d) = %d, want %d", trial, i, j, got, seqSparse.Get(i, j))
+				}
+			}
+		}
+		if parSparse.NonZeroPairs() != seqSparse.NonZeroPairs() {
+			t.Fatalf("NonZeroPairs mismatch")
+		}
+	}
+}
+
+func TestComputeParallelFallsBackSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	txns := randomTxns(rng, 40, 20, 5)
+	nb := ComputeNeighbors(len(txns), sim.ByIndex(txns, sim.Jaccard), Config{Theta: 0.4})
+	tab := ComputeParallel(nb, DefaultDenseLimit, 1)
+	if _, ok := tab.(*DenseTable); !ok {
+		t.Fatal("expected dense table from sequential fallback")
+	}
+}

@@ -1,0 +1,183 @@
+// Package partitional implements the partitional baseline the paper's
+// introduction analyses (Section 1.1): iterative minimization of the
+// criterion E = Σ_i Σ_{x ∈ Ci} d(x, m_i)² over boolean-encoded categorical
+// data — Lloyd's k-means with k-means++ seeding. It exists to demonstrate,
+// on the paper's workloads, the large-cluster-splitting behaviour the
+// criterion induces on categorical data.
+package partitional
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Config controls a k-means run.
+type Config struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter bounds Lloyd iterations. Zero means 100.
+	MaxIter int
+	// Rng drives k-means++ seeding; required.
+	Rng *rand.Rand
+}
+
+// Result is the outcome of a k-means run.
+type Result struct {
+	// Assign maps each point to its cluster in [0, K).
+	Assign []int
+	// Centroids are the final cluster means.
+	Centroids [][]float64
+	// E is the final value of the criterion function (sum of squared
+	// distances of points to their cluster means).
+	E float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// KMeans clusters the given dense vectors.
+func KMeans(vecs [][]float64, cfg Config) (*Result, error) {
+	n := len(vecs)
+	if cfg.K <= 0 {
+		return nil, errors.New("partitional: K must be positive")
+	}
+	if cfg.Rng == nil {
+		return nil, errors.New("partitional: Rng is required")
+	}
+	if n == 0 {
+		return &Result{}, nil
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	maxIter := cfg.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	dim := len(vecs[0])
+
+	cents := seedPlusPlus(vecs, k, cfg.Rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, math.Inf(1)
+			for c := range cents {
+				if d := sqDist(v, cents[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		res.Iters = iter + 1
+		if !changed {
+			break
+		}
+		// Recompute means.
+		counts := make([]int, k)
+		for c := range cents {
+			for d := 0; d < dim; d++ {
+				cents[c][d] = 0
+			}
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				cents[c][d] += v[d]
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from
+				// its centroid.
+				cents[c] = append([]float64(nil), vecs[farthest(vecs, cents, assign)]...)
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				cents[c][d] /= float64(counts[c])
+			}
+		}
+	}
+	res.Assign = assign
+	res.Centroids = cents
+	for i, v := range vecs {
+		res.E += sqDist(v, cents[assign[i]])
+	}
+	return res, nil
+}
+
+// seedPlusPlus picks k initial centroids with D² weighting (k-means++).
+func seedPlusPlus(vecs [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(vecs)
+	cents := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	cents = append(cents, append([]float64(nil), vecs[first]...))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = sqDist(vecs[i], cents[0])
+	}
+	for len(cents) < k {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		var pick int
+		if sum == 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * sum
+			for i, d := range d2 {
+				r -= d
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), vecs[pick]...)
+		cents = append(cents, c)
+		for i := range d2 {
+			if d := sqDist(vecs[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return cents
+}
+
+func farthest(vecs [][]float64, cents [][]float64, assign []int) int {
+	best, bestD := 0, -1.0
+	for i, v := range vecs {
+		if d := sqDist(v, cents[assign[i]]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Clusters converts an assignment vector into member lists.
+func Clusters(assign []int, k int) [][]int {
+	out := make([][]int, k)
+	for i, c := range assign {
+		out[c] = append(out[c], i)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package partitional
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobs(rng *rand.Rand, centers [][]float64, per int, noise float64) ([][]float64, []int) {
+	var vecs [][]float64
+	var labels []int
+	for c, ctr := range centers {
+		for i := 0; i < per; i++ {
+			v := make([]float64, len(ctr))
+			for d := range v {
+				v[d] = ctr[d] + rng.NormFloat64()*noise
+			}
+			vecs = append(vecs, v)
+			labels = append(labels, c)
+		}
+	}
+	return vecs, labels
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	vecs, labels := blobs(rng, centers, 30, 0.5)
+	res, err := KMeans(vecs, Config{K: 3, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All members of a true blob must share an assigned cluster.
+	for c := 0; c < 3; c++ {
+		first := -1
+		for i, l := range labels {
+			if l != c {
+				continue
+			}
+			if first < 0 {
+				first = res.Assign[i]
+			} else if res.Assign[i] != first {
+				t.Fatalf("blob %d split across clusters", c)
+			}
+		}
+	}
+}
+
+func TestKMeansCriterionDecreasesWithBetterK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vecs, _ := blobs(rng, [][]float64{{0, 0}, {8, 8}}, 40, 0.3)
+	r1, err := KMeans(vecs, Config{K: 1, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(vecs, Config{K: 2, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.E >= r1.E {
+		t.Fatalf("E(k=2) = %v should be below E(k=1) = %v", r2.E, r1.E)
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, Config{K: 0, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := KMeans(nil, Config{K: 2}); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestKMeansEmptyInput(t *testing.T) {
+	res, err := KMeans(nil, Config{K: 2, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 0 {
+		t.Fatal("non-empty result for empty input")
+	}
+}
+
+func TestKMeansKExceedsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vecs := [][]float64{{0}, {1}, {2}}
+	res, err := KMeans(vecs, Config{K: 10, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= 3 {
+			t.Fatalf("assignment %d out of range", a)
+		}
+	}
+	if res.E > 1e-9 {
+		t.Fatalf("E = %v, want ~0 when every point gets its own centroid", res.E)
+	}
+}
+
+func TestKMeansDeterministicGivenSeed(t *testing.T) {
+	vecsA, _ := blobs(rand.New(rand.NewSource(5)), [][]float64{{0, 0}, {5, 5}}, 20, 0.4)
+	r1, _ := KMeans(vecsA, Config{K: 2, Rng: rand.New(rand.NewSource(6))})
+	r2, _ := KMeans(vecsA, Config{K: 2, Rng: rand.New(rand.NewSource(6))})
+	for i := range r1.Assign {
+		if r1.Assign[i] != r2.Assign[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestClustersPartition(t *testing.T) {
+	assign := []int{0, 1, 0, 2, 1}
+	cl := Clusters(assign, 3)
+	if len(cl[0]) != 2 || len(cl[1]) != 2 || len(cl[2]) != 1 {
+		t.Fatalf("clusters = %v", cl)
+	}
+}
+
+// TestKMeansSplitsLargeCategoricalCluster demonstrates the paper's Section
+// 1.1 argument: minimizing E on boolean data favors splitting a large,
+// spread-out cluster while a compact small cluster survives — k-means
+// carves the big cluster even though it is one natural group.
+func TestKMeansSplitsLargeCategoricalCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Big cluster: 200 transactions over 40 items, each picking 10 random
+	// items (spread out). Small cluster: 30 transactions over 4 items.
+	dim := 44
+	var vecs [][]float64
+	var labels []int
+	for i := 0; i < 200; i++ {
+		v := make([]float64, dim)
+		for k := 0; k < 10; k++ {
+			v[rng.Intn(40)] = 1
+		}
+		vecs = append(vecs, v)
+		labels = append(labels, 0)
+	}
+	for i := 0; i < 30; i++ {
+		v := make([]float64, dim)
+		for k := 40; k < 44; k++ {
+			if rng.Float64() < 0.8 {
+				v[k] = 1
+			}
+		}
+		vecs = append(vecs, v)
+		labels = append(labels, 1)
+	}
+	res, err := KMeans(vecs, Config{K: 3, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The big cluster must be split across at least two k-means clusters.
+	seen := make(map[int]bool)
+	for i, l := range labels {
+		if l == 0 {
+			seen[res.Assign[i]] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Error("k-means unexpectedly kept the large spread-out cluster whole")
+	}
+}

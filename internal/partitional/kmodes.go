@@ -1,0 +1,151 @@
+package partitional
+
+import (
+	"errors"
+	"math/rand"
+
+	"rock/internal/dataset"
+)
+
+// KModesConfig controls a k-modes run (Huang's categorical analogue of
+// k-means: cluster centers are attribute-wise modes and the dissimilarity is
+// the simple-matching count of differing attributes). Like the k-means
+// criterion the paper's Section 1.1 analyses, k-modes is a partitional
+// method that optimizes distances to centers; it serves as a second
+// partitional baseline for categorical records.
+type KModesConfig struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter bounds update iterations. Zero means 100.
+	MaxIter int
+	// Rng drives the initial mode selection; required.
+	Rng *rand.Rand
+}
+
+// KModesResult is the outcome of a k-modes run.
+type KModesResult struct {
+	// Assign maps each record to its cluster.
+	Assign []int
+	// Modes are the final cluster centers.
+	Modes []dataset.Record
+	// Cost is the total simple-matching dissimilarity of records to their
+	// modes.
+	Cost int
+	// Iters is the number of update iterations performed.
+	Iters int
+}
+
+// matchDissim counts attributes where the record differs from the mode;
+// missing values count as a mismatch against any concrete mode value.
+func matchDissim(r, mode dataset.Record) int {
+	d := 0
+	for a := range r {
+		if r[a] != mode[a] {
+			d++
+		}
+	}
+	return d
+}
+
+// KModes clusters categorical records.
+func KModes(schema *dataset.Schema, records []dataset.Record, cfg KModesConfig) (*KModesResult, error) {
+	if cfg.K <= 0 {
+		return nil, errors.New("partitional: K must be positive")
+	}
+	if cfg.Rng == nil {
+		return nil, errors.New("partitional: Rng is required")
+	}
+	n := len(records)
+	if n == 0 {
+		return &KModesResult{}, nil
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	maxIter := cfg.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	nattr := schema.NumAttrs()
+
+	// Initialize modes with k distinct random records.
+	perm := cfg.Rng.Perm(n)
+	modes := make([]dataset.Record, k)
+	for c := 0; c < k; c++ {
+		modes[c] = append(dataset.Record(nil), records[perm[c]]...)
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	res := &KModesResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, r := range records {
+			best, bestD := 0, nattr+1
+			for c := range modes {
+				if d := matchDissim(r, modes[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		res.Iters = iter + 1
+		if !changed {
+			break
+		}
+		// Recompute modes: per cluster and attribute, the most frequent
+		// non-missing value (ties toward the lower value index).
+		counts := make([][]map[int]int, k)
+		sizes := make([]int, k)
+		for c := range counts {
+			counts[c] = make([]map[int]int, nattr)
+			for a := range counts[c] {
+				counts[c][a] = make(map[int]int)
+			}
+		}
+		for i, r := range records {
+			c := assign[i]
+			sizes[c]++
+			for a, v := range r {
+				if v != dataset.Missing {
+					counts[c][a][v]++
+				}
+			}
+		}
+		for c := range modes {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster at the record farthest from
+				// its mode.
+				far, farD := 0, -1
+				for i, r := range records {
+					if d := matchDissim(r, modes[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				modes[c] = append(dataset.Record(nil), records[far]...)
+				continue
+			}
+			for a := 0; a < nattr; a++ {
+				bestV, bestN := dataset.Missing, 0
+				for v, cnt := range counts[c][a] {
+					if cnt > bestN || (cnt == bestN && (bestV == dataset.Missing || v < bestV)) {
+						bestV, bestN = v, cnt
+					}
+				}
+				modes[c][a] = bestV
+			}
+		}
+	}
+	res.Assign = assign
+	res.Modes = modes
+	for i, r := range records {
+		res.Cost += matchDissim(r, modes[assign[i]])
+	}
+	return res, nil
+}

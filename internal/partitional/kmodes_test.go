@@ -1,0 +1,115 @@
+package partitional
+
+import (
+	"math/rand"
+	"testing"
+
+	"rock/internal/datagen"
+	"rock/internal/dataset"
+	"rock/internal/eval"
+)
+
+func kmodesSchema() *dataset.Schema {
+	return dataset.NewSchema(
+		dataset.Attribute{Name: "a", Domain: []string{"x", "y", "z"}},
+		dataset.Attribute{Name: "b", Domain: []string{"x", "y", "z"}},
+		dataset.Attribute{Name: "c", Domain: []string{"x", "y", "z"}},
+		dataset.Attribute{Name: "d", Domain: []string{"x", "y", "z"}},
+	)
+}
+
+func TestKModesSeparatesPlantedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	schema := kmodesSchema()
+	var records []dataset.Record
+	var labels []int
+	plant := func(proto dataset.Record, label, n int) {
+		for i := 0; i < n; i++ {
+			r := append(dataset.Record(nil), proto...)
+			// One random attribute flipped per record.
+			a := rng.Intn(len(r))
+			r[a] = rng.Intn(3)
+			records = append(records, r)
+			labels = append(labels, label)
+		}
+	}
+	plant(dataset.Record{0, 0, 0, 0}, 0, 40)
+	plant(dataset.Record{2, 2, 2, 2}, 1, 40)
+	res, err := KModes(schema, records, KModesConfig{K: 2, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := Clusters(res.Assign, 2)
+	if got := eval.Misclassified(clusters, labels, 2, len(records)); got > 4 {
+		t.Errorf("misclassified = %d of %d", got, len(records))
+	}
+}
+
+func TestKModesModesAreModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	schema := kmodesSchema()
+	records := []dataset.Record{
+		{0, 0, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0},
+	}
+	res, err := KModes(schema, records, KModesConfig{K: 1, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.Record{0, 0, 0, 0}
+	for a := range want {
+		if res.Modes[0][a] != want[a] {
+			t.Fatalf("mode = %v, want %v", res.Modes[0], want)
+		}
+	}
+	if res.Cost != 2 {
+		t.Fatalf("cost = %d, want 2", res.Cost)
+	}
+}
+
+func TestKModesValidation(t *testing.T) {
+	if _, err := KModes(kmodesSchema(), nil, KModesConfig{K: 0, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := KModes(kmodesSchema(), nil, KModesConfig{K: 2}); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestKModesEmpty(t *testing.T) {
+	res, err := KModes(kmodesSchema(), nil, KModesConfig{K: 2, Rng: rand.New(rand.NewSource(1))})
+	if err != nil || len(res.Assign) != 0 {
+		t.Fatalf("empty input: %v %v", res, err)
+	}
+}
+
+func TestKModesDeterministic(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(7))
+	rng2 := rand.New(rand.NewSource(7))
+	d := datagen.Votes(datagen.DefaultVotesConfig(), rand.New(rand.NewSource(1)))
+	r1, err := KModes(d.Schema, d.Records, KModesConfig{K: 2, Rng: rng1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := KModes(d.Schema, d.Records, KModesConfig{K: 2, Rng: rng2})
+	for i := range r1.Assign {
+		if r1.Assign[i] != r2.Assign[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+// TestKModesOnVotes sanity-checks the baseline on the votes workload: it
+// should broadly separate the parties (both classes dominated by different
+// clusters) even if less cleanly than ROCK.
+func TestKModesOnVotes(t *testing.T) {
+	d := datagen.Votes(datagen.DefaultVotesConfig(), rand.New(rand.NewSource(1)))
+	res, err := KModes(d.Schema, d.Records, KModesConfig{K: 2, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := Clusters(res.Assign, 2)
+	purity := eval.Purity(clusters, d.Labels, 2)
+	if purity < 0.8 {
+		t.Errorf("k-modes purity = %.3f on votes, want >= 0.8", purity)
+	}
+}

@@ -1,0 +1,86 @@
+package rockcore
+
+import "math"
+
+// BestK suggests a natural cluster count from a merge trace: it locates the
+// peak of the criterion function E_l along the merge sequence — the paper's
+// "best clusters are the ones that maximize the value of the criterion
+// function" made operational. Run the clusterer with Config{K: 1,
+// TraceMerges: true} (merging stops early anyway once links run out) and
+// pass Result.Trace and Result.F.
+//
+// Returns 1 for an empty trace. When E_l keeps rising to the very last
+// merge, the natural structure is wherever merging stopped, and the last
+// step's Remaining count is returned.
+func BestK(trace []MergeStep, f float64) int {
+	if len(trace) == 0 {
+		return 1
+	}
+	traj := CriterionTrajectory(trace, f)
+	bestAt, best := 0, math.Inf(-1)
+	for i, v := range traj {
+		if v > best {
+			bestAt, best = i, v
+		}
+	}
+	return trace[bestAt].Remaining
+}
+
+// CriterionTrajectory reconstructs the value of the criterion function E_l
+// after every merge of a trace, starting from the singleton clustering
+// (whose E_l is zero: singletons have no internal links). The returned
+// slice has one entry per merge.
+//
+// The trajectory lets callers study how E_l evolves — the paper's best
+// clusterings are those maximizing E_l, so a peak in the trajectory is an
+// alternative data-driven choice of K.
+func CriterionTrajectory(trace []MergeStep, f float64) []float64 {
+	out := make([]float64, 0, len(trace))
+	total := 0.0
+	for _, m := range trace {
+		total -= CriterionTerm(m.SizeA, m.InternalA, f)
+		total -= CriterionTerm(m.SizeB, m.InternalB, f)
+		total += CriterionTerm(m.SizeA+m.SizeB, m.InternalA+m.InternalB+m.CrossLinks, f)
+		out = append(out, total)
+	}
+	return out
+}
+
+// ConnectedComponents clusters points as the connected components of the
+// neighbor graph — the QROCK simplification (Dutta, Mahanta & Pujari,
+// "QROCK: A quick version of the ROCK algorithm", 2005), which observes
+// that for many categorical data sets ROCK's final clusters are exactly the
+// components of the theta-neighbor graph. It runs in O(Σ degree) after
+// neighbor computation and needs no goodness machinery or K. Singleton
+// components are clusters of size one (callers may treat them as outliers).
+func ConnectedComponents(lists [][]int32) [][]int {
+	n := len(lists)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	var stack []int32
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		id := len(out)
+		members := []int{}
+		stack = append(stack[:0], int32(start))
+		comp[start] = id
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, int(v))
+			for _, w := range lists[v] {
+				if comp[w] < 0 {
+					comp[w] = id
+					stack = append(stack, w)
+				}
+			}
+		}
+		out = append(out, members)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package rockcore
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rock/internal/datagen"
+	"rock/internal/links"
+	"rock/internal/sim"
+)
+
+// traceFixture clusters a scaled basket workload to K=1 with tracing.
+func traceFixture(t *testing.T, k int) (*Result, *datagen.BasketData) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	data := datagen.Basket(datagen.ScaledBasketConfig(300), rng)
+	res, err := Cluster(len(data.Txns), sim.ByIndex(data.Txns, sim.Jaccard), Config{
+		K: k, Theta: 0.5, MinNeighbors: 1, TraceMerges: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, data
+}
+
+func TestTraceRecordsEveryMerge(t *testing.T) {
+	res, _ := traceFixture(t, 1)
+	if len(res.Trace) != res.Stats.Merges {
+		t.Fatalf("trace has %d steps, merges = %d", len(res.Trace), res.Stats.Merges)
+	}
+	for i, m := range res.Trace {
+		if m.SizeA < 1 || m.SizeB < 1 || m.CrossLinks < 1 {
+			t.Fatalf("step %d implausible: %+v", i, m)
+		}
+		if math.IsNaN(m.Goodness) || m.Goodness <= 0 {
+			t.Fatalf("step %d goodness %v", i, m.Goodness)
+		}
+	}
+	// Remaining counts strictly decrease by one per merge.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Remaining != res.Trace[i-1].Remaining-1 {
+			t.Fatalf("remaining not decrementing at step %d", i)
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := datagen.Basket(datagen.ScaledBasketConfig(300), rng)
+	res, err := Cluster(len(data.Txns), sim.ByIndex(data.Txns, sim.Jaccard), Config{K: 5, Theta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace recorded without TraceMerges")
+	}
+}
+
+func TestBestKFindsPlantedClusterCount(t *testing.T) {
+	res, data := traceFixture(t, 1)
+	got := BestK(res.Trace, res.F)
+	// The planted structure has 10 clusters; accept a small neighborhood
+	// (outlier clumps can look like extra clusters).
+	if got < data.NumClusters()-2 || got > data.NumClusters()+4 {
+		t.Errorf("BestK = %d, want near %d", got, data.NumClusters())
+	}
+}
+
+func TestBestKEdgeCases(t *testing.T) {
+	if BestK(nil, 0.5) != 1 {
+		t.Error("empty trace should suggest 1")
+	}
+	one := []MergeStep{{Goodness: 5, SizeA: 1, SizeB: 1, CrossLinks: 1, Remaining: 3}}
+	if BestK(one, 0.5) != 3 {
+		t.Errorf("single-step trace should return its remaining count, got %d", BestK(one, 0.5))
+	}
+}
+
+func TestCriterionTrajectoryEndsAtFinalCriterion(t *testing.T) {
+	// Cluster to K clusters; the trajectory's last value must equal the
+	// result's criterion (same E_l bookkeeping).
+	res, _ := traceFixture(t, 10)
+	traj := CriterionTrajectory(res.Trace, res.F)
+	if len(traj) != len(res.Trace) {
+		t.Fatalf("trajectory length %d, trace %d", len(traj), len(res.Trace))
+	}
+	last := traj[len(traj)-1]
+	// res.Criterion also counts clusters never merged (singletons
+	// contribute 0) — so the values must match exactly up to float error.
+	if math.Abs(last-res.Criterion) > 1e-6*math.Abs(res.Criterion) {
+		t.Fatalf("trajectory end %v != criterion %v", last, res.Criterion)
+	}
+}
+
+func TestCriterionTrajectoryEmpty(t *testing.T) {
+	if traj := CriterionTrajectory(nil, 0.5); len(traj) != 0 {
+		t.Fatal("empty trace should give empty trajectory")
+	}
+}
+
+func TestConnectedComponentsSimple(t *testing.T) {
+	lists := [][]int32{
+		{1},    // 0-1
+		{0, 2}, // 1-2
+		{1},
+		{4}, // 3-4
+		{3},
+		{}, // 5 isolated
+	}
+	comps := ConnectedComponents(lists)
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	for _, c := range comps {
+		sort.Ints(c)
+	}
+	want := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("components = %v, want %v", comps, want)
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("components = %v, want %v", comps, want)
+			}
+		}
+	}
+}
+
+// TestQROCKMatchesROCKOnSeparatedData verifies the QROCK observation: when
+// clusters are link-separated (no cross-cluster neighbors), the connected
+// components of the neighbor graph equal ROCK's clusters.
+func TestQROCKMatchesROCKOnSeparatedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := datagen.Basket(datagen.ScaledBasketConfig(300), rng)
+	nb := links.ComputeNeighbors(len(data.Txns), sim.ByIndex(data.Txns, sim.Jaccard), links.Config{Theta: 0.65})
+	comps := ConnectedComponents(nb.Lists)
+	// Drop singleton components (outliers).
+	var big [][]int
+	for _, c := range comps {
+		if len(c) > 5 {
+			big = append(big, c)
+		}
+	}
+	res, err := ClusterNeighbors(nb, Config{K: len(big), Theta: 0.65, MinNeighbors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StoppedNoLinks && len(res.Clusters) < len(big) {
+		t.Fatalf("ROCK found %d clusters, components %d", len(res.Clusters), len(big))
+	}
+	// Every large component must appear as (a superset of) one ROCK
+	// cluster's member set or the union of a few; at minimum, no ROCK
+	// cluster may span two components.
+	compOf := make(map[int]int)
+	for ci, c := range comps {
+		for _, p := range c {
+			compOf[p] = ci
+		}
+	}
+	for _, cl := range res.Clusters {
+		c0 := compOf[cl[0]]
+		for _, p := range cl {
+			if compOf[p] != c0 {
+				t.Fatalf("ROCK cluster spans components %d and %d", c0, compOf[p])
+			}
+		}
+	}
+}

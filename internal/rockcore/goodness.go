@@ -1,0 +1,80 @@
+// Package rockcore implements the heart of the ROCK paper: the criterion
+// function E_l of Section 3.3, the goodness measure of Section 4.2, and the
+// agglomerative clustering algorithm of Section 4.3 (Figure 3) with its
+// per-cluster local heaps and global heap, plus the outlier-handling
+// mechanisms of Section 4.6.
+package rockcore
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultF is the paper's f(theta) = (1 - theta) / (1 + theta) for market
+// basket data (Section 3.3), under which each point in a cluster of size n_i
+// has approximately n_i^f(theta) neighbors inside the cluster.
+func DefaultF(theta float64) float64 { return (1 - theta) / (1 + theta) }
+
+// sizePow memoizes s^(1+2f) for cluster sizes s, the hot denominator of the
+// goodness measure: every heap update during clustering evaluates it, and
+// sizes only range over 1..n.
+type sizePow struct {
+	exp  float64
+	vals []float64
+}
+
+func newSizePow(f float64) *sizePow {
+	return &sizePow{exp: 1 + 2*f, vals: []float64{0}}
+}
+
+func (p *sizePow) of(s int) float64 {
+	for len(p.vals) <= s {
+		p.vals = append(p.vals, math.Pow(float64(len(p.vals)), p.exp))
+	}
+	return p.vals[s]
+}
+
+// Goodness computes g(Ci, Cj) = crossLinks / ((ni+nj)^(1+2f) - ni^(1+2f) -
+// nj^(1+2f)), the merge criterion of Section 4.2: observed cross links
+// normalized by the expected number of cross links between the two clusters.
+func Goodness(crossLinks, ni, nj int, f float64) float64 {
+	e := 1 + 2*f
+	den := math.Pow(float64(ni+nj), e) - math.Pow(float64(ni), e) - math.Pow(float64(nj), e)
+	return float64(crossLinks) / den
+}
+
+func (p *sizePow) goodness(crossLinks, ni, nj int) float64 {
+	den := p.of(ni+nj) - p.of(ni) - p.of(nj)
+	return float64(crossLinks) / den
+}
+
+// CriterionTerm is one cluster's contribution to E_l: n_i · L_i / n_i^(1+2f)
+// where L_i is the number of unordered intra-cluster point pairs with links,
+// counted with multiplicity (Σ_{q<r ∈ Ci} link(q, r)).
+func CriterionTerm(size, internalLinks int, f float64) float64 {
+	if size == 0 {
+		return 0
+	}
+	return float64(size) * float64(internalLinks) / math.Pow(float64(size), 1+2*f)
+}
+
+// Criterion evaluates E_l (Section 3.3) for a clustering given per-cluster
+// sizes and internal link sums.
+func Criterion(sizes, internalLinks []int, f float64) float64 {
+	if len(sizes) != len(internalLinks) {
+		panic(fmt.Sprintf("rockcore: %d sizes vs %d link sums", len(sizes), len(internalLinks)))
+	}
+	var e float64
+	for i := range sizes {
+		e += CriterionTerm(sizes[i], internalLinks[i], f)
+	}
+	return e
+}
+
+// ExpectedNeighbors returns (n+1)^f, the expected number of neighbors a
+// point has in a set of n points from one cluster; the labeling phase
+// (Section 4.6) divides observed neighbor counts by this to normalize for
+// labeled-set size.
+func ExpectedNeighbors(n int, f float64) float64 {
+	return math.Pow(float64(n+1), f)
+}

@@ -1,0 +1,120 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ZReservoir implements Vitter's Algorithm Z, the optimized reservoir
+// sampler from the paper ROCK cites for its sampling step ("Random sampling
+// with a reservoir", TOMS 1985). Like Algorithm X it skips records between
+// replacements, but it draws the skip with a rejection method whose expected
+// cost is O(1) once the stream is much longer than the reservoir, giving
+// O(k(1 + log(n/k))) total work.
+type ZReservoir struct {
+	k    int
+	seen int
+	skip int
+	w    float64 // Vitter's W state
+	buf  []int
+	rng  *rand.Rand
+}
+
+// NewZReservoir returns an Algorithm Z reservoir of capacity k.
+func NewZReservoir(k int, rng *rand.Rand) *ZReservoir {
+	if k <= 0 {
+		panic("sample: reservoir capacity must be positive")
+	}
+	return &ZReservoir{k: k, skip: -1, buf: make([]int, 0, k), rng: rng}
+}
+
+// Add offers item x to the reservoir.
+func (z *ZReservoir) Add(x int) {
+	z.seen++
+	if len(z.buf) < z.k {
+		z.buf = append(z.buf, x)
+		if len(z.buf) == z.k {
+			z.w = math.Exp(-math.Log(z.rng.Float64()) / float64(z.k))
+			z.drawSkip()
+		}
+		return
+	}
+	if z.skip > 0 {
+		z.skip--
+		return
+	}
+	z.buf[z.rng.Intn(z.k)] = x
+	z.drawSkip()
+}
+
+// drawSkip draws S per Algorithm Z. For small streams (t <= threshold·k) it
+// falls back to Algorithm X's linear CDF walk; beyond that it uses the
+// rejection method with the W state.
+func (z *ZReservoir) drawSkip() {
+	const threshold = 22 // Vitter's suggested T ≈ 22
+	t := z.seen
+	k := z.k
+	if t <= threshold*k {
+		// Algorithm X walk.
+		u := z.rng.Float64()
+		skip := 0
+		quot := float64(t+1-k) / float64(t+1)
+		tt := t
+		for quot > u {
+			skip++
+			tt++
+			quot *= float64(tt + 1 - k)
+			quot /= float64(tt + 1)
+		}
+		z.skip = skip
+		return
+	}
+	// The rejection scheme below is Vitter (1985), Algorithm Z, verbatim
+	// with n→kf (reservoir size) and t→tf (records seen).
+	kf := float64(k)
+	tf := float64(t)
+	term := tf - kf + 1
+	for {
+		u := z.rng.Float64()
+		x := tf * (z.w - 1)
+		s := math.Floor(x)
+		// Squeeze (quick acceptance) test.
+		ratio := (tf + 1) / term
+		lhs := math.Exp(math.Log(u*ratio*ratio*(term+s)/(tf+x)) / kf)
+		rhs := ((tf + x) / (term + s)) * term / tf
+		if lhs <= rhs {
+			z.w = rhs / lhs
+			z.skip = int(s)
+			return
+		}
+		// Full acceptance test.
+		y := (u * (tf + 1) / term) * (tf + s + 1) / (tf + x)
+		var denom, numerLim float64
+		if kf < s {
+			denom = tf
+			numerLim = term + s
+		} else {
+			denom = tf - kf + s
+			numerLim = tf + 1
+		}
+		for numer := tf + s; numer >= numerLim; numer-- {
+			y = y * numer / denom
+			denom--
+		}
+		z.w = math.Exp(-math.Log(z.rng.Float64()) / kf)
+		if math.Exp(math.Log(y)/kf) <= (tf+x)/tf {
+			z.skip = int(s)
+			return
+		}
+	}
+}
+
+// Seen returns the number of items offered so far.
+func (z *ZReservoir) Seen() int { return z.seen }
+
+// Sample returns the current sample.
+func (z *ZReservoir) Sample() []int {
+	out := make([]int, len(z.buf))
+	copy(out, z.buf)
+	return out
+}

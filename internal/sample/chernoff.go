@@ -1,0 +1,32 @@
+package sample
+
+import "math"
+
+// MinSize computes the Chernoff-bound minimum random-sample size from the
+// CURE paper (Guha, Rastogi & Shim, SIGMOD 1998, §4.4), which Section 4.6
+// of the ROCK paper defers to for "an analysis of the appropriate sample
+// size for good quality clustering": to capture at least f·|u| points of
+// every cluster u with |u| >= uMin, with probability at least 1 - delta per
+// cluster,
+//
+//	s >= f·N + (N/uMin)·ln(1/δ) + (N/uMin)·sqrt(ln(1/δ)² + 2·f·uMin·ln(1/δ))
+//
+// N is the data set size, uMin the smallest cluster size of interest, f the
+// fraction of each cluster the sample must contain (0 < f <= 1) and delta
+// the per-cluster failure probability.
+func MinSize(n, uMin int, f, delta float64) int {
+	if n <= 0 || uMin <= 0 || f <= 0 || delta <= 0 || delta >= 1 {
+		return 0
+	}
+	if uMin > n {
+		uMin = n
+	}
+	logd := math.Log(1 / delta)
+	nf, uf := float64(n), float64(uMin)
+	s := f*nf + (nf/uf)*logd + (nf/uf)*math.Sqrt(logd*logd+2*f*uf*logd)
+	size := int(math.Ceil(s))
+	if size > n {
+		size = n
+	}
+	return size
+}

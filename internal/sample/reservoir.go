@@ -1,0 +1,128 @@
+// Package sample implements reservoir sampling — the random-sampling step of
+// ROCK's pipeline (Figure 2 and Section 4.6, citing Vitter's "Random
+// sampling with a reservoir"). Two variants are provided: the classic
+// Algorithm R, and the skip-based Algorithm X that draws far fewer random
+// numbers when the stream is much larger than the reservoir.
+package sample
+
+import "math/rand"
+
+// Reservoir maintains a uniform random sample of fixed capacity over a
+// stream of item indices (Vitter's Algorithm R).
+type Reservoir struct {
+	k    int
+	seen int
+	buf  []int
+	rng  *rand.Rand
+}
+
+// NewReservoir returns a reservoir holding a uniform sample of size k.
+func NewReservoir(k int, rng *rand.Rand) *Reservoir {
+	if k <= 0 {
+		panic("sample: reservoir capacity must be positive")
+	}
+	return &Reservoir{k: k, buf: make([]int, 0, k), rng: rng}
+}
+
+// Add offers item x to the reservoir.
+func (r *Reservoir) Add(x int) {
+	r.seen++
+	if len(r.buf) < r.k {
+		r.buf = append(r.buf, x)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.k {
+		r.buf[j] = x
+	}
+}
+
+// Seen returns the number of items offered so far.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Sample returns the current sample (a copy, sorted not guaranteed).
+func (r *Reservoir) Sample() []int {
+	out := make([]int, len(r.buf))
+	copy(out, r.buf)
+	return out
+}
+
+// Indices returns a uniform sample of k indices from [0, n) using Algorithm
+// R over the virtual stream 0..n-1. When k >= n it returns all indices.
+func Indices(n, k int, rng *rand.Rand) []int {
+	if k >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	r := NewReservoir(k, rng)
+	for i := 0; i < n; i++ {
+		r.Add(i)
+	}
+	return r.Sample()
+}
+
+// SkipReservoir implements Vitter's Algorithm X: instead of flipping a coin
+// per item it draws the number of items to skip before the next replacement,
+// which is O(k(1 + log(n/k))) random draws instead of O(n).
+type SkipReservoir struct {
+	k    int
+	seen int
+	skip int // items still to pass over before the next replacement
+	buf  []int
+	rng  *rand.Rand
+}
+
+// NewSkipReservoir returns an Algorithm X reservoir of capacity k.
+func NewSkipReservoir(k int, rng *rand.Rand) *SkipReservoir {
+	if k <= 0 {
+		panic("sample: reservoir capacity must be positive")
+	}
+	return &SkipReservoir{k: k, skip: -1, buf: make([]int, 0, k), rng: rng}
+}
+
+// Add offers item x to the reservoir.
+func (s *SkipReservoir) Add(x int) {
+	s.seen++
+	if len(s.buf) < s.k {
+		s.buf = append(s.buf, x)
+		if len(s.buf) == s.k {
+			s.drawSkip() // t = k: schedule the first replacement
+		}
+		return
+	}
+	if s.skip > 0 {
+		s.skip--
+		return
+	}
+	s.buf[s.rng.Intn(s.k)] = x
+	s.drawSkip()
+}
+
+// drawSkip draws S(t) per Algorithm X: the number of records to skip when t
+// records have been seen, distributed as P(S >= s) = Π_{i=1..s} (t+i-k)/(t+i).
+func (s *SkipReservoir) drawSkip() {
+	t := s.seen
+	u := s.rng.Float64()
+	// Walk the CDF: quotient = P(S >= skip+1).
+	skip := 0
+	quot := float64(t+1-s.k) / float64(t+1)
+	for quot > u {
+		skip++
+		t++
+		quot *= float64(t + 1 - s.k)
+		quot /= float64(t + 1)
+	}
+	s.skip = skip
+}
+
+// Seen returns the number of items offered so far.
+func (s *SkipReservoir) Seen() int { return s.seen }
+
+// Sample returns the current sample.
+func (s *SkipReservoir) Sample() []int {
+	out := make([]int, len(s.buf))
+	copy(out, s.buf)
+	return out
+}

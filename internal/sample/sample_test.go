@@ -1,0 +1,266 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestReservoirSizeAndMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir(10, rng)
+	for i := 0; i < 1000; i++ {
+		r.Add(i)
+	}
+	s := r.Sample()
+	if len(s) != 10 {
+		t.Fatalf("sample size = %d, want 10", len(s))
+	}
+	seen := make(map[int]bool)
+	for _, x := range s {
+		if x < 0 || x >= 1000 {
+			t.Fatalf("sample contains %d outside stream", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate %d in sample", x)
+		}
+		seen[x] = true
+	}
+	if r.Seen() != 1000 {
+		t.Fatalf("Seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirShortStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := NewReservoir(10, rng)
+	for i := 0; i < 5; i++ {
+		r.Add(i)
+	}
+	s := r.Sample()
+	sort.Ints(s)
+	if len(s) != 5 {
+		t.Fatalf("short stream sample = %v", s)
+	}
+	for i, x := range s {
+		if x != i {
+			t.Fatalf("short stream sample = %v", s)
+		}
+	}
+}
+
+// TestReservoirUniformity draws many samples and checks each stream element
+// is selected with frequency close to k/n (a chi-squared-free tolerance
+// check; tolerance is 5 sigma of the binomial).
+func TestReservoirUniformity(t *testing.T) {
+	const n, k, trials = 40, 8, 6000
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(3))
+	for tr := 0; tr < trials; tr++ {
+		r := NewReservoir(k, rng)
+		for i := 0; i < n; i++ {
+			r.Add(i)
+		}
+		for _, x := range r.Sample() {
+			counts[x]++
+		}
+	}
+	p := float64(k) / float64(n)
+	mean := p * trials
+	sigma := math.Sqrt(trials * p * (1 - p))
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > 5*sigma {
+			t.Errorf("element %d selected %d times, want %.0f±%.0f", i, c, mean, 5*sigma)
+		}
+	}
+}
+
+func TestSkipReservoirUniformity(t *testing.T) {
+	const n, k, trials = 40, 8, 6000
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(4))
+	for tr := 0; tr < trials; tr++ {
+		r := NewSkipReservoir(k, rng)
+		for i := 0; i < n; i++ {
+			r.Add(i)
+		}
+		for _, x := range r.Sample() {
+			counts[x]++
+		}
+	}
+	p := float64(k) / float64(n)
+	mean := p * trials
+	sigma := math.Sqrt(trials * p * (1 - p))
+	for i, c := range counts {
+		if math.Abs(float64(c)-mean) > 5*sigma {
+			t.Errorf("element %d selected %d times, want %.0f±%.0f", i, c, mean, 5*sigma)
+		}
+	}
+}
+
+func TestSkipReservoirBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := NewSkipReservoir(16, rng)
+	for i := 0; i < 5000; i++ {
+		r.Add(i)
+	}
+	s := r.Sample()
+	if len(s) != 16 || r.Seen() != 5000 {
+		t.Fatalf("sample %d, seen %d", len(s), r.Seen())
+	}
+	seen := make(map[int]bool)
+	for _, x := range s {
+		if x < 0 || x >= 5000 || seen[x] {
+			t.Fatalf("bad sample %v", s)
+		}
+		seen[x] = true
+	}
+}
+
+func TestIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	idx := Indices(100, 20, rng)
+	if len(idx) != 20 {
+		t.Fatalf("len = %d", len(idx))
+	}
+	all := Indices(10, 50, rng)
+	if len(all) != 10 {
+		t.Fatalf("oversized request should return all, got %d", len(all))
+	}
+	for i, x := range all {
+		if x != i {
+			t.Fatalf("identity expected, got %v", all)
+		}
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReservoir(0, rand.New(rand.NewSource(1)))
+}
+
+func TestChernoffMinSize(t *testing.T) {
+	// Monotonicity: smaller minimum clusters need bigger samples; lower
+	// failure probability needs bigger samples.
+	n := 100000
+	base := MinSize(n, 5000, 0.1, 0.01)
+	if base <= 0 || base > n {
+		t.Fatalf("MinSize = %d", base)
+	}
+	if smaller := MinSize(n, 1000, 0.1, 0.01); smaller <= base {
+		t.Errorf("smaller uMin should need a bigger sample: %d vs %d", smaller, base)
+	}
+	if stricter := MinSize(n, 5000, 0.1, 0.0001); stricter <= base {
+		t.Errorf("smaller delta should need a bigger sample: %d vs %d", stricter, base)
+	}
+	if richer := MinSize(n, 5000, 0.5, 0.01); richer <= base {
+		t.Errorf("larger f should need a bigger sample: %d vs %d", richer, base)
+	}
+}
+
+func TestChernoffMinSizeEdges(t *testing.T) {
+	if MinSize(0, 10, 0.1, 0.01) != 0 {
+		t.Error("n=0 should give 0")
+	}
+	if MinSize(100, 10, 0, 0.01) != 0 {
+		t.Error("f=0 should give 0")
+	}
+	if got := MinSize(100, 200, 1, 0.5); got > 100 {
+		t.Errorf("sample %d exceeds population", got)
+	}
+}
+
+// TestChernoffBoundEmpirical samples repeatedly at the bound and verifies
+// the guarantee holds with margin: every cluster of size >= uMin receives
+// at least f*uMin sampled points in (almost) every trial.
+func TestChernoffBoundEmpirical(t *testing.T) {
+	const n, uMin, trials = 5000, 500, 200
+	f, delta := 0.1, 0.05
+	s := MinSize(n, uMin, f, delta)
+	rng := rand.New(rand.NewSource(8))
+	// One cluster occupying exactly positions [0, uMin).
+	failures := 0
+	for tr := 0; tr < trials; tr++ {
+		idx := Indices(n, s, rng)
+		hit := 0
+		for _, p := range idx {
+			if p < uMin {
+				hit++
+			}
+		}
+		if float64(hit) < f*float64(uMin) {
+			failures++
+		}
+	}
+	// Expected failure rate <= delta; allow 3x margin for test stability.
+	if float64(failures) > 3*delta*float64(trials) {
+		t.Errorf("bound violated in %d/%d trials", failures, trials)
+	}
+}
+
+func TestZReservoirUniformity(t *testing.T) {
+	const n, k, trials = 2000, 16, 1500
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(9))
+	for tr := 0; tr < trials; tr++ {
+		z := NewZReservoir(k, rng)
+		for i := 0; i < n; i++ {
+			z.Add(i)
+		}
+		for _, x := range z.Sample() {
+			counts[x]++
+		}
+	}
+	p := float64(k) / float64(n)
+	mean := p * trials
+	sigma := math.Sqrt(trials * p * (1 - p))
+	// Bucketed check (per-element counts are small): sum over 20 buckets.
+	const buckets = 20
+	per := n / buckets
+	bMean := mean * float64(per)
+	bSigma := sigma * math.Sqrt(float64(per))
+	for b := 0; b < buckets; b++ {
+		s := 0
+		for i := b * per; i < (b+1)*per; i++ {
+			s += counts[i]
+		}
+		if math.Abs(float64(s)-bMean) > 5*bSigma {
+			t.Errorf("bucket %d: %d selections, want %.0f±%.0f", b, s, bMean, 5*bSigma)
+		}
+	}
+}
+
+func TestZReservoirBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	z := NewZReservoir(32, rng)
+	for i := 0; i < 100000; i++ {
+		z.Add(i)
+	}
+	s := z.Sample()
+	if len(s) != 32 || z.Seen() != 100000 {
+		t.Fatalf("sample %d seen %d", len(s), z.Seen())
+	}
+	seen := map[int]bool{}
+	for _, x := range s {
+		if x < 0 || x >= 100000 || seen[x] {
+			t.Fatalf("bad sample %v", s)
+		}
+		seen[x] = true
+	}
+}
+
+func TestZReservoirShortStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	z := NewZReservoir(10, rng)
+	for i := 0; i < 4; i++ {
+		z.Add(i)
+	}
+	if len(z.Sample()) != 4 {
+		t.Fatal("short stream should keep everything")
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"rock/internal/dataset"
+)
+
+// Goodall builds the Goodall similarity for categorical records: matches on
+// rare attribute values count more than matches on common ones. For a pair
+// of records, each attribute where both agree on value v contributes
+// 1 - p(v)², where p(v) is the value's empirical frequency; disagreements
+// and missing values contribute 0; the result is the mean contribution over
+// all attributes, normalized into [0, 1].
+//
+// This is one more "non-metric similarity function obtained from the data"
+// in the spirit of Section 3.1 — ROCK consumes it unchanged through
+// ClusterSim.
+func Goodall(schema *dataset.Schema, records []dataset.Record) Func {
+	// Empirical value frequencies per attribute.
+	freqs := make([][]float64, schema.NumAttrs())
+	for a := range schema.Attrs {
+		counts := make([]int, len(schema.Attrs[a].Domain))
+		total := 0
+		for _, r := range records {
+			if v := r[a]; v != dataset.Missing {
+				counts[v]++
+				total++
+			}
+		}
+		f := make([]float64, len(counts))
+		if total > 0 {
+			for v, c := range counts {
+				f[v] = float64(c) / float64(total)
+			}
+		}
+		freqs[a] = f
+	}
+	n := schema.NumAttrs()
+	return func(i, j int) float64 {
+		a, b := records[i], records[j]
+		var s float64
+		for attr := 0; attr < n; attr++ {
+			if a[attr] == dataset.Missing || a[attr] != b[attr] {
+				continue
+			}
+			p := freqs[attr][a[attr]]
+			s += 1 - p*p
+		}
+		return s / float64(n)
+	}
+}

@@ -1,0 +1,161 @@
+// Package sim provides the normalized similarity functions of Section 3.1 of
+// the ROCK paper. A similarity function returns values in [0, 1], with 1 for
+// identical points; a pair of points are neighbors when their similarity is
+// at least the user threshold theta.
+//
+// The package offers set-theoretic measures on transactions (Jaccard — the
+// paper's choice — plus Dice, overlap and cosine), Lp-distance-derived
+// similarities on numeric vectors, and arbitrary caller-supplied similarity
+// tables ("domain expert" similarities, which the paper's framework admits
+// because links only require a normalized sim and a threshold).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"rock/internal/dataset"
+)
+
+// TxnFunc is a normalized similarity between two transactions.
+type TxnFunc func(a, b dataset.Transaction) float64
+
+// Jaccard returns |a ∩ b| / |a ∪ b|, the paper's similarity for market
+// basket data (Section 3.1.1). The similarity of two empty transactions is
+// defined as 0: an empty basket carries no evidence of closeness.
+func Jaccard(a, b dataset.Transaction) float64 {
+	inter := a.IntersectLen(b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Dice returns 2|a ∩ b| / (|a| + |b|).
+func Dice(a, b dataset.Transaction) float64 {
+	if len(a)+len(b) == 0 {
+		return 0
+	}
+	return 2 * float64(a.IntersectLen(b)) / float64(len(a)+len(b))
+}
+
+// Overlap returns |a ∩ b| / min(|a|, |b|). It is 1 whenever one transaction
+// is a subset of the other, which the paper's discussion of small baskets
+// (the milk-only transaction) argues against for clustering; it is provided
+// for comparison experiments.
+func Overlap(a, b dataset.Transaction) float64 {
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	if m == 0 {
+		return 0
+	}
+	return float64(a.IntersectLen(b)) / float64(m)
+}
+
+// Cosine returns |a ∩ b| / sqrt(|a| · |b|), the cosine of the angle between
+// the boolean indicator vectors of the two transactions.
+func Cosine(a, b dataset.Transaction) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return float64(a.IntersectLen(b)) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+// VecFunc is a normalized similarity between two numeric vectors.
+type VecFunc func(a, b []float64) float64
+
+// LpSimilarity converts the Lp distance between vectors whose coordinates
+// lie in [0, 1] into a normalized similarity: 1 - d_p(a, b) / d_max, where
+// d_max = dim^(1/p) is the Lp diameter of the unit cube. p must be >= 1.
+func LpSimilarity(p float64) VecFunc {
+	if p < 1 {
+		panic(fmt.Sprintf("sim: Lp similarity requires p >= 1, got %v", p))
+	}
+	return func(a, b []float64) float64 {
+		if len(a) != len(b) {
+			panic(fmt.Sprintf("sim: vector length mismatch %d vs %d", len(a), len(b)))
+		}
+		if len(a) == 0 {
+			return 0
+		}
+		var s float64
+		for i := range a {
+			s += math.Pow(math.Abs(a[i]-b[i]), p)
+		}
+		d := math.Pow(s, 1/p)
+		dmax := math.Pow(float64(len(a)), 1/p)
+		v := 1 - d/dmax
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+}
+
+// Euclidean is the L2-derived normalized similarity.
+var Euclidean = LpSimilarity(2)
+
+// Func is a similarity addressed by point index; this is the form the link
+// machinery consumes, so that the same code handles transactions, records,
+// vectors and expert tables.
+type Func func(i, j int) float64
+
+// ByIndex adapts a transaction similarity to an index-addressed one over the
+// given points.
+func ByIndex(points []dataset.Transaction, f TxnFunc) Func {
+	return func(i, j int) float64 { return f(points[i], points[j]) }
+}
+
+// RecordsPairwise adapts the paper's time-series rule (Section 3.1.2,
+// dataset.PairwiseJaccard) to an index-addressed similarity over records.
+func RecordsPairwise(records []dataset.Record) Func {
+	return func(i, j int) float64 { return dataset.PairwiseJaccard(records[i], records[j]) }
+}
+
+// Table is a caller-supplied symmetric similarity matrix — the "similarity
+// table from a domain expert" that Section 3.1 admits as a similarity source.
+type Table struct {
+	n    int
+	vals []float64 // upper-triangular, including diagonal
+}
+
+// NewTable creates an n×n table initialized to 0 off-diagonal and 1 on the
+// diagonal (points are fully similar to themselves).
+func NewTable(n int) *Table {
+	t := &Table{n: n, vals: make([]float64, n*(n+1)/2)}
+	for i := 0; i < n; i++ {
+		t.Set(i, i, 1)
+	}
+	return t
+}
+
+func (t *Table) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	if j >= t.n || i < 0 {
+		panic(fmt.Sprintf("sim: table index (%d,%d) out of range n=%d", i, j, t.n))
+	}
+	// Row-major upper triangle: row i starts at i*n - i*(i-1)/2.
+	return i*t.n - i*(i-1)/2 + (j - i)
+}
+
+// Set stores sim(i, j) = v (symmetrically). v must lie in [0, 1].
+func (t *Table) Set(i, j int, v float64) {
+	if v < 0 || v > 1 {
+		panic(fmt.Sprintf("sim: similarity %v out of [0,1]", v))
+	}
+	t.vals[t.idx(i, j)] = v
+}
+
+// Sim returns the stored similarity between points i and j.
+func (t *Table) Sim(i, j int) float64 { return t.vals[t.idx(i, j)] }
+
+// Func returns the table as an index-addressed similarity.
+func (t *Table) Func() Func { return t.Sim }
+
+// N returns the number of points the table covers.
+func (t *Table) N() int { return t.n }

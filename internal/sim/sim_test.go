@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rock/internal/dataset"
+)
+
+func tx(items ...dataset.Item) dataset.Transaction { return dataset.NewTransaction(items...) }
+
+func TestJaccardPaperFigure1Values(t *testing.T) {
+	// Example 1.2: Jaccard ranges from 0.2 ({1,2,3} vs {3,4,5}) to 0.5
+	// ({1,2,3} vs {1,2,4}); {1,2,3} vs {1,2,7} is also 0.5.
+	cases := []struct {
+		a, b dataset.Transaction
+		want float64
+	}{
+		{tx(1, 2, 3), tx(3, 4, 5), 0.2},
+		{tx(1, 2, 3), tx(1, 2, 4), 0.5},
+		{tx(1, 2, 3), tx(1, 2, 7), 0.5},
+		{tx(1, 2, 3), tx(1, 2, 3), 1},
+		{tx(1, 2, 3), tx(4, 5, 6), 0},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardExample11Distances(t *testing.T) {
+	// Example 1.1's transactions: {1,4} and {6} share nothing.
+	if got := Jaccard(tx(1, 4), tx(6)); got != 0 {
+		t.Errorf("Jaccard = %v, want 0", got)
+	}
+}
+
+func TestEmptyTransactions(t *testing.T) {
+	e := dataset.Transaction{}
+	for name, f := range map[string]TxnFunc{"jaccard": Jaccard, "dice": Dice, "overlap": Overlap, "cosine": Cosine} {
+		if got := f(e, e); got != 0 {
+			t.Errorf("%s(empty, empty) = %v, want 0", name, got)
+		}
+		if got := f(e, tx(1)); got != 0 {
+			t.Errorf("%s(empty, {1}) = %v, want 0", name, got)
+		}
+	}
+}
+
+func TestDiceOverlapCosineKnownValues(t *testing.T) {
+	a, b := tx(1, 2, 3), tx(2, 3, 4, 5)
+	if got := Dice(a, b); math.Abs(got-4.0/7) > 1e-12 {
+		t.Errorf("Dice = %v, want 4/7", got)
+	}
+	if got := Overlap(a, b); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Overlap = %v, want 2/3", got)
+	}
+	if got := Cosine(a, b); math.Abs(got-2/math.Sqrt(12)) > 1e-12 {
+		t.Errorf("Cosine = %v, want 2/sqrt(12)", got)
+	}
+	// Subset: overlap is 1.
+	if got := Overlap(tx(1, 2), tx(1, 2, 3, 4)); got != 1 {
+		t.Errorf("Overlap subset = %v, want 1", got)
+	}
+}
+
+// Property: all transaction similarities are symmetric, in [0,1], and 1 on
+// identical non-empty transactions.
+func TestTxnSimilarityAxiomsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	funcs := map[string]TxnFunc{"jaccard": Jaccard, "dice": Dice, "overlap": Overlap, "cosine": Cosine}
+	for trial := 0; trial < 300; trial++ {
+		a := randomTx(rng)
+		b := randomTx(rng)
+		for name, f := range funcs {
+			x, y := f(a, b), f(b, a)
+			if x != y {
+				t.Fatalf("%s not symmetric", name)
+			}
+			if x < 0 || x > 1 {
+				t.Fatalf("%s out of [0,1]: %v", name, x)
+			}
+			if len(a) > 0 && f(a, a) != 1 {
+				t.Fatalf("%s(a,a) != 1", name)
+			}
+		}
+		// Jaccard <= Dice <= ... sanity: Jaccard <= Overlap.
+		if Jaccard(a, b) > Overlap(a, b)+1e-12 {
+			t.Fatalf("Jaccard > Overlap for %v, %v", a, b)
+		}
+	}
+}
+
+func randomTx(rng *rand.Rand) dataset.Transaction {
+	n := rng.Intn(8)
+	items := make([]dataset.Item, n)
+	for i := range items {
+		items[i] = dataset.Item(rng.Intn(12))
+	}
+	return dataset.NewTransaction(items...)
+}
+
+func TestLpSimilarity(t *testing.T) {
+	e := LpSimilarity(2)
+	if got := e([]float64{0, 0}, []float64{0, 0}); got != 1 {
+		t.Errorf("identical = %v, want 1", got)
+	}
+	// Opposite unit-cube corners: distance = diameter -> similarity 0.
+	if got := e([]float64{0, 0}, []float64{1, 1}); math.Abs(got) > 1e-12 {
+		t.Errorf("corners = %v, want 0", got)
+	}
+	l1 := LpSimilarity(1)
+	if got := l1([]float64{0, 0}, []float64{1, 0}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("L1 half = %v, want 0.5", got)
+	}
+}
+
+func TestLpSimilarityPanicsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p < 1")
+		}
+	}()
+	LpSimilarity(0.5)
+}
+
+func TestLpSimilarityQuickRange(t *testing.T) {
+	f := func(xs, ys [4]float64) bool {
+		a, b := make([]float64, 4), make([]float64, 4)
+		for i := range a {
+			a[i] = math.Abs(xs[i] - math.Floor(xs[i])) // into [0,1)
+			b[i] = math.Abs(ys[i] - math.Floor(ys[i]))
+		}
+		v := Euclidean(a, b)
+		return v >= 0 && v <= 1 && Euclidean(a, a) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable(4)
+	if tab.Sim(2, 2) != 1 {
+		t.Error("diagonal should be 1")
+	}
+	tab.Set(0, 3, 0.7)
+	if tab.Sim(3, 0) != 0.7 {
+		t.Error("table not symmetric")
+	}
+	if tab.Sim(0, 1) != 0 {
+		t.Error("unset off-diagonal should be 0")
+	}
+	f := tab.Func()
+	if f(0, 3) != 0.7 {
+		t.Error("Func() inconsistent")
+	}
+	if tab.N() != 4 {
+		t.Errorf("N = %d", tab.N())
+	}
+}
+
+func TestTableSetValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for sim > 1")
+		}
+	}()
+	NewTable(2).Set(0, 1, 1.5)
+}
+
+func TestByIndexAdapts(t *testing.T) {
+	pts := []dataset.Transaction{tx(1, 2), tx(1, 2), tx(3)}
+	f := ByIndex(pts, Jaccard)
+	if f(0, 1) != 1 || f(0, 2) != 0 {
+		t.Error("ByIndex mismatch")
+	}
+}
+
+func TestRecordsPairwiseAdapts(t *testing.T) {
+	recs := []dataset.Record{{0, 1}, {0, dataset.Missing}}
+	f := RecordsPairwise(recs)
+	if f(0, 1) != 1 {
+		t.Errorf("pairwise = %v, want 1 (only common attr agrees)", f(0, 1))
+	}
+}
+
+func TestGoodallWeightsRareMatches(t *testing.T) {
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "a", Domain: []string{"common", "rare"}},
+	)
+	// "common" appears 9 times, "rare" once... make two rare records.
+	records := []dataset.Record{
+		{0}, {0}, {0}, {0}, {0}, {0}, {0}, {0}, {1}, {1},
+	}
+	g := Goodall(schema, records)
+	commonMatch := g(0, 1) // both "common": 1 - 0.8² = 0.36
+	rareMatch := g(8, 9)   // both "rare":   1 - 0.2² = 0.96
+	if !(rareMatch > commonMatch) {
+		t.Fatalf("rare match %v should exceed common match %v", rareMatch, commonMatch)
+	}
+	if math.Abs(commonMatch-0.36) > 1e-12 || math.Abs(rareMatch-0.96) > 1e-12 {
+		t.Fatalf("values = %v, %v", commonMatch, rareMatch)
+	}
+	if g(0, 8) != 0 {
+		t.Fatal("disagreement should contribute 0")
+	}
+}
+
+func TestGoodallRangeAndSymmetry(t *testing.T) {
+	schema := dataset.NewSchema(
+		dataset.Attribute{Name: "a", Domain: []string{"x", "y", "z"}},
+		dataset.Attribute{Name: "b", Domain: []string{"x", "y"}},
+	)
+	records := []dataset.Record{
+		{0, 0}, {1, 1}, {2, dataset.Missing}, {0, 1},
+	}
+	g := Goodall(schema, records)
+	for i := range records {
+		for j := range records {
+			v := g(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("g(%d,%d) = %v out of range", i, j, v)
+			}
+			if v != g(j, i) {
+				t.Fatalf("not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"compress/gzip"
+	"io"
+	"os"
+
+	"rock/internal/dataset"
+)
+
+// SaveBinaryGz writes transactions to path in the binary format, gzipped.
+// The labeling phase streams the file twice, so on-disk size matters for
+// large workloads; sorted-delta varints compress well.
+func SaveBinaryGz(path string, txns []dataset.Transaction) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(f)
+	if err := WriteBinary(zw, txns); err != nil {
+		zw.Close()
+		f.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// gzCloser closes the gzip reader and the underlying file together.
+type gzCloser struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzCloser) Close() error {
+	zerr := g.zr.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// OpenBinaryGz opens a gzipped binary-format file for streaming.
+func OpenBinaryGz(path string) (*BinaryScanner, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	sc, err := NewBinaryScanner(zr)
+	if err != nil {
+		zr.Close()
+		f.Close()
+		return nil, nil, err
+	}
+	return sc, &gzCloser{zr: zr, f: f}, nil
+}

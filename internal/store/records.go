@@ -1,0 +1,135 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rock/internal/dataset"
+)
+
+// Categorical files hold records of categorical data in a CSV-like text
+// format compatible with the UCI repository's style: a header block
+// declaring each attribute and its domain, then one comma-separated record
+// per line with "?" for missing values.
+//
+//	# attr <name> <value1> <value2> ...
+//	v11,v12,...
+//	?,v22,...
+
+// WriteCategorical writes a schema and records in the categorical format.
+func WriteCategorical(w io.Writer, schema *dataset.Schema, records []dataset.Record) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range schema.Attrs {
+		if _, err := fmt.Fprintf(bw, "# attr %s %s\n", a.Name, strings.Join(a.Domain, " ")); err != nil {
+			return err
+		}
+	}
+	for _, r := range records {
+		for a, v := range r {
+			if a > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			s := "?"
+			if v != dataset.Missing {
+				s = schema.Attrs[a].Domain[v]
+			}
+			if _, err := bw.WriteString(s); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCategorical parses a categorical-format file.
+func ReadCategorical(r io.Reader) (*dataset.Schema, []dataset.Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	schema := &dataset.Schema{}
+	var records []dataset.Record
+	line := 0
+	// Value index per attribute, built once the header ends.
+	var valIdx []map[string]int
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# attr ") {
+			if records != nil {
+				return nil, nil, fmt.Errorf("store: line %d: header after records", line)
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, "# attr "))
+			if len(fields) < 2 {
+				return nil, nil, fmt.Errorf("store: line %d: attribute needs a name and at least one value", line)
+			}
+			schema.Attrs = append(schema.Attrs, dataset.Attribute{Name: fields[0], Domain: fields[1:]})
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		if valIdx == nil {
+			valIdx = make([]map[string]int, len(schema.Attrs))
+			for a, at := range schema.Attrs {
+				valIdx[a] = make(map[string]int, len(at.Domain))
+				for i, v := range at.Domain {
+					valIdx[a][v] = i
+				}
+			}
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != len(schema.Attrs) {
+			return nil, nil, fmt.Errorf("store: line %d: %d values for %d attributes", line, len(parts), len(schema.Attrs))
+		}
+		rec := dataset.NewRecord(len(parts))
+		for a, p := range parts {
+			p = strings.TrimSpace(p)
+			if p == "?" {
+				continue
+			}
+			v, ok := valIdx[a][p]
+			if !ok {
+				return nil, nil, fmt.Errorf("store: line %d: value %q not in domain of %s", line, p, schema.Attrs[a].Name)
+			}
+			rec[a] = v
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return schema, records, nil
+}
+
+// SaveCategorical writes a categorical file to path.
+func SaveCategorical(path string, schema *dataset.Schema, records []dataset.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCategorical(f, schema, records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCategorical reads a categorical file from path.
+func LoadCategorical(path string) (*dataset.Schema, []dataset.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadCategorical(f)
+}

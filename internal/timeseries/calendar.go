@@ -1,0 +1,44 @@
+package timeseries
+
+import "time"
+
+// nyseHolidays are the U.S. market holidays falling on weekdays between
+// Jan 4, 1993 and Mar 3, 1995 (Presidents Day, Good Friday, Memorial Day,
+// Independence Day, Labor Day, Thanksgiving, Christmas, New Year's Day —
+// observed dates). They are excluded from the trading calendar so that the
+// fund records come out near the paper's 548 attributes (Table 1).
+var nyseHolidays = map[string]bool{
+	"1993-02-15": true, // Presidents Day
+	"1993-04-09": true, // Good Friday
+	"1993-05-31": true, // Memorial Day
+	"1993-07-05": true, // Independence Day (observed)
+	"1993-09-06": true, // Labor Day
+	"1993-11-25": true, // Thanksgiving
+	"1993-12-24": true, // Christmas (observed)
+	"1994-02-21": true, // Presidents Day
+	"1994-04-01": true, // Good Friday
+	"1994-05-30": true, // Memorial Day
+	"1994-07-04": true, // Independence Day
+	"1994-09-05": true, // Labor Day
+	"1994-11-24": true, // Thanksgiving
+	"1994-12-26": true, // Christmas (observed)
+	"1995-01-02": true, // New Year's Day (observed)
+	"1995-02-20": true, // Presidents Day
+}
+
+// TradingDays returns the business days between from and to inclusive with
+// U.S. market holidays removed.
+func TradingDays(from, to time.Time) []time.Time {
+	var days []time.Time
+	for _, d := range BusinessDays(from, to) {
+		if !nyseHolidays[d.Format("2006-01-02")] {
+			days = append(days, d)
+		}
+	}
+	return days
+}
+
+// FundCalendar is the trading calendar of the paper's mutual-fund data set.
+func FundCalendar() []time.Time {
+	return TradingDays(FundEpochStart, FundEpochEnd)
+}

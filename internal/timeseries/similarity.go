@@ -1,0 +1,87 @@
+package timeseries
+
+import "math"
+
+// CorrelationSim returns a normalized similarity between two price series in
+// the spirit of the [ALSS95] similarity model the paper cites for
+// time-series data (Section 5.1): amplitude scaling and translation are
+// factored out by comparing the series' daily returns over their common
+// (non-missing) window via the Pearson correlation, mapped from [-1, 1]
+// into [0, 1]. Pairs with fewer than minOverlap common return observations
+// score 0.
+//
+// The paper notes that such externally produced similarity values "can be
+// directly used in ROCK to determine neighbors and links" — wire this
+// through rock.ClusterSim.
+func CorrelationSim(series []Series, minOverlap int) func(i, j int) float64 {
+	if minOverlap < 2 {
+		minOverlap = 2
+	}
+	// Precompute per-series returns (NaN where either endpoint missing).
+	rets := make([][]float64, len(series))
+	for i, s := range series {
+		r := make([]float64, maxInt(0, len(s)-1))
+		for t := 0; t+1 < len(s); t++ {
+			if s.Missing(t) || s.Missing(t+1) || s[t] == 0 {
+				r[t] = math.NaN()
+			} else {
+				r[t] = (s[t+1] - s[t]) / s[t]
+			}
+		}
+		rets[i] = r
+	}
+	return func(i, j int) float64 {
+		a, b := rets[i], rets[j]
+		n := minInt(len(a), len(b))
+		var sx, sy, sxx, syy, sxy float64
+		m := 0
+		for t := 0; t < n; t++ {
+			if math.IsNaN(a[t]) || math.IsNaN(b[t]) {
+				continue
+			}
+			m++
+			sx += a[t]
+			sy += b[t]
+			sxx += a[t] * a[t]
+			syy += b[t] * b[t]
+			sxy += a[t] * b[t]
+		}
+		if m < minOverlap {
+			return 0
+		}
+		fm := float64(m)
+		cov := sxy - sx*sy/fm
+		vx := sxx - sx*sx/fm
+		vy := syy - sy*sy/fm
+		if vx <= 0 || vy <= 0 {
+			// A constant series correlates with nothing definite; treat
+			// two constants as identical behaviour, otherwise dissimilar.
+			if vx <= 0 && vy <= 0 {
+				return 1
+			}
+			return 0
+		}
+		r := cov / math.Sqrt(vx*vy)
+		if r > 1 {
+			r = 1
+		}
+		if r < -1 {
+			r = -1
+		}
+		return (r + 1) / 2
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

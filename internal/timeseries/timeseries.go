@@ -1,0 +1,112 @@
+// Package timeseries provides the time-series-to-categorical machinery of
+// Section 5.1 of the paper: a business-day calendar spanning the mutual-fund
+// data set's date range, price paths with missing prefixes for young funds,
+// and the discretization of closing prices into the categorical values Up,
+// Down and No (no change) relative to the previous business day.
+package timeseries
+
+import (
+	"math"
+	"time"
+
+	"rock/internal/dataset"
+)
+
+// Move is the categorical value of one day's price change.
+type Move int
+
+const (
+	// NoChange means the closing price equals the previous close.
+	NoChange Move = iota
+	// Up means the price rose.
+	Up
+	// Down means the price fell.
+	Down
+)
+
+// MoveNames are the domain strings, indexed by Move.
+var MoveNames = []string{"No", "Up", "Down"}
+
+// String names the move.
+func (m Move) String() string { return MoveNames[m] }
+
+// BusinessDays returns every weekday (Mon–Fri) from from to to inclusive.
+// The paper's data covers Jan 4, 1993 through Mar 3, 1995: 565 business
+// days of which the first has no prior close, leaving 548 change attributes
+// after discretization — matching Table 1's 548 attributes... see Calendar.
+func BusinessDays(from, to time.Time) []time.Time {
+	var days []time.Time
+	for d := from; !d.After(to); d = d.AddDate(0, 0, 1) {
+		wd := d.Weekday()
+		if wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		days = append(days, d)
+	}
+	return days
+}
+
+// FundEpochStart and FundEpochEnd bound the paper's mutual-fund data set.
+var (
+	FundEpochStart = time.Date(1993, time.January, 4, 0, 0, 0, 0, time.UTC)
+	FundEpochEnd   = time.Date(1995, time.March, 3, 0, 0, 0, 0, time.UTC)
+)
+
+// Series is one fund's closing prices aligned to a shared calendar; NaN
+// marks missing observations (e.g. before a young fund's launch).
+type Series []float64
+
+// Missing reports whether day t has no observation.
+func (s Series) Missing(t int) bool { return math.IsNaN(s[t]) }
+
+// Discretize converts a price series into a categorical record over the
+// change attributes: record[t] describes the move from day t to day t+1,
+// so a series over D days yields D-1 attributes. A move is Missing when
+// either endpoint price is missing. Prices are compared after rounding to
+// cents, so sub-cent drift counts as "No" — the tie that makes the No value
+// populated in practice.
+func Discretize(s Series) dataset.Record {
+	if len(s) < 2 {
+		return dataset.NewRecord(0)
+	}
+	r := dataset.NewRecord(len(s) - 1)
+	for t := 0; t+1 < len(s); t++ {
+		if s.Missing(t) || s.Missing(t+1) {
+			continue
+		}
+		a, b := roundCents(s[t]), roundCents(s[t+1])
+		switch {
+		case b > a:
+			r[t] = int(Up)
+		case b < a:
+			r[t] = int(Down)
+		default:
+			r[t] = int(NoChange)
+		}
+	}
+	return r
+}
+
+func roundCents(p float64) int64 { return int64(math.Round(p * 100)) }
+
+// ChangeSchema builds the categorical schema for a calendar of d days:
+// one attribute per day-to-day change, with domain {No, Up, Down}.
+func ChangeSchema(days []time.Time) *dataset.Schema {
+	attrs := make([]dataset.Attribute, 0, len(days)-1)
+	for t := 0; t+1 < len(days); t++ {
+		attrs = append(attrs, dataset.Attribute{
+			Name:   days[t+1].Format("2006-01-02"),
+			Domain: MoveNames,
+		})
+	}
+	return dataset.NewSchema(attrs...)
+}
+
+// DiscretizeAll converts a set of aligned series into records.
+func DiscretizeAll(series []Series) []dataset.Record {
+	out := make([]dataset.Record, len(series))
+	for i, s := range series {
+		out[i] = Discretize(s)
+	}
+	return out
+}

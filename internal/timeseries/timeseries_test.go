@@ -1,0 +1,155 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rock/internal/dataset"
+)
+
+func TestBusinessDaysSkipWeekends(t *testing.T) {
+	// Mon Jan 4 1993 through Sun Jan 10 1993: 5 business days.
+	from := time.Date(1993, 1, 4, 0, 0, 0, 0, time.UTC)
+	to := time.Date(1993, 1, 10, 0, 0, 0, 0, time.UTC)
+	days := BusinessDays(from, to)
+	if len(days) != 5 {
+		t.Fatalf("days = %d, want 5", len(days))
+	}
+	for _, d := range days {
+		if wd := d.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			t.Fatalf("weekend day %v included", d)
+		}
+	}
+}
+
+func TestFundCalendarMatchesTable1(t *testing.T) {
+	days := FundCalendar()
+	// 549 trading days -> 548 day-to-day change attributes (Table 1).
+	if len(days) != 549 {
+		t.Fatalf("trading days = %d, want 549", len(days))
+	}
+	if got := days[0].Format("2006-01-02"); got != "1993-01-04" {
+		t.Errorf("first day = %s", got)
+	}
+	if got := days[len(days)-1].Format("2006-01-02"); got != "1995-03-03" {
+		t.Errorf("last day = %s", got)
+	}
+	for _, d := range days {
+		if nyseHolidays[d.Format("2006-01-02")] {
+			t.Fatalf("holiday %v included", d)
+		}
+	}
+}
+
+func TestDiscretize(t *testing.T) {
+	s := Series{10.00, 10.05, 10.05, 9.99, math.NaN(), 10.10, 10.10}
+	r := Discretize(s)
+	if len(r) != 6 {
+		t.Fatalf("record length = %d, want 6", len(r))
+	}
+	want := []int{int(Up), int(NoChange), int(Down), dataset.Missing, dataset.Missing, int(NoChange)}
+	for i, w := range want {
+		if r[i] != w {
+			t.Fatalf("r[%d] = %d, want %d (record %v)", i, r[i], w, r)
+		}
+	}
+}
+
+func TestDiscretizeSubCentIsNoChange(t *testing.T) {
+	s := Series{10.000, 10.004} // rounds to the same cent
+	r := Discretize(s)
+	if r[0] != int(NoChange) {
+		t.Fatalf("sub-cent move = %d, want NoChange", r[0])
+	}
+}
+
+func TestDiscretizeShortSeries(t *testing.T) {
+	if got := Discretize(Series{1.0}); len(got) != 0 {
+		t.Fatalf("single-point series should give empty record, got %v", got)
+	}
+	if got := Discretize(nil); len(got) != 0 {
+		t.Fatalf("nil series should give empty record, got %v", got)
+	}
+}
+
+func TestChangeSchema(t *testing.T) {
+	days := FundCalendar()
+	schema := ChangeSchema(days)
+	if schema.NumAttrs() != len(days)-1 {
+		t.Fatalf("attrs = %d, want %d", schema.NumAttrs(), len(days)-1)
+	}
+	for _, a := range schema.Attrs {
+		if len(a.Domain) != 3 {
+			t.Fatalf("domain = %v", a.Domain)
+		}
+	}
+	// Attribute names are the later day of each change.
+	if schema.Attrs[0].Name != days[1].Format("2006-01-02") {
+		t.Errorf("first attr = %s", schema.Attrs[0].Name)
+	}
+}
+
+func TestDiscretizeAll(t *testing.T) {
+	series := []Series{{1, 1.5}, {2, 1.5}}
+	recs := DiscretizeAll(series)
+	if len(recs) != 2 || recs[0][0] != int(Up) || recs[1][0] != int(Down) {
+		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	if Up.String() != "Up" || Down.String() != "Down" || NoChange.String() != "No" {
+		t.Fatal("move names wrong")
+	}
+}
+
+func TestSeriesMissing(t *testing.T) {
+	s := Series{math.NaN(), 1}
+	if !s.Missing(0) || s.Missing(1) {
+		t.Fatal("Missing misreports")
+	}
+}
+
+func TestCorrelationSimTracking(t *testing.T) {
+	// Two series moving in lockstep (scaled+translated) vs an anti-mover.
+	a := Series{100, 101, 103, 102, 105, 104}
+	b := Series{10, 10.1, 10.3, 10.2, 10.5, 10.4} // scaled copy
+	c := Series{100, 99, 97, 98, 95, 96}          // mirror image
+	s := CorrelationSim([]Series{a, b, c}, 2)
+	if got := s(0, 1); got < 0.97 {
+		t.Errorf("scaled copies similarity = %v, want ~1", got)
+	}
+	if got := s(0, 2); got > 0.05 {
+		t.Errorf("mirror similarity = %v, want ~0", got)
+	}
+}
+
+func TestCorrelationSimMissingWindow(t *testing.T) {
+	nan := math.NaN()
+	a := Series{nan, nan, 10, 11, 12, 13}
+	b := Series{5, 6, 7, 7.7, 8.4, 9.2} // overlaps only on the suffix
+	s := CorrelationSim([]Series{a, b}, 2)
+	if got := s(0, 1); got < 0.5 {
+		t.Errorf("suffix-overlap similarity = %v, want high", got)
+	}
+	// Insufficient overlap scores zero.
+	c := Series{nan, nan, nan, nan, nan, 13}
+	s2 := CorrelationSim([]Series{a, c}, 2)
+	if got := s2(0, 1); got != 0 {
+		t.Errorf("no-overlap similarity = %v, want 0", got)
+	}
+}
+
+func TestCorrelationSimConstants(t *testing.T) {
+	a := Series{5, 5, 5, 5}
+	b := Series{7, 7, 7, 7}
+	mover := Series{1, 2, 3, 4}
+	s := CorrelationSim([]Series{a, b, mover}, 2)
+	if got := s(0, 1); got != 1 {
+		t.Errorf("two flat series = %v, want 1", got)
+	}
+	if got := s(0, 2); got != 0 {
+		t.Errorf("flat vs mover = %v, want 0", got)
+	}
+}

@@ -1,0 +1,87 @@
+package rock
+
+import (
+	"errors"
+	"math/rand"
+
+	"rock/internal/label"
+	"rock/internal/rockcore"
+)
+
+// Labeler assigns new, unseen transactions to the clusters of a previous
+// clustering run using the paper's labeling rule (Section 4.6): a point
+// goes to the cluster in whose labeled subset L_i it has the most
+// theta-neighbors after dividing by the expected count (|L_i|+1)^f(theta).
+//
+// Typical use: cluster a sample once, keep the Labeler, and classify
+// arriving transactions incrementally.
+type Labeler struct {
+	sets  []label.Set
+	txns  []Transaction
+	sim   TxnSimilarity
+	theta float64
+}
+
+// LabelerConfig controls labeled-set construction for a Labeler.
+type LabelerConfig struct {
+	// Fraction of each cluster drawn into its labeled set (default 0.25).
+	Fraction float64
+	// MinPerCluster floors each labeled set's size (default 5).
+	MinPerCluster int
+	// Seed drives the labeled-set draw.
+	Seed int64
+}
+
+// NewLabeler builds a Labeler from the transactions that were clustered and
+// the clustering result. cfg must be the Config the clustering ran with (its
+// Theta, F and Similarity are reused for the neighbor tests).
+func NewLabeler(txns []Transaction, res *Result, cfg Config, lcfg LabelerConfig) (*Labeler, error) {
+	if res == nil {
+		return nil, errors.New("rock: nil result")
+	}
+	frac := lcfg.Fraction
+	if frac == 0 {
+		frac = 0.25
+	}
+	minPer := lcfg.MinPerCluster
+	if minPer == 0 {
+		minPer = 5
+	}
+	f := cfg.F
+	if f == nil {
+		f = rockcore.DefaultF
+	}
+	rng := rand.New(rand.NewSource(lcfg.Seed))
+	sets, err := label.BuildSets(res.Clusters, label.Config{
+		Fraction:      frac,
+		MinPerCluster: minPer,
+		F:             f(cfg.Theta),
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Labeler{
+		sets:  sets,
+		txns:  txns,
+		sim:   cfg.txnSim(),
+		theta: cfg.Theta,
+	}, nil
+}
+
+// Assign labels one transaction, returning a cluster index into the
+// original Result.Clusters or OutlierCluster when the transaction has no
+// neighbors in any labeled set.
+func (l *Labeler) Assign(t Transaction) int {
+	return label.Assign(l.sets, func(q int) bool {
+		return l.sim(t, l.txns[q]) >= l.theta
+	})
+}
+
+// AssignAll labels a batch of transactions.
+func (l *Labeler) AssignAll(ts []Transaction) []int {
+	out := make([]int, len(ts))
+	for i, t := range ts {
+		out[i] = l.Assign(t)
+	}
+	return out
+}

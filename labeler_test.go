@@ -1,0 +1,110 @@
+package rock_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rock"
+	"rock/internal/datagen"
+)
+
+func TestLabelerAssignsNewTransactions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := datagen.Basket(datagen.ScaledBasketConfig(100), rng)
+	cfg := rock.Config{
+		K: data.NumClusters(), Theta: 0.5,
+		MinNeighbors: 2, StopMultiple: 3, MinClusterSize: 10,
+	}
+	res, err := rock.ClusterTransactions(data.Txns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := rock.NewLabeler(data.Txns, res, cfg, rock.LabelerConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Majority true label per found cluster, for scoring.
+	maj := make([]map[int]int, len(res.Clusters))
+	for c := range maj {
+		maj[c] = map[int]int{}
+	}
+	for c, members := range res.Clusters {
+		for _, p := range members {
+			if data.Labels[p] >= 0 {
+				maj[c][data.Labels[p]]++
+			}
+		}
+	}
+	majorityOf := make([]int, len(res.Clusters))
+	for c, m := range maj {
+		best, bestN := -1, -1
+		for l, n := range m {
+			if n > bestN {
+				best, bestN = l, n
+			}
+		}
+		majorityOf[c] = best
+	}
+
+	// Generate FRESH transactions from the same defining item sets and
+	// check the labeler routes them to matching clusters.
+	fresh := datagen.Basket(datagen.ScaledBasketConfig(100), rand.New(rand.NewSource(77)))
+	agree, total := 0, 0
+	for i, tx := range fresh.Txns {
+		if fresh.Labels[i] < 0 {
+			continue
+		}
+		c := lab.Assign(tx)
+		if c == rock.OutlierCluster {
+			continue
+		}
+		total++
+		if majorityOf[c] == fresh.Labels[i] {
+			agree++
+		}
+	}
+	if total < len(fresh.Txns)/2 {
+		t.Fatalf("labeler assigned only %d transactions", total)
+	}
+	if frac := float64(agree) / float64(total); frac < 0.95 {
+		t.Errorf("only %.1f%% of fresh transactions labeled consistently", 100*frac)
+	}
+
+	// Batch form agrees with single assignments.
+	batch := lab.AssignAll(fresh.Txns[:50])
+	for i, c := range batch {
+		if c != lab.Assign(fresh.Txns[i]) {
+			t.Fatal("AssignAll disagrees with Assign")
+		}
+	}
+}
+
+func TestLabelerNoNeighborsIsOutlier(t *testing.T) {
+	txns := []rock.Transaction{
+		rock.NewTransaction(1, 2, 3),
+		rock.NewTransaction(1, 2, 4),
+		rock.NewTransaction(1, 3, 4),
+	}
+	cfg := rock.Config{K: 1, Theta: 0.5}
+	res, err := rock.ClusterTransactions(txns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := rock.NewLabeler(txns, res, cfg, rock.LabelerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lab.Assign(rock.NewTransaction(99, 100, 101)); got != rock.OutlierCluster {
+		t.Fatalf("alien transaction assigned to %d", got)
+	}
+	if got := lab.Assign(rock.NewTransaction(1, 2, 3)); got != 0 {
+		t.Fatalf("member transaction assigned to %d", got)
+	}
+}
+
+func TestLabelerValidation(t *testing.T) {
+	if _, err := rock.NewLabeler(nil, nil, rock.Config{}, rock.LabelerConfig{}); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
