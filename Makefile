@@ -1,0 +1,35 @@
+# Tier-1 verification plus the race/vet gates, each one command.
+#
+#   make verify   build + test (the tier-1 gate)
+#   make race     full test suite under the race detector
+#   make vet      static checks
+#   make check    all of the above
+#   make bench    benchmark harness (short mode)
+
+GO ?= go
+
+.PHONY: verify race vet check bench fuzz
+
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: verify race vet
+
+bench:
+	$(GO) test -short -bench=. -benchmem ./...
+
+# Short fuzz passes over every decoder (text, binary, categorical, model
+# snapshot); lengthen with FUZZTIME=5m etc.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/store -fuzz=FuzzTextScanner -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/store -fuzz=FuzzBinaryScanner -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/store -fuzz=FuzzCategorical -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/model -fuzz=FuzzRead -fuzztime=$(FUZZTIME)

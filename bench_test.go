@@ -383,3 +383,59 @@ func BenchmarkFundsCorrelationSimilarity(b *testing.B) {
 		}
 	}
 }
+
+// ---- Serving hot path ----
+
+// BenchmarkLabelerAssign measures the per-transaction labeling rule
+// (Section 4.6) — the hot path rockd serves: neighbor tests against every
+// labeled set, normalized by (|L_i|+1)^f(theta).
+func BenchmarkLabelerAssign(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	data := datagen.Basket(datagen.ScaledBasketConfig(100), rng)
+	cfg := rock.Config{
+		K: data.NumClusters(), Theta: 0.5,
+		MinNeighbors: 2, StopMultiple: 3, MinClusterSize: 10,
+	}
+	res, err := rock.ClusterTransactions(data.Txns, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab, err := rock.NewLabeler(data.Txns, res, cfg, rock.LabelerConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := datagen.Basket(datagen.ScaledBasketConfig(100), rand.New(rand.NewSource(77))).Txns
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab.Assign(probes[i%len(probes)])
+	}
+}
+
+// BenchmarkLabelerAssignParallel is the same hot path under GOMAXPROCS
+// goroutines sharing one Labeler — the access pattern of rockd's worker
+// pool.
+func BenchmarkLabelerAssignParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	data := datagen.Basket(datagen.ScaledBasketConfig(100), rng)
+	cfg := rock.Config{
+		K: data.NumClusters(), Theta: 0.5,
+		MinNeighbors: 2, StopMultiple: 3, MinClusterSize: 10,
+	}
+	res, err := rock.ClusterTransactions(data.Txns, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab, err := rock.NewLabeler(data.Txns, res, cfg, rock.LabelerConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := datagen.Basket(datagen.ScaledBasketConfig(100), rand.New(rand.NewSource(77))).Txns
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			lab.Assign(probes[i%len(probes)])
+			i++
+		}
+	})
+}

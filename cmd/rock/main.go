@@ -13,6 +13,12 @@
 //
 //	rock -k 10 -theta 0.5 -sample 4000 txns.txt
 //
+// -snapshot additionally persists the trained labeling model (Section 4.6)
+// so the rockd daemon can serve assignments from it:
+//
+//	rock -k 10 -theta 0.5 -sample 4000 -snapshot model.rockm txns.txt
+//	rockd -model model.rockm
+//
 // Output: one line per cluster listing its member record numbers (0-based),
 // then a line of outliers. With -sample, every record of the file is
 // assigned via the labeling phase.
@@ -42,6 +48,7 @@ func main() {
 		stopMult    = flag.Float64("stop-multiple", 0, "pause at this multiple of k clusters and weed small clusters")
 		minSize     = flag.Int("min-cluster-size", 0, "weeding support threshold")
 		seed        = flag.Int64("seed", 1, "seed for sampling and labeling")
+		snapshot    = flag.String("snapshot", "", "write the trained labeling model to this path (for rockd)")
 		quiet       = flag.Bool("quiet", false, "print only summary statistics")
 		components  = flag.Bool("components", false, "QROCK mode: report connected components of the neighbor graph instead of running the merge loop (transactions only)")
 		bestK       = flag.Bool("bestk", false, "ignore -k, merge fully with tracing and report the criterion-peak cluster count (transactions only)")
@@ -59,6 +66,9 @@ func main() {
 
 	switch {
 	case *components:
+		if *snapshot != "" {
+			log.Fatal("-snapshot requires a clustering mode, not -components")
+		}
 		txns, err := store.LoadText(path)
 		if err != nil {
 			log.Fatal(err)
@@ -72,6 +82,9 @@ func main() {
 			}
 		}
 	case *bestK:
+		if *snapshot != "" {
+			log.Fatal("-snapshot requires a clustering mode, not -bestk")
+		}
 		txns, err := store.LoadText(path)
 		if err != nil {
 			log.Fatal(err)
@@ -103,6 +116,18 @@ func main() {
 			log.Fatal(err)
 		}
 		printResult(res, *quiet)
+		if *snapshot != "" {
+			if *pairwise {
+				log.Fatal("-snapshot does not support -pairwise (the pairwise similarity is not transaction-based)")
+			}
+			txns := rock.NewEncoder(schema).EncodeAll(records)
+			lab, err := rock.NewLabeler(txns, res, cfg, rock.LabelerConfig{Seed: *seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			lab.SetSchema(schema)
+			saveSnapshot(lab, *snapshot)
+		}
 	case *sampleSize > 0:
 		lr, err := rock.ClusterScanner(func() (store.Scanner, io.Closer, error) {
 			f, err := os.Open(path)
@@ -122,6 +147,9 @@ func main() {
 				printMembers(members)
 			}
 		}
+		if *snapshot != "" {
+			saveSnapshot(lr.Labeler, *snapshot)
+		}
 	default:
 		txns, err := store.LoadText(path)
 		if err != nil {
@@ -132,7 +160,21 @@ func main() {
 			log.Fatal(err)
 		}
 		printResult(res, *quiet)
+		if *snapshot != "" {
+			lab, err := rock.NewLabeler(txns, res, cfg, rock.LabelerConfig{Seed: *seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			saveSnapshot(lab, *snapshot)
+		}
 	}
+}
+
+func saveSnapshot(lab *rock.Labeler, path string) {
+	if err := lab.SaveSnapshot(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("labeling model written to %s (serve it: rockd -model %s)\n", path, path)
 }
 
 func printResult(res *rock.Result, quiet bool) {

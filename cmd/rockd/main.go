@@ -1,0 +1,97 @@
+// Command rockd serves a trained ROCK assignment model over HTTP: the
+// labeling rule of Section 4.6 of the paper as a long-running daemon. Train
+// anywhere, snapshot the Labeler (rock -snapshot, or Labeler.SaveSnapshot),
+// then serve:
+//
+//	rockd -model model.rockm -addr :7745
+//
+// API:
+//
+//	POST /v1/assign   {"transactions": [[1,2,3],...]}  →  {"assignments":[{"cluster":0,"score":1.7},...]}
+//	                  {"records": [["red","round"],...]} for models with a schema
+//	POST /v1/reload   {"path": "new.rockm"}  — hot-swap the model with zero downtime
+//	GET  /healthz     liveness probe
+//	GET  /metrics     request/assignment/outlier counters and latency quantiles
+//	GET  /v1/model    summary of the currently served model
+//
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rock/internal/model"
+	"rock/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	logger := log.New(os.Stderr, "rockd: ", log.LstdFlags|log.Lmicroseconds)
+	var (
+		addr      = flag.String("addr", ":7745", "listen address")
+		modelPath = flag.String("model", "", "snapshot file to serve (required)")
+		workers   = flag.Int("workers", 0, "assignment worker pool size (0 = GOMAXPROCS)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		logger.Fatal("usage: rockd -model <snapshot> [-addr :7745]")
+	}
+
+	snap, err := model.Load(*modelPath)
+	if err != nil {
+		logger.Fatalf("loading model: %v", err)
+	}
+	assigner, err := model.Compile(snap)
+	if err != nil {
+		logger.Fatalf("compiling model: %v", err)
+	}
+	engine, err := serve.New(assigner, *workers)
+	if err != nil {
+		logger.Fatalf("starting engine: %v", err)
+	}
+	logger.Printf("serving %s: %d clusters, %d labeled sets, %d labeled transactions, theta=%.3f sim=%s",
+		*modelPath, assigner.Clusters(), len(snap.Sets), len(snap.Txns), assigner.Theta(), assigner.SimName())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(engine, logger),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("server: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, let in-flight requests finish, then release
+	// the worker pool.
+	logger.Printf("signal received, draining for up to %s", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	engine.Close()
+	m := engine.Metrics()
+	logger.Printf("served %d requests (%d assignments, %d outliers, %d reloads); bye",
+		m.Requests, m.Assignments, m.Outliers, m.Reloads)
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"rock/internal/dataset"
+	"rock/internal/model"
+	"rock/internal/serve"
+)
+
+// assignRequest is the body of POST /v1/assign. Exactly one of Transactions
+// and Records must be set; Records requires the model to carry a schema.
+type assignRequest struct {
+	// Transactions are item-id sets, e.g. [[1,2,3],[4,5]].
+	Transactions [][]int64 `json:"transactions,omitempty"`
+	// Records are categorical records as value strings ("?" = missing),
+	// e.g. [["red","round"],["green","?"]].
+	Records [][]string `json:"records,omitempty"`
+}
+
+// assignResponse is the body of a successful POST /v1/assign.
+type assignResponse struct {
+	Assignments []serve.Assignment `json:"assignments"`
+}
+
+// reloadRequest is the body of POST /v1/reload.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+type modelInfo struct {
+	Clusters     int     `json:"clusters"`
+	Sets         int     `json:"sets"`
+	Transactions int     `json:"transactions"`
+	Theta        float64 `json:"theta"`
+	Similarity   string  `json:"similarity"`
+	HasSchema    bool    `json:"has_schema"`
+}
+
+func infoOf(a *model.Assigner) modelInfo {
+	return modelInfo{
+		Clusters:     a.Clusters(),
+		Sets:         len(a.Snapshot().Sets),
+		Transactions: len(a.Snapshot().Txns),
+		Theta:        a.Theta(),
+		Similarity:   a.SimName(),
+		HasSchema:    a.Schema() != nil,
+	}
+}
+
+// maxBodyBytes bounds request bodies; a labeling request has no business
+// being larger.
+const maxBodyBytes = 32 << 20
+
+// server routes rockd's HTTP API onto a serve.Engine. It is an
+// http.Handler, so tests drive it through httptest without a socket.
+type server struct {
+	engine *serve.Engine
+	logger *log.Logger
+	mux    *http.ServeMux
+	// reloadMu serializes snapshot loads (not swaps — swaps are lock-free
+	// and assignment traffic never takes this lock).
+	reloadMu sync.Mutex
+}
+
+func newServer(engine *serve.Engine, logger *log.Logger) *server {
+	s := &server{engine: engine, logger: logger, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/assign", s.handleAssign)
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logger.Printf("writing response: %v", err)
+	}
+}
+
+func (s *server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	var req assignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if (req.Transactions == nil) == (req.Records == nil) {
+		s.writeError(w, http.StatusBadRequest, "send exactly one of transactions or records")
+		return
+	}
+	var txns []dataset.Transaction
+	if req.Transactions != nil {
+		txns = make([]dataset.Transaction, len(req.Transactions))
+		for i, items := range req.Transactions {
+			t := make(dataset.Transaction, 0, len(items))
+			for _, it := range items {
+				if it < 0 || it > 1<<31-1 {
+					s.writeError(w, http.StatusBadRequest, "transaction %d: item %d out of range", i, it)
+					return
+				}
+				t = append(t, dataset.Item(it))
+			}
+			t.Normalize()
+			txns[i] = t
+		}
+	} else {
+		// Records are encoded against the model the batch will be served
+		// by: capture it once so a concurrent reload cannot split the two.
+		a := s.engine.Model()
+		txns = make([]dataset.Transaction, len(req.Records))
+		for i, rec := range req.Records {
+			t, err := a.EncodeRecord(rec)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "record %d: %v", i, err)
+				return
+			}
+			txns[i] = t
+		}
+	}
+	s.writeJSON(w, http.StatusOK, assignResponse{Assignments: s.engine.AssignAll(txns)})
+}
+
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Path == "" {
+		s.writeError(w, http.StatusBadRequest, "missing snapshot path")
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	snap, err := model.Load(req.Path)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "loading snapshot: %v", err)
+		return
+	}
+	a, err := model.Compile(snap)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "compiling snapshot: %v", err)
+		return
+	}
+	s.engine.Swap(a)
+	s.logger.Printf("reloaded model from %s (%d clusters, %d labeled transactions)",
+		req.Path, a.Clusters(), len(snap.Txns))
+	s.writeJSON(w, http.StatusOK, map[string]any{"ok": true, "model": infoOf(a)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.engine.Metrics())
+}
+
+func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, infoOf(s.engine.Model()))
+}

@@ -1,0 +1,174 @@
+// Command rockload is a closed-loop load generator for rockd: each of -c
+// workers keeps exactly one POST /v1/assign request in flight until -d
+// elapses, then the tool reports throughput and client-side latency
+// quantiles. Probe transactions are either sampled from a text-format
+// transaction file (positional argument) or generated uniformly from
+// -items/-size.
+//
+//	rockload -addr http://localhost:7745 -c 16 -d 30s -batch 32 txns.txt
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"rock/internal/dataset"
+	"rock/internal/store"
+)
+
+type assignRequest struct {
+	Transactions [][]int64 `json:"transactions"`
+}
+
+type assignResponse struct {
+	Assignments []struct {
+		Cluster int     `json:"cluster"`
+		Score   float64 `json:"score"`
+	} `json:"assignments"`
+}
+
+// workerResult is one worker's tally, merged after the run.
+type workerResult struct {
+	requests  int
+	errors    int
+	assigned  int
+	outliers  int
+	latencies []time.Duration
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rockload: ")
+	var (
+		addr     = flag.String("addr", "http://localhost:7745", "rockd base URL")
+		workers  = flag.Int("c", 8, "concurrent closed-loop workers")
+		duration = flag.Duration("d", 10*time.Second, "run duration")
+		batch    = flag.Int("batch", 16, "transactions per request")
+		items    = flag.Int("items", 1000, "generated probes: item-id universe size")
+		size     = flag.Int("size", 12, "generated probes: items per transaction")
+		seed     = flag.Int64("seed", 1, "probe generation seed")
+	)
+	flag.Parse()
+	if *workers < 1 || *batch < 1 {
+		log.Fatal("-c and -batch must be positive")
+	}
+
+	// Probe pool: a file of real transactions, or uniform random ones.
+	var pool []dataset.Transaction
+	if flag.NArg() > 0 {
+		var err error
+		if pool, err = store.LoadText(flag.Arg(0)); err != nil {
+			log.Fatal(err)
+		}
+		if len(pool) == 0 {
+			log.Fatalf("%s holds no transactions", flag.Arg(0))
+		}
+		log.Printf("probing with %d transactions from %s", len(pool), flag.Arg(0))
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		pool = make([]dataset.Transaction, 4096)
+		for i := range pool {
+			t := make([]dataset.Item, *size)
+			for j := range t {
+				t[j] = dataset.Item(rng.Intn(*items))
+			}
+			pool[i] = dataset.NewTransaction(t...)
+		}
+		log.Printf("probing with %d generated transactions (%d items, size %d)", len(pool), *items, *size)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(*duration)
+	results := make([]workerResult, *workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			res := &results[w]
+			for time.Now().Before(deadline) {
+				req := assignRequest{Transactions: make([][]int64, *batch)}
+				for i := range req.Transactions {
+					t := pool[rng.Intn(len(pool))]
+					ids := make([]int64, len(t))
+					for j, it := range t {
+						ids[j] = int64(it)
+					}
+					req.Transactions[i] = ids
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					log.Fatal(err)
+				}
+				t0 := time.Now()
+				resp, err := client.Post(*addr+"/v1/assign", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				res.requests++
+				if err != nil {
+					res.errors++
+					continue
+				}
+				payload, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					res.errors++
+					continue
+				}
+				var ar assignResponse
+				if err := json.Unmarshal(payload, &ar); err != nil {
+					res.errors++
+					continue
+				}
+				res.latencies = append(res.latencies, lat)
+				res.assigned += len(ar.Assignments)
+				for _, a := range ar.Assignments {
+					if a.Cluster < 0 {
+						res.outliers++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total workerResult
+	for _, r := range results {
+		total.requests += r.requests
+		total.errors += r.errors
+		total.assigned += r.assigned
+		total.outliers += r.outliers
+		total.latencies = append(total.latencies, r.latencies...)
+	}
+	fmt.Printf("%d requests (%d errors), %d assignments (%d outliers) in %.1fs\n",
+		total.requests, total.errors, total.assigned, total.outliers, elapsed.Seconds())
+	if total.requests > 0 {
+		fmt.Printf("throughput: %.1f req/s, %.1f txn/s\n",
+			float64(total.requests)/elapsed.Seconds(), float64(total.assigned)/elapsed.Seconds())
+	}
+	if len(total.latencies) > 0 {
+		sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(total.latencies)-1))
+			return total.latencies[i]
+		}
+		fmt.Printf("latency: min %s  p50 %s  p90 %s  p99 %s  max %s\n",
+			round(q(0)), round(q(0.50)), round(q(0.90)), round(q(0.99)), round(q(1)))
+	}
+	if total.errors > 0 {
+		log.Fatalf("%d requests failed", total.errors)
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }

@@ -71,6 +71,17 @@ func BuildSets(clusters [][]int, cfg Config, rng *rand.Rand) ([]Set, error) {
 	return sets, nil
 }
 
+// NewSet reconstructs a labeled set from its persisted parts: the cluster it
+// labels for, the labeled point indices, and the stored normalization
+// constant. Model snapshots (internal/model) use this to rebuild sets without
+// re-drawing or re-deriving norms.
+func NewSet(cluster int, points []int, norm float64) Set {
+	return Set{Cluster: cluster, Points: points, norm: norm}
+}
+
+// Norm returns the set's normalization constant (|L_i| + 1)^f(theta).
+func (s Set) Norm() float64 { return s.norm }
+
 // NeighborFunc reports whether the point being labeled is a neighbor of the
 // labeled point with index q.
 type NeighborFunc func(q int) bool
@@ -84,6 +95,14 @@ const Outlier = -1
 // or Outlier when the point has no neighbors in any set. Ties break toward
 // the lower cluster index, keeping the phase deterministic.
 func Assign(sets []Set, isNeighbor NeighborFunc) int {
+	c, _ := AssignScore(sets, isNeighbor)
+	return c
+}
+
+// AssignScore is Assign plus the winning normalized neighbor count — the
+// quantity the serving layer reports as the assignment's confidence score.
+// The score is 0 for outliers.
+func AssignScore(sets []Set, isNeighbor NeighborFunc) (int, float64) {
 	best, bestScore := Outlier, 0.0
 	for si := range sets {
 		s := &sets[si]
@@ -101,5 +120,5 @@ func Assign(sets []Set, isNeighbor NeighborFunc) int {
 			best, bestScore = s.Cluster, score
 		}
 	}
-	return best
+	return best, bestScore
 }

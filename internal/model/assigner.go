@@ -1,0 +1,95 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rock/internal/dataset"
+	"rock/internal/label"
+	"rock/internal/sim"
+)
+
+// Assigner is a snapshot compiled for serving: the labeled sets rebuilt with
+// their stored norms, the similarity resolved by name, and (when the model
+// was trained on categorical records) an encoder for incoming records. An
+// Assigner is immutable after Compile and safe for concurrent use — the
+// serving layer (internal/serve) relies on that to share one Assigner across
+// its whole worker pool and to hot-swap models with an atomic pointer.
+type Assigner struct {
+	snap    *Snapshot
+	sets    []label.Set
+	sim     sim.TxnFunc
+	theta   float64
+	encoder *dataset.Encoder
+}
+
+// Compile turns a snapshot into a servable Assigner, resolving the
+// similarity name against the registered similarities.
+func Compile(s *Snapshot) (*Assigner, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	f, ok := sim.TxnByName(s.SimName)
+	if !ok {
+		names := sim.TxnNames()
+		sort.Strings(names)
+		return nil, fmt.Errorf("model: unknown similarity %q (have %s)", s.SimName, strings.Join(names, ", "))
+	}
+	a := &Assigner{snap: s, sim: f, theta: s.Theta}
+	a.sets = make([]label.Set, len(s.Sets))
+	for i, set := range s.Sets {
+		a.sets[i] = label.NewSet(set.Cluster, set.Points, set.Norm)
+	}
+	if s.Schema != nil {
+		a.encoder = dataset.NewEncoder(s.Schema)
+	}
+	return a, nil
+}
+
+// Assign labels one transaction, returning the cluster index and the
+// normalized neighbor-count score (label.Outlier and 0 for outliers).
+func (a *Assigner) Assign(t dataset.Transaction) (int, float64) {
+	return label.AssignScore(a.sets, func(q int) bool {
+		return a.sim(t, a.snap.Txns[q]) >= a.theta
+	})
+}
+
+// EncodeRecord converts a categorical record (one value string per
+// attribute, "?" for missing) into a transaction using the model's schema.
+func (a *Assigner) EncodeRecord(values []string) (dataset.Transaction, error) {
+	if a.encoder == nil {
+		return nil, fmt.Errorf("model: snapshot carries no schema; send transactions instead of records")
+	}
+	schema := a.snap.Schema
+	if len(values) != len(schema.Attrs) {
+		return nil, fmt.Errorf("model: record has %d values, schema has %d attributes", len(values), len(schema.Attrs))
+	}
+	rec := dataset.NewRecord(len(values))
+	for i, v := range values {
+		if v == "?" {
+			continue
+		}
+		ix := schema.ValueIndex(i, v)
+		if ix == dataset.Missing {
+			return nil, fmt.Errorf("model: value %q not in domain of attribute %q", v, schema.Attrs[i].Name)
+		}
+		rec[i] = ix
+	}
+	return a.encoder.Encode(rec), nil
+}
+
+// Snapshot returns the snapshot the assigner was compiled from.
+func (a *Assigner) Snapshot() *Snapshot { return a.snap }
+
+// Schema returns the model's schema, or nil for transaction models.
+func (a *Assigner) Schema() *dataset.Schema { return a.snap.Schema }
+
+// Clusters returns the number of clusters the model labels for.
+func (a *Assigner) Clusters() int { return a.snap.Clusters() }
+
+// Theta returns the model's neighbor threshold.
+func (a *Assigner) Theta() float64 { return a.theta }
+
+// SimName returns the model's similarity name.
+func (a *Assigner) SimName() string { return a.snap.SimName }

@@ -1,0 +1,57 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+
+	"rock/internal/dataset"
+)
+
+// FuzzRead feeds arbitrary bytes to the snapshot decoder: it must reject or
+// parse, never panic — and every snapshot it accepts must re-encode into a
+// canonical form that round-trips byte-identically.
+func FuzzRead(f *testing.F) {
+	var good bytes.Buffer
+	if err := testSnapshot().Write(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	withSchema := testSnapshot()
+	withSchema.Schema = dataset.NewSchema(
+		dataset.Attribute{Name: "color", Domain: []string{"red", "green"}},
+	)
+	var good2 bytes.Buffer
+	if err := withSchema.Write(&good2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good2.Bytes())
+	f.Add([]byte("ROCKMDL\x01"))
+	f.Add([]byte("ROCKMDL\x02junk"))
+	f.Add([]byte{})
+	f.Add([]byte("ROCK"))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		s, err := Read(bytes.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted snapshots must be writable...
+		var b1 bytes.Buffer
+		if err := s.Write(&b1); err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		// ...and the canonical encoding must be a fixed point: reading it
+		// back and writing again yields the same bytes.
+		s2, err := Read(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v", err)
+		}
+		var b2 bytes.Buffer
+		if err := s2.Write(&b2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("round trip not byte-identical: %d vs %d bytes", b1.Len(), b2.Len())
+		}
+	})
+}

@@ -1,0 +1,349 @@
+// Package model defines the persisted form of a trained assignment model:
+// everything the labeling rule of Section 4.6 of the ROCK paper needs to
+// classify a new point, detached from the training process. A snapshot holds
+// theta, f(theta), the similarity (by name), the optional categorical schema,
+// the labeled sets L_i with their (|L_i|+1)^f(theta) norms, and the labeled
+// transactions themselves. Snapshots are written as a self-describing,
+// versioned, gzip-compressed binary blob so a serving process (cmd/rockd)
+// can load and hot-swap them long after — and far away from — training.
+package model
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"rock/internal/dataset"
+	"rock/internal/store"
+)
+
+// magic identifies a snapshot file; the byte after it is the format version.
+var magic = [7]byte{'R', 'O', 'C', 'K', 'M', 'D', 'L'}
+
+// Version is the current snapshot format version. Readers reject snapshots
+// with a newer version; the magic+version header exists exactly so future
+// formats can evolve without breaking old daemons loudly or new daemons
+// silently.
+const Version = 1
+
+// Set is one labeled subset L_i in persisted form.
+type Set struct {
+	// Cluster is the cluster index this set labels for.
+	Cluster int
+	// Norm is the stored normalization constant (|L_i|+1)^f(theta). It is
+	// persisted rather than re-derived so a snapshot reproduces its
+	// Labeler's scores bit-for-bit.
+	Norm float64
+	// Points are sorted, duplicate-free indices into Txns.
+	Points []int
+}
+
+// Snapshot is a trained assignment model in serializable form.
+type Snapshot struct {
+	// Theta is the neighbor similarity threshold the model was trained with.
+	Theta float64
+	// FTheta is the evaluated f(theta) exponent.
+	FTheta float64
+	// SimName names the transaction similarity ("jaccard", "dice",
+	// "overlap", "cosine").
+	SimName string
+	// Schema, when non-nil, is the categorical schema of the training data,
+	// letting a server encode incoming records the same way training did.
+	Schema *dataset.Schema
+	// Sets are the labeled subsets, one per surviving cluster.
+	Sets []Set
+	// Txns are the labeled transactions the sets index into. Only the
+	// transactions referenced by some set are stored.
+	Txns []dataset.Transaction
+}
+
+// Validate checks the structural invariants every snapshot must satisfy —
+// both freshly built ones before writing and decoded ones after reading.
+func (s *Snapshot) Validate() error {
+	if math.IsNaN(s.Theta) || s.Theta < 0 || s.Theta > 1 {
+		return fmt.Errorf("model: theta %v out of [0,1]", s.Theta)
+	}
+	if math.IsNaN(s.FTheta) || math.IsInf(s.FTheta, 0) || s.FTheta < 0 {
+		return fmt.Errorf("model: f(theta) %v not a finite non-negative number", s.FTheta)
+	}
+	if s.SimName == "" {
+		return fmt.Errorf("model: empty similarity name")
+	}
+	if s.Schema != nil {
+		for a, attr := range s.Schema.Attrs {
+			if attr.Name == "" {
+				return fmt.Errorf("model: schema attribute %d has no name", a)
+			}
+			if len(attr.Domain) == 0 {
+				return fmt.Errorf("model: schema attribute %q has an empty domain", attr.Name)
+			}
+		}
+	}
+	for i, set := range s.Sets {
+		if set.Cluster < 0 {
+			return fmt.Errorf("model: set %d has negative cluster %d", i, set.Cluster)
+		}
+		if set.Norm <= 0 || math.IsNaN(set.Norm) || math.IsInf(set.Norm, 0) {
+			return fmt.Errorf("model: set %d has invalid norm %v", i, set.Norm)
+		}
+		if len(set.Points) == 0 {
+			return fmt.Errorf("model: set %d is empty", i)
+		}
+		prev := -1
+		for _, p := range set.Points {
+			if p <= prev {
+				return fmt.Errorf("model: set %d points not strictly increasing", i)
+			}
+			if p >= len(s.Txns) {
+				return fmt.Errorf("model: set %d references transaction %d of %d", i, p, len(s.Txns))
+			}
+			prev = p
+		}
+	}
+	return nil
+}
+
+// Clusters returns the number of clusters the model labels for (one past the
+// highest cluster index).
+func (s *Snapshot) Clusters() int {
+	n := 0
+	for _, set := range s.Sets {
+		if set.Cluster+1 > n {
+			n = set.Cluster + 1
+		}
+	}
+	return n
+}
+
+// Write serializes the snapshot: the magic+version header in the clear, then
+// a gzip stream holding the scalars, similarity name, optional schema, the
+// labeled sets (delta-varint point lists) and finally the transactions in
+// internal/store's binary transaction format. Writing validates first, so
+// only well-formed snapshots ever reach disk.
+func (s *Snapshot) Write(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{Version}); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(w)
+	bw := bufio.NewWriter(zw)
+	if err := s.writeBody(bw); err != nil {
+		zw.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+func (s *Snapshot) writeBody(bw *bufio.Writer) error {
+	if err := store.WriteFloat64(bw, s.Theta); err != nil {
+		return err
+	}
+	if err := store.WriteFloat64(bw, s.FTheta); err != nil {
+		return err
+	}
+	if err := store.WriteString(bw, s.SimName); err != nil {
+		return err
+	}
+	hasSchema := byte(0)
+	if s.Schema != nil {
+		hasSchema = 1
+	}
+	if err := bw.WriteByte(hasSchema); err != nil {
+		return err
+	}
+	if s.Schema != nil {
+		if err := store.WriteUvarint(bw, uint64(len(s.Schema.Attrs))); err != nil {
+			return err
+		}
+		for _, attr := range s.Schema.Attrs {
+			if err := store.WriteString(bw, attr.Name); err != nil {
+				return err
+			}
+			if err := store.WriteUvarint(bw, uint64(len(attr.Domain))); err != nil {
+				return err
+			}
+			for _, v := range attr.Domain {
+				if err := store.WriteString(bw, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := store.WriteUvarint(bw, uint64(len(s.Sets))); err != nil {
+		return err
+	}
+	for _, set := range s.Sets {
+		if err := store.WriteUvarint(bw, uint64(set.Cluster)); err != nil {
+			return err
+		}
+		if err := store.WriteFloat64(bw, set.Norm); err != nil {
+			return err
+		}
+		if err := store.WriteIndices(bw, set.Points); err != nil {
+			return err
+		}
+	}
+	// The transaction block is last: store's scanner buffers internally, so
+	// nothing may follow it in the stream.
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return store.WriteBinary(bw, s.Txns)
+}
+
+// Read parses a snapshot, validating the header, the format version and
+// every structural invariant. Arbitrary input must never panic; it either
+// parses into a valid snapshot or returns an error.
+func Read(r io.Reader) (*Snapshot, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("model: reading header: %w", err)
+	}
+	if [7]byte(hdr[:7]) != magic {
+		return nil, fmt.Errorf("model: not a ROCK model snapshot")
+	}
+	if hdr[7] != Version {
+		return nil, fmt.Errorf("model: snapshot format version %d, this build reads %d", hdr[7], Version)
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("model: opening body: %w", err)
+	}
+	defer zr.Close()
+	s, err := readBody(bufio.NewReader(zr))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func readBody(br *bufio.Reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	var err error
+	if s.Theta, err = store.ReadFloat64(br); err != nil {
+		return nil, fmt.Errorf("model: reading theta: %w", err)
+	}
+	if s.FTheta, err = store.ReadFloat64(br); err != nil {
+		return nil, fmt.Errorf("model: reading f(theta): %w", err)
+	}
+	if s.SimName, err = store.ReadString(br); err != nil {
+		return nil, fmt.Errorf("model: reading similarity name: %w", err)
+	}
+	hasSchema, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("model: reading schema flag: %w", err)
+	}
+	switch hasSchema {
+	case 0:
+	case 1:
+		n, err := store.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("model: reading attribute count: %w", err)
+		}
+		schema := &dataset.Schema{}
+		for a := uint64(0); a < n; a++ {
+			var attr dataset.Attribute
+			if attr.Name, err = store.ReadString(br); err != nil {
+				return nil, fmt.Errorf("model: reading attribute name: %w", err)
+			}
+			vals, err := store.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("model: reading domain size: %w", err)
+			}
+			for v := uint64(0); v < vals; v++ {
+				dv, err := store.ReadString(br)
+				if err != nil {
+					return nil, fmt.Errorf("model: reading domain value: %w", err)
+				}
+				attr.Domain = append(attr.Domain, dv)
+			}
+			schema.Attrs = append(schema.Attrs, attr)
+		}
+		s.Schema = schema
+	default:
+		return nil, fmt.Errorf("model: bad schema flag %d", hasSchema)
+	}
+	nsets, err := store.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("model: reading set count: %w", err)
+	}
+	for i := uint64(0); i < nsets; i++ {
+		var set Set
+		c, err := store.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("model: reading set cluster: %w", err)
+		}
+		if c > math.MaxInt32 {
+			return nil, fmt.Errorf("model: cluster index %d out of range", c)
+		}
+		set.Cluster = int(c)
+		if set.Norm, err = store.ReadFloat64(br); err != nil {
+			return nil, fmt.Errorf("model: reading set norm: %w", err)
+		}
+		if set.Points, err = store.ReadIndices(br); err != nil {
+			return nil, fmt.Errorf("model: reading set points: %w", err)
+		}
+		s.Sets = append(s.Sets, set)
+	}
+	sc, err := store.NewBinaryScanner(br)
+	if err != nil {
+		return nil, fmt.Errorf("model: opening transaction block: %w", err)
+	}
+	for {
+		t, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("model: reading transactions: %w", err)
+		}
+		s.Txns = append(s.Txns, t)
+	}
+	return s, nil
+}
+
+// Save writes the snapshot to path. The file is written to a temporary
+// sibling and renamed into place, so a concurrently loading server (rockd's
+// /v1/reload) never observes a half-written snapshot.
+func Save(path string, s *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a snapshot from path.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,247 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rock/internal/dataset"
+	"rock/internal/label"
+)
+
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		Theta:   0.5,
+		FTheta:  (1 - 0.5) / (1 + 0.5),
+		SimName: "jaccard",
+		Sets: []Set{
+			{Cluster: 0, Norm: math.Pow(4, 1.0/3), Points: []int{0, 1, 2}},
+			{Cluster: 1, Norm: math.Pow(3, 1.0/3), Points: []int{3, 4}},
+		},
+		Txns: []dataset.Transaction{
+			dataset.NewTransaction(1, 2, 3),
+			dataset.NewTransaction(1, 2, 4),
+			dataset.NewTransaction(2, 3, 4),
+			dataset.NewTransaction(10, 11, 12),
+			dataset.NewTransaction(10, 11, 13),
+		},
+	}
+}
+
+func snapshotsEqual(t *testing.T, a, b *Snapshot) {
+	t.Helper()
+	if a.Theta != b.Theta || a.FTheta != b.FTheta || a.SimName != b.SimName {
+		t.Fatalf("scalar mismatch: %+v vs %+v", a, b)
+	}
+	if (a.Schema == nil) != (b.Schema == nil) {
+		t.Fatalf("schema presence mismatch")
+	}
+	if a.Schema != nil {
+		if len(a.Schema.Attrs) != len(b.Schema.Attrs) {
+			t.Fatalf("schema attr count %d vs %d", len(a.Schema.Attrs), len(b.Schema.Attrs))
+		}
+		for i := range a.Schema.Attrs {
+			x, y := a.Schema.Attrs[i], b.Schema.Attrs[i]
+			if x.Name != y.Name || strings.Join(x.Domain, ",") != strings.Join(y.Domain, ",") {
+				t.Fatalf("attr %d: %+v vs %+v", i, x, y)
+			}
+		}
+	}
+	if len(a.Sets) != len(b.Sets) {
+		t.Fatalf("set count %d vs %d", len(a.Sets), len(b.Sets))
+	}
+	for i := range a.Sets {
+		x, y := a.Sets[i], b.Sets[i]
+		if x.Cluster != y.Cluster || x.Norm != y.Norm || len(x.Points) != len(y.Points) {
+			t.Fatalf("set %d: %+v vs %+v", i, x, y)
+		}
+		for j := range x.Points {
+			if x.Points[j] != y.Points[j] {
+				t.Fatalf("set %d point %d: %d vs %d", i, j, x.Points[j], y.Points[j])
+			}
+		}
+	}
+	if len(a.Txns) != len(b.Txns) {
+		t.Fatalf("txn count %d vs %d", len(a.Txns), len(b.Txns))
+	}
+	for i := range a.Txns {
+		if !a.Txns[i].Equal(b.Txns[i]) {
+			t.Fatalf("txn %d: %v vs %v", i, a.Txns[i], b.Txns[i])
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEqual(t, s, back)
+}
+
+func TestSnapshotRoundTripWithSchema(t *testing.T) {
+	s := testSnapshot()
+	s.Schema = dataset.NewSchema(
+		dataset.Attribute{Name: "color", Domain: []string{"red", "green", "blue"}},
+		dataset.Attribute{Name: "shape", Domain: []string{"round", "square"}},
+	)
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEqual(t, s, back)
+}
+
+func TestSnapshotWriteIsDeterministic(t *testing.T) {
+	s := testSnapshot()
+	var a, b bytes.Buffer
+	if err := s.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same snapshot differ")
+	}
+}
+
+func TestSnapshotSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.rockmodel")
+	s := testSnapshot()
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEqual(t, s, back)
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       []byte("ROCK"),
+		"wrong magic": []byte("NOTMODL\x01 more bytes follow here"),
+		"bad version": append([]byte("ROCKMDL\x63"), make([]byte, 32)...),
+		"no body":     []byte("ROCKMDL\x01"),
+		"junk body":   append([]byte("ROCKMDL\x01"), []byte("this is not gzip")...),
+	}
+	for name, in := range cases {
+		if _, err := Read(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteRejectsInvalidSnapshots(t *testing.T) {
+	cases := map[string]func(*Snapshot){
+		"bad theta":        func(s *Snapshot) { s.Theta = 1.5 },
+		"nan ftheta":       func(s *Snapshot) { s.FTheta = math.NaN() },
+		"no sim":           func(s *Snapshot) { s.SimName = "" },
+		"zero norm":        func(s *Snapshot) { s.Sets[0].Norm = 0 },
+		"empty set":        func(s *Snapshot) { s.Sets[0].Points = nil },
+		"unsorted points":  func(s *Snapshot) { s.Sets[0].Points = []int{2, 1} },
+		"duplicate points": func(s *Snapshot) { s.Sets[0].Points = []int{1, 1} },
+		"point range":      func(s *Snapshot) { s.Sets[0].Points = []int{0, 99} },
+		"neg cluster":      func(s *Snapshot) { s.Sets[0].Cluster = -1 },
+		"empty domain":     func(s *Snapshot) { s.Schema = dataset.NewSchema(dataset.Attribute{Name: "a"}) },
+	}
+	for name, mutate := range cases {
+		s := testSnapshot()
+		mutate(s)
+		if err := s.Write(&bytes.Buffer{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCompileAssignsLikeLabelRule(t *testing.T) {
+	s := testSnapshot()
+	a, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []dataset.Transaction{
+		dataset.NewTransaction(1, 2, 3),
+		dataset.NewTransaction(10, 11, 14),
+		dataset.NewTransaction(50, 60),
+		dataset.NewTransaction(2, 3),
+	}
+	sets := make([]label.Set, len(s.Sets))
+	for i, set := range s.Sets {
+		sets[i] = label.NewSet(set.Cluster, set.Points, set.Norm)
+	}
+	for _, p := range probes {
+		wantC, wantScore := label.AssignScore(sets, func(q int) bool {
+			inter := p.IntersectLen(s.Txns[q])
+			union := len(p) + len(s.Txns[q]) - inter
+			return union > 0 && float64(inter)/float64(union) >= s.Theta
+		})
+		gotC, gotScore := a.Assign(p)
+		if gotC != wantC || gotScore != wantScore {
+			t.Fatalf("probe %v: got (%d, %v), want (%d, %v)", p, gotC, gotScore, wantC, wantScore)
+		}
+	}
+}
+
+func TestCompileRejectsUnknownSimilarity(t *testing.T) {
+	s := testSnapshot()
+	s.SimName = "levenshtein"
+	if _, err := Compile(s); err == nil {
+		t.Fatal("unknown similarity accepted")
+	}
+}
+
+func TestEncodeRecord(t *testing.T) {
+	s := testSnapshot()
+	s.Schema = dataset.NewSchema(
+		dataset.Attribute{Name: "color", Domain: []string{"red", "green"}},
+		dataset.Attribute{Name: "shape", Domain: []string{"round", "square"}},
+	)
+	a, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := a.EncodeRecord([]string{"green", "round"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.NewTransaction(1, 2) // color.green=1, shape.round=2
+	if !tx.Equal(want) {
+		t.Fatalf("encoded %v, want %v", tx, want)
+	}
+	if _, err := a.EncodeRecord([]string{"green"}); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if _, err := a.EncodeRecord([]string{"purple", "round"}); err == nil {
+		t.Fatal("out-of-domain value accepted")
+	}
+	tx, err = a.EncodeRecord([]string{"?", "square"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tx.Equal(dataset.NewTransaction(3)) {
+		t.Fatalf("missing-value record encoded as %v", tx)
+	}
+
+	noSchema, err := Compile(testSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noSchema.EncodeRecord([]string{"x"}); err == nil {
+		t.Fatal("record accepted without schema")
+	}
+}

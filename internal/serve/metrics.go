@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the number of fixed exponential latency buckets: bucket i
+// counts observations under 1µs·2^i, the last bucket is a catch-all. 30
+// buckets span 1µs .. ~9min, far beyond any sane request latency.
+const latBuckets = 30
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation. Fixed buckets keep the hot path to one atomic increment —
+// no locks, no allocation — at the cost of quantiles quantized to bucket
+// upper bounds.
+type histogram struct {
+	buckets [latBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	b := 0
+	for bound := int64(1000); b < latBuckets-1 && ns >= bound; b++ {
+		bound <<= 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(ns))
+}
+
+// quantile returns the upper bound of the bucket holding the q-th
+// observation (0 < q <= 1), or 0 when nothing was observed.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for b := 0; b < latBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum >= rank {
+			return time.Duration(int64(1000) << b)
+		}
+	}
+	return time.Duration(int64(1000) << (latBuckets - 1))
+}
+
+func (h *histogram) mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Metrics is a point-in-time counter snapshot of an Engine, shaped for
+// direct JSON encoding (rockd's GET /metrics).
+type Metrics struct {
+	// Requests counts Assign/AssignAll calls (one batch = one request).
+	Requests uint64 `json:"requests"`
+	// Assignments counts individual transactions assigned.
+	Assignments uint64 `json:"assignments"`
+	// Outliers counts assignments that landed in no cluster.
+	Outliers uint64 `json:"outliers"`
+	// Reloads counts model hot-swaps.
+	Reloads uint64 `json:"reloads"`
+	// P50Millis and P99Millis are per-request latency quantiles from the
+	// fixed-bucket histogram (bucket upper bounds, so conservative).
+	P50Millis  float64 `json:"p50_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	MeanMillis float64 `json:"mean_ms"`
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rock/internal/dataset"
+	"rock/internal/model"
+)
+
+// twoClusterSnapshot builds a tiny model with two well-separated clusters:
+// low items (1..5) label cluster 0, high items (100..105) label cluster 1.
+// shift relabels the clusters (cluster c becomes c+shift), which the
+// hot-swap test uses to tell two models apart.
+func twoClusterSnapshot(shift int) *model.Snapshot {
+	return &model.Snapshot{
+		Theta:   0.5,
+		FTheta:  1.0 / 3,
+		SimName: "jaccard",
+		Sets: []model.Set{
+			{Cluster: 0 + shift, Norm: 1.5, Points: []int{0, 1, 2}},
+			{Cluster: 1 + shift, Norm: 1.5, Points: []int{3, 4, 5}},
+		},
+		Txns: []dataset.Transaction{
+			dataset.NewTransaction(1, 2, 3),
+			dataset.NewTransaction(1, 2, 4),
+			dataset.NewTransaction(1, 3, 5),
+			dataset.NewTransaction(100, 101, 102),
+			dataset.NewTransaction(100, 101, 103),
+			dataset.NewTransaction(100, 102, 105),
+		},
+	}
+}
+
+func compile(t testing.TB, shift int) *model.Assigner {
+	t.Helper()
+	a, err := model.Compile(twoClusterSnapshot(shift))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func randomProbes(n int, rng *rand.Rand) []dataset.Transaction {
+	out := make([]dataset.Transaction, n)
+	for i := range out {
+		var items []dataset.Item
+		base := dataset.Item(1)
+		if rng.Intn(2) == 1 {
+			base = 100
+		}
+		for k := 0; k < 3; k++ {
+			items = append(items, base+dataset.Item(rng.Intn(6)))
+		}
+		out[i] = dataset.NewTransaction(items...)
+	}
+	return out
+}
+
+func TestAssignAllMatchesSingleAssign(t *testing.T) {
+	e, err := New(compile(t, 0), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	probes := randomProbes(500, rand.New(rand.NewSource(7)))
+	batch := e.AssignAll(probes)
+	for i, p := range probes {
+		if got := e.Assign(p); got != batch[i] {
+			t.Fatalf("probe %d: batch %+v vs single %+v", i, batch[i], got)
+		}
+	}
+}
+
+func TestAssignAllMatchesAssigner(t *testing.T) {
+	a := compile(t, 0)
+	e, err := New(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	probes := randomProbes(300, rand.New(rand.NewSource(8)))
+	batch := e.AssignAll(probes)
+	for i, p := range probes {
+		c, s := a.Assign(p)
+		if batch[i].Cluster != c || batch[i].Score != s {
+			t.Fatalf("probe %d: engine %+v vs assigner (%d, %v)", i, batch[i], c, s)
+		}
+	}
+}
+
+// TestHotSwapBatchConsistency hammers AssignAll from many goroutines while
+// the model is swapped continuously. Every batch must be served entirely by
+// one model: with model A clusters are {0,1}, with model B {10,11}, so a
+// batch mixing low and high cluster ids would prove a torn read.
+func TestHotSwapBatchConsistency(t *testing.T) {
+	a0, a1 := compile(t, 0), compile(t, 10)
+	e, err := New(a0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const (
+		clients = 8
+		batches = 40
+	)
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				e.Swap(a1)
+			} else {
+				e.Swap(a0)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for b := 0; b < batches; b++ {
+				probes := randomProbes(150, rng)
+				res := e.AssignAll(probes)
+				shift := -1
+				for i, r := range res {
+					if r.Cluster == Outlier {
+						continue
+					}
+					s := 0
+					if r.Cluster >= 10 {
+						s = 10
+					}
+					if shift == -1 {
+						shift = s
+					} else if s != shift {
+						errs <- "batch mixed models"
+						return
+					}
+					_ = i
+				}
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if m := e.Metrics(); m.Reloads == 0 {
+		t.Fatal("swapper never swapped")
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	e, err := New(compile(t, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	probes := []dataset.Transaction{
+		dataset.NewTransaction(1, 2, 3),    // cluster 0
+		dataset.NewTransaction(100, 101),   // cluster 1
+		dataset.NewTransaction(7777, 8888), // outlier
+	}
+	e.AssignAll(probes)
+	e.Assign(probes[2])
+	m := e.Metrics()
+	if m.Requests != 2 {
+		t.Fatalf("requests = %d, want 2", m.Requests)
+	}
+	if m.Assignments != 4 {
+		t.Fatalf("assignments = %d, want 4", m.Assignments)
+	}
+	if m.Outliers != 2 {
+		t.Fatalf("outliers = %d, want 2", m.Outliers)
+	}
+	if m.P50Millis <= 0 || m.P99Millis < m.P50Millis {
+		t.Fatalf("implausible latency quantiles: %+v", m)
+	}
+}
+
+func TestNewRejectsNilAssigner(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Fatal("nil assigner accepted")
+	}
+}

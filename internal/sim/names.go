@@ -1,0 +1,45 @@
+package sim
+
+import "reflect"
+
+// The named transaction similarities. A model snapshot persists the
+// similarity by name (functions do not serialize), so every similarity a
+// Labeler may snapshot must be registered here.
+var txnByName = map[string]TxnFunc{
+	"jaccard": Jaccard,
+	"dice":    Dice,
+	"overlap": Overlap,
+	"cosine":  Cosine,
+}
+
+// TxnByName resolves a registered transaction similarity by its name.
+func TxnByName(name string) (TxnFunc, bool) {
+	f, ok := txnByName[name]
+	return f, ok
+}
+
+// TxnNames returns the registered similarity names (unordered).
+func TxnNames() []string {
+	out := make([]string, 0, len(txnByName))
+	for n := range txnByName {
+		out = append(out, n)
+	}
+	return out
+}
+
+// NameOf returns the registered name of a transaction similarity, or ""
+// when f is not one of the named similarities. Function values are not
+// comparable in Go, so the lookup goes through the code pointer; this
+// identifies the package-level functions registered above.
+func NameOf(f TxnFunc) string {
+	if f == nil {
+		return ""
+	}
+	p := reflect.ValueOf(f).Pointer()
+	for name, g := range txnByName {
+		if reflect.ValueOf(g).Pointer() == p {
+			return name
+		}
+	}
+	return ""
+}

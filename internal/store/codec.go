@@ -1,0 +1,134 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Low-level codec helpers shared by the on-disk formats of this package and
+// the model snapshot format of internal/model: uvarints, length-prefixed
+// strings, raw float64 bits, and delta-encoded sorted index lists.
+
+// MaxStringLen bounds length-prefixed strings so a corrupt or hostile prefix
+// cannot force an arbitrary allocation.
+const MaxStringLen = 1 << 20
+
+// WriteUvarint writes v as a uvarint.
+func WriteUvarint(bw *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := bw.Write(buf[:n])
+	return err
+}
+
+// ReadUvarint reads a uvarint.
+func ReadUvarint(br *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(br)
+}
+
+// WriteString writes s as a uvarint length followed by the raw bytes.
+func WriteString(bw *bufio.Writer, s string) error {
+	if len(s) > MaxStringLen {
+		return fmt.Errorf("store: string of %d bytes exceeds limit %d", len(s), MaxStringLen)
+	}
+	if err := WriteUvarint(bw, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := bw.WriteString(s)
+	return err
+}
+
+// ReadString reads a length-prefixed string, rejecting lengths over
+// MaxStringLen.
+func ReadString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > MaxStringLen {
+		return "", fmt.Errorf("store: string length %d exceeds limit %d", n, MaxStringLen)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// WriteFloat64 writes the IEEE-754 bits of v, little-endian. Persisting raw
+// bits (rather than a decimal rendering) keeps snapshots byte-stable across
+// round trips.
+func WriteFloat64(bw *bufio.Writer, v float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, err := bw.Write(buf[:])
+	return err
+}
+
+// ReadFloat64 reads a little-endian IEEE-754 float64.
+func ReadFloat64(br *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// WriteIndices writes a strictly increasing list of non-negative ints as a
+// uvarint count, the first value, then positive deltas. The canonical (sorted,
+// deduplicated) form makes encodings byte-stable.
+func WriteIndices(bw *bufio.Writer, idx []int) error {
+	if err := WriteUvarint(bw, uint64(len(idx))); err != nil {
+		return err
+	}
+	prev := -1
+	for _, p := range idx {
+		if p <= prev {
+			return fmt.Errorf("store: indices not strictly increasing (%d after %d)", p, prev)
+		}
+		if err := WriteUvarint(bw, uint64(p-prev)); err != nil {
+			return err
+		}
+		prev = p
+	}
+	return nil
+}
+
+// ReadIndices reads a delta-encoded index list written by WriteIndices,
+// enforcing strict monotonicity (so decoded lists are always sorted and
+// duplicate-free).
+func ReadIndices(br *bufio.Reader) ([]int, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	// Cap the preallocation against hostile counts; append grows as deltas
+	// actually arrive.
+	const maxPrealloc = 1 << 16
+	capHint := n
+	if capHint > maxPrealloc {
+		capHint = maxPrealloc
+	}
+	out := make([]int, 0, capHint)
+	prev := -1
+	for i := uint64(0); i < n; i++ {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if d == 0 {
+			return nil, errors.New("store: zero delta in index list")
+		}
+		p := int64(prev) + int64(d)
+		if p > math.MaxInt32 {
+			return nil, fmt.Errorf("store: index %d out of range", p)
+		}
+		prev = int(p)
+		out = append(out, prev)
+	}
+	return out, nil
+}

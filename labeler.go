@@ -2,10 +2,15 @@ package rock
 
 import (
 	"errors"
+	"fmt"
+	"io"
 	"math/rand"
+	"sort"
 
 	"rock/internal/label"
+	"rock/internal/model"
 	"rock/internal/rockcore"
+	"rock/internal/sim"
 )
 
 // Labeler assigns new, unseen transactions to the clusters of a previous
@@ -14,19 +19,32 @@ import (
 // theta-neighbors after dividing by the expected count (|L_i|+1)^f(theta).
 //
 // Typical use: cluster a sample once, keep the Labeler, and classify
-// arriving transactions incrementally.
+// arriving transactions incrementally. A Labeler is read-only after
+// construction, so concurrent Assign calls are safe. For serving across
+// process boundaries, Snapshot persists the model and LoadLabeler (or the
+// rockd daemon) revives it.
 type Labeler struct {
-	sets  []label.Set
-	txns  []Transaction
-	sim   TxnSimilarity
-	theta float64
+	sets    []label.Set
+	txns    []Transaction
+	sim     TxnSimilarity
+	simName string
+	theta   float64
+	fTheta  float64
+	schema  *Schema
 }
+
+// Snapshot is the persisted form of a Labeler: the labeled sets, their
+// norms, the labeled transactions, and the model's parameters. See
+// Labeler.Snapshot and LoadLabeler.
+type Snapshot = model.Snapshot
 
 // LabelerConfig controls labeled-set construction for a Labeler.
 type LabelerConfig struct {
 	// Fraction of each cluster drawn into its labeled set (default 0.25).
+	// Must lie in [0, 1]; zero selects the default.
 	Fraction float64
-	// MinPerCluster floors each labeled set's size (default 5).
+	// MinPerCluster floors each labeled set's size (default 5). Must be
+	// non-negative; zero selects the default.
 	MinPerCluster int
 	// Seed drives the labeled-set draw.
 	Seed int64
@@ -38,6 +56,12 @@ type LabelerConfig struct {
 func NewLabeler(txns []Transaction, res *Result, cfg Config, lcfg LabelerConfig) (*Labeler, error) {
 	if res == nil {
 		return nil, errors.New("rock: nil result")
+	}
+	if lcfg.Fraction < 0 || lcfg.Fraction > 1 {
+		return nil, fmt.Errorf("rock: labeler fraction %v out of [0,1]", lcfg.Fraction)
+	}
+	if lcfg.MinPerCluster < 0 {
+		return nil, fmt.Errorf("rock: negative MinPerCluster %d", lcfg.MinPerCluster)
 	}
 	frac := lcfg.Fraction
 	if frac == 0 {
@@ -51,28 +75,39 @@ func NewLabeler(txns []Transaction, res *Result, cfg Config, lcfg LabelerConfig)
 	if f == nil {
 		f = rockcore.DefaultF
 	}
+	fTheta := f(cfg.Theta)
 	rng := rand.New(rand.NewSource(lcfg.Seed))
 	sets, err := label.BuildSets(res.Clusters, label.Config{
 		Fraction:      frac,
 		MinPerCluster: minPer,
-		F:             f(cfg.Theta),
+		F:             fTheta,
 	}, rng)
 	if err != nil {
 		return nil, err
 	}
 	return &Labeler{
-		sets:  sets,
-		txns:  txns,
-		sim:   cfg.txnSim(),
-		theta: cfg.Theta,
+		sets:    sets,
+		txns:    txns,
+		sim:     cfg.txnSim(),
+		simName: sim.NameOf(cfg.txnSim()),
+		theta:   cfg.Theta,
+		fTheta:  fTheta,
 	}, nil
 }
 
 // Assign labels one transaction, returning a cluster index into the
 // original Result.Clusters or OutlierCluster when the transaction has no
-// neighbors in any labeled set.
+// neighbors in any labeled set. Assign is safe for concurrent use.
 func (l *Labeler) Assign(t Transaction) int {
-	return label.Assign(l.sets, func(q int) bool {
+	c, _ := l.AssignScore(t)
+	return c
+}
+
+// AssignScore is Assign plus the winning cluster's normalized neighbor
+// count — the confidence score the serving layer reports. The score is 0
+// for outliers.
+func (l *Labeler) AssignScore(t Transaction) (int, float64) {
+	return label.AssignScore(l.sets, func(q int) bool {
 		return l.sim(t, l.txns[q]) >= l.theta
 	})
 }
@@ -84,4 +119,128 @@ func (l *Labeler) AssignAll(ts []Transaction) []int {
 		out[i] = l.Assign(t)
 	}
 	return out
+}
+
+// SetSchema attaches the categorical schema the training records were
+// encoded with. Snapshots carry the schema onward, letting a serving
+// process (rockd) accept raw records and encode them identically.
+func (l *Labeler) SetSchema(s *Schema) { l.schema = s }
+
+// Schema returns the attached categorical schema, or nil.
+func (l *Labeler) Schema() *Schema { return l.schema }
+
+// Snapshot captures the Labeler as a persistable model. Only the
+// transactions referenced by some labeled set are included (indices are
+// remapped), so a snapshot of a large training run stays small. The
+// similarity must be one of the named ones (Jaccard, Dice, Overlap,
+// Cosine); a custom similarity function cannot be serialized.
+func (l *Labeler) Snapshot() (*Snapshot, error) {
+	if l.simName == "" {
+		return nil, errors.New("rock: custom similarity functions cannot be snapshotted; use a named similarity")
+	}
+	// Collect the referenced transaction indices, sorted and deduplicated,
+	// and build the old→new index remap.
+	used := map[int]bool{}
+	for _, s := range l.sets {
+		for _, p := range s.Points {
+			if p < 0 || p >= len(l.txns) {
+				return nil, fmt.Errorf("rock: labeled point %d outside transaction slice of %d", p, len(l.txns))
+			}
+			used[p] = true
+		}
+	}
+	order := make([]int, 0, len(used))
+	for p := range used {
+		order = append(order, p)
+	}
+	sort.Ints(order)
+	remap := make(map[int]int, len(order))
+	txns := make([]Transaction, len(order))
+	for i, p := range order {
+		remap[p] = i
+		txns[i] = l.txns[p]
+	}
+	snap := &Snapshot{
+		Theta:   l.theta,
+		FTheta:  l.fTheta,
+		SimName: l.simName,
+		Schema:  l.schema,
+		Txns:    txns,
+	}
+	for _, s := range l.sets {
+		pts := make([]int, len(s.Points))
+		for i, p := range s.Points {
+			pts[i] = remap[p]
+		}
+		sort.Ints(pts)
+		snap.Sets = append(snap.Sets, model.Set{
+			Cluster: s.Cluster,
+			Norm:    s.Norm(),
+			Points:  pts,
+		})
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// WriteSnapshot writes the Labeler's snapshot to w in the versioned binary
+// snapshot format.
+func (l *Labeler) WriteSnapshot(w io.Writer) error {
+	s, err := l.Snapshot()
+	if err != nil {
+		return err
+	}
+	return s.Write(w)
+}
+
+// SaveSnapshot writes the Labeler's snapshot to path (atomically, via a
+// temporary file and rename).
+func (l *Labeler) SaveSnapshot(path string) error {
+	s, err := l.Snapshot()
+	if err != nil {
+		return err
+	}
+	return model.Save(path, s)
+}
+
+// LoadLabeler revives a Labeler from a snapshot stream written by
+// WriteSnapshot/SaveSnapshot. The revived Labeler assigns identically to
+// the one that was snapshotted.
+func LoadLabeler(r io.Reader) (*Labeler, error) {
+	snap, err := model.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return labelerFromSnapshot(snap)
+}
+
+// LoadLabelerFile revives a Labeler from a snapshot file.
+func LoadLabelerFile(path string) (*Labeler, error) {
+	snap, err := model.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return labelerFromSnapshot(snap)
+}
+
+func labelerFromSnapshot(snap *Snapshot) (*Labeler, error) {
+	simF, ok := sim.TxnByName(snap.SimName)
+	if !ok {
+		return nil, fmt.Errorf("rock: snapshot uses unknown similarity %q", snap.SimName)
+	}
+	sets := make([]label.Set, len(snap.Sets))
+	for i, s := range snap.Sets {
+		sets[i] = label.NewSet(s.Cluster, s.Points, s.Norm)
+	}
+	return &Labeler{
+		sets:    sets,
+		txns:    snap.Txns,
+		sim:     simF,
+		simName: snap.SimName,
+		theta:   snap.Theta,
+		fTheta:  snap.FTheta,
+		schema:  snap.Schema,
+	}, nil
 }

@@ -1,7 +1,11 @@
 package rock_test
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
+	"path/filepath"
+	"sync"
 	"testing"
 
 	"rock"
@@ -106,5 +110,154 @@ func TestLabelerNoNeighborsIsOutlier(t *testing.T) {
 func TestLabelerValidation(t *testing.T) {
 	if _, err := rock.NewLabeler(nil, nil, rock.Config{}, rock.LabelerConfig{}); err == nil {
 		t.Fatal("nil result accepted")
+	}
+}
+
+func TestLabelerConfigValidation(t *testing.T) {
+	txns := []rock.Transaction{
+		rock.NewTransaction(1, 2, 3),
+		rock.NewTransaction(1, 2, 4),
+	}
+	cfg := rock.Config{K: 1, Theta: 0.5}
+	res, err := rock.ClusterTransactions(txns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []rock.LabelerConfig{
+		{Fraction: -0.1},
+		{Fraction: 1.5},
+		{MinPerCluster: -3},
+	}
+	for _, lcfg := range bad {
+		if _, err := rock.NewLabeler(txns, res, cfg, lcfg); err == nil {
+			t.Errorf("config %+v accepted", lcfg)
+		}
+	}
+	// Zero values still select the documented defaults.
+	if _, err := rock.NewLabeler(txns, res, cfg, rock.LabelerConfig{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	// Boundary values are legal.
+	if _, err := rock.NewLabeler(txns, res, cfg, rock.LabelerConfig{Fraction: 1}); err != nil {
+		t.Fatalf("fraction 1 rejected: %v", err)
+	}
+}
+
+// TestLabelerConcurrentAssign drives one Labeler from many goroutines and
+// checks every concurrent answer against the serial one. Run under -race
+// (make race) this doubles as the parallel-safety proof for the serving
+// layer, which shares a Labeler-equivalent model across its worker pool.
+func TestLabelerConcurrentAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := datagen.Basket(datagen.ScaledBasketConfig(100), rng)
+	cfg := rock.Config{
+		K: data.NumClusters(), Theta: 0.5,
+		MinNeighbors: 2, StopMultiple: 3, MinClusterSize: 10,
+	}
+	res, err := rock.ClusterTransactions(data.Txns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := rock.NewLabeler(data.Txns, res, cfg, rock.LabelerConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := datagen.Basket(datagen.ScaledBasketConfig(100), rand.New(rand.NewSource(77))).Txns
+	want := lab.AssignAll(probes)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	mismatch := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(probes); i += goroutines {
+				if got := lab.Assign(probes[i]); got != want[i] {
+					mismatch <- fmt.Sprintf("probe %d: concurrent %d vs serial %d", i, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case msg := <-mismatch:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestLabelerSnapshotRoundTrip is the persistence acceptance path: a
+// snapshotted-and-revived Labeler must assign every probe identically,
+// scores included.
+func TestLabelerSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := datagen.Basket(datagen.ScaledBasketConfig(100), rng)
+	cfg := rock.Config{
+		K: data.NumClusters(), Theta: 0.5,
+		MinNeighbors: 2, StopMultiple: 3, MinClusterSize: 10,
+	}
+	res, err := rock.ClusterTransactions(data.Txns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := rock.NewLabeler(data.Txns, res, cfg, rock.LabelerConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := lab.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := rock.LoadLabeler(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probes := datagen.Basket(datagen.ScaledBasketConfig(100), rand.New(rand.NewSource(77))).Txns
+	for _, p := range probes {
+		wantC, wantS := lab.AssignScore(p)
+		gotC, gotS := back.AssignScore(p)
+		if gotC != wantC || gotS != wantS {
+			t.Fatalf("probe %v: revived (%d, %v), original (%d, %v)", p, gotC, gotS, wantC, wantS)
+		}
+	}
+
+	// File-based round trip with a schema attached.
+	lab.SetSchema(&rock.Schema{Attrs: []rock.Attribute{{Name: "a", Domain: []string{"x", "y"}}}})
+	path := filepath.Join(t.TempDir(), "m.rockm")
+	if err := lab.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err = rock.LoadLabelerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema() == nil || back.Schema().Attrs[0].Name != "a" {
+		t.Fatal("schema lost in round trip")
+	}
+}
+
+// TestLabelerSnapshotRejectsCustomSimilarity: function values cannot be
+// serialized, so snapshotting a custom similarity must fail loudly.
+func TestLabelerSnapshotRejectsCustomSimilarity(t *testing.T) {
+	txns := []rock.Transaction{
+		rock.NewTransaction(1, 2, 3),
+		rock.NewTransaction(1, 2, 4),
+	}
+	custom := func(a, b rock.Transaction) float64 { return rock.Jaccard(a, b) }
+	cfg := rock.Config{K: 1, Theta: 0.5, Similarity: custom}
+	res, err := rock.ClusterTransactions(txns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := rock.NewLabeler(txns, res, cfg, rock.LabelerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.Snapshot(); err == nil {
+		t.Fatal("custom similarity snapshotted")
 	}
 }

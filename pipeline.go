@@ -11,6 +11,7 @@ import (
 	"rock/internal/label"
 	"rock/internal/rockcore"
 	"rock/internal/sample"
+	"rock/internal/sim"
 	"rock/internal/store"
 )
 
@@ -58,6 +59,10 @@ type LargeResult struct {
 	// Labeled counts points assigned during the labeling pass (i.e. not in
 	// the sample).
 	Labeled int
+	// Labeler is the trained labeling model the pipeline assigned with. It
+	// keeps classifying transactions that arrive after the run, and its
+	// Snapshot/SaveSnapshot persist the model for serving (cmd/rockd).
+	Labeler *Labeler
 }
 
 // Clusters materializes the full clustering from the assignment vector.
@@ -92,10 +97,11 @@ func ClusterLarge(txns []Transaction, cfg PipelineConfig) (*LargeResult, error) 
 	}
 	out := &LargeResult{Sample: idx, SampleResult: res}
 
-	sets, simF, err := buildLabelSets(sub, res, cfg, rng)
+	lab, err := buildLabeler(sub, res, cfg, rng)
 	if err != nil {
 		return nil, err
 	}
+	out.Labeler = lab
 
 	out.Assign = make([]int, len(txns))
 	inSample := make(map[int]int, len(idx)) // original index -> sample pos
@@ -120,9 +126,7 @@ func ClusterLarge(txns []Transaction, cfg PipelineConfig) (*LargeResult, error) 
 		}
 	}
 	labelParallel(todo, cfg.Cluster.Workers, func(p int) {
-		out.Assign[p] = label.Assign(sets, func(q int) bool {
-			return simF(txns[p], sub[q]) >= cfg.Cluster.Theta
-		})
+		out.Assign[p] = lab.Assign(txns[p])
 	})
 	out.Labeled = len(todo)
 	return out, nil
@@ -224,10 +228,11 @@ func ClusterScanner(open func() (store.Scanner, io.Closer, error), cfg PipelineC
 	}
 	out := &LargeResult{Sample: idx, SampleResult: res}
 
-	sets, simF, err := buildLabelSets(sub, res, cfg, rng)
+	lab, err := buildLabeler(sub, res, cfg, rng)
 	if err != nil {
 		return nil, err
 	}
+	out.Labeler = lab
 
 	out.Assign = make([]int, total)
 	for i := range out.Assign {
@@ -249,7 +254,6 @@ func ClusterScanner(open func() (store.Scanner, io.Closer, error), cfg PipelineC
 		return nil, err
 	}
 	defer closer.Close()
-	theta := cfg.Cluster.Theta
 	pos := 0
 	for {
 		t, err := sc.Next()
@@ -263,9 +267,7 @@ func ClusterScanner(open func() (store.Scanner, io.Closer, error), cfg PipelineC
 			return nil, fmt.Errorf("rock: stream grew between passes (%d > %d)", pos+1, total)
 		}
 		if _, ok := inSample[pos]; !ok {
-			out.Assign[pos] = label.Assign(sets, func(q int) bool {
-				return simF(t, sub[q]) >= theta
-			})
+			out.Assign[pos] = lab.Assign(t)
 			out.Labeled++
 		}
 		pos++
@@ -273,16 +275,26 @@ func ClusterScanner(open func() (store.Scanner, io.Closer, error), cfg PipelineC
 	return out, nil
 }
 
-// buildLabelSets draws the labeled subsets and returns them with the
-// similarity used for neighbor tests during labeling.
-func buildLabelSets(sub []Transaction, res *Result, cfg PipelineConfig, rng *rand.Rand) ([]label.Set, TxnSimilarity, error) {
+// buildLabeler draws the labeled subsets and wraps them, the sampled
+// transactions and the similarity into the Labeler the pipeline assigns
+// with (and the caller keeps, via LargeResult.Labeler).
+func buildLabeler(sub []Transaction, res *Result, cfg PipelineConfig, rng *rand.Rand) (*Labeler, error) {
 	f := cfg.Cluster.F
 	if f == nil {
 		f = rockcore.DefaultF
 	}
-	sets, err := label.BuildSets(res.Clusters, cfg.labelCfg(f(cfg.Cluster.Theta)), rng)
+	fTheta := f(cfg.Cluster.Theta)
+	sets, err := label.BuildSets(res.Clusters, cfg.labelCfg(fTheta), rng)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return sets, cfg.Cluster.txnSim(), nil
+	simF := cfg.Cluster.txnSim()
+	return &Labeler{
+		sets:    sets,
+		txns:    sub,
+		sim:     simF,
+		simName: sim.NameOf(simF),
+		theta:   cfg.Cluster.Theta,
+		fTheta:  fTheta,
+	}, nil
 }

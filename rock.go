@@ -52,6 +52,13 @@ var (
 	Cosine  TxnSimilarity = sim.Cosine
 )
 
+// SimilarityByName resolves a named transaction similarity ("jaccard",
+// "dice", "overlap", "cosine"). Model snapshots persist similarities by
+// these names; flags and config files can use them too.
+func SimilarityByName(name string) (TxnSimilarity, bool) {
+	return sim.TxnByName(name)
+}
+
 // DefaultF is the paper's f(theta) = (1-theta)/(1+theta).
 func DefaultF(theta float64) float64 { return rockcore.DefaultF(theta) }
 
