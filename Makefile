@@ -3,12 +3,13 @@
 #   make verify   build + test (the tier-1 gate)
 #   make race     full test suite under the race detector
 #   make vet      static checks
+#   make faults   fault-injection + chaos suite under the race detector
 #   make check    all of the above
 #   make bench    benchmark harness (short mode)
 
 GO ?= go
 
-.PHONY: verify race vet check bench fuzz
+.PHONY: verify race vet faults check bench fuzz
 
 verify:
 	$(GO) build ./...
@@ -20,7 +21,16 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: verify race vet
+# The robustness suite: torn-write/power-cut sweeps, CRC corruption,
+# directory rollback, reload hammers, shedding, panic recovery, and the
+# end-to-end chaos test. All of it must hold under the race detector.
+faults:
+	$(GO) test -race ./internal/store -run 'Fault|Atomic|Crash|Durab|Short'
+	$(GO) test -race ./internal/model -run 'Crash|CRC|Corrupt|Legacy|Future|Dir|Rollback|Retention'
+	$(GO) test -race ./internal/serve -run 'Swap|Reload|Context|Close|Idle|Captured'
+	$(GO) test -race ./cmd/rockd -run 'Chaos|Readyz|Rollback|Shed|Panic|Reload'
+
+check: verify race vet faults
 
 bench:
 	$(GO) test -short -bench=. -benchmem ./...

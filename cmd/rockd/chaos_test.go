@@ -1,0 +1,526 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rock/internal/dataset"
+	"rock/internal/model"
+	"rock/internal/serve"
+	"rock/internal/store"
+)
+
+// schemaSnapshot builds a tiny categorical model: one attribute "v" with six
+// values; v0..v2 label cluster 0+shift, v3..v5 label cluster 1+shift. The
+// shift distinguishes model generations, so a response reveals which model
+// served it.
+func schemaSnapshot(shift int) *model.Snapshot {
+	return &model.Snapshot{
+		Theta:   0.5,
+		FTheta:  1.0 / 3,
+		SimName: "jaccard",
+		Schema: dataset.NewSchema(
+			dataset.Attribute{Name: "v", Domain: []string{"v0", "v1", "v2", "v3", "v4", "v5"}},
+		),
+		Sets: []model.Set{
+			{Cluster: 0 + shift, Norm: 1.5, Points: []int{0, 1, 2}},
+			{Cluster: 1 + shift, Norm: 1.5, Points: []int{3, 4, 5}},
+		},
+		Txns: []dataset.Transaction{
+			dataset.NewTransaction(0),
+			dataset.NewTransaction(1),
+			dataset.NewTransaction(2),
+			dataset.NewTransaction(3),
+			dataset.NewTransaction(4),
+			dataset.NewTransaction(5),
+		},
+	}
+}
+
+// startConfigured starts a daemon over an explicit engine and config,
+// returning the handler too so tests can reach its internals (semaphore,
+// drain flag, mux).
+func startConfigured(t *testing.T, engine *serve.Engine, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	h := newServer(engine, log.New(io.Discard, "", 0), cfg)
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() {
+		srv.Close()
+		engine.Close()
+	})
+	return h, srv
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestReadyzLifecycle drives readiness through the full arc: idle start
+// (not ready), first reload from the snapshot directory (ready), drain
+// (not ready again) — with liveness green throughout.
+func TestReadyzLifecycle(t *testing.T) {
+	dir, err := model.OpenDir(store.OS, t.TempDir(), "model", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, srv := startConfigured(t, serve.NewIdle(1), serverConfig{dir: dir})
+
+	if got := getStatus(t, srv.URL+"/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before any model: %d, want 503", got)
+	}
+	if got := getStatus(t, srv.URL+"/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz before any model: %d, want 200", got)
+	}
+	if got := getStatus(t, srv.URL+"/v1/model"); got != http.StatusServiceUnavailable {
+		t.Fatalf("model info before any model: %d, want 503", got)
+	}
+	status, payload := postJSON(t, srv.URL+"/v1/assign", assignRequest{Transactions: [][]int64{{1}}})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("assign before any model: %d (%s), want 503", status, payload)
+	}
+
+	if _, err := dir.Save(schemaSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	status, payload = postJSON(t, srv.URL+"/v1/reload", reloadRequest{})
+	if status != http.StatusOK {
+		t.Fatalf("reload from dir: %d (%s)", status, payload)
+	}
+	if got := getStatus(t, srv.URL+"/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz after reload: %d, want 200", got)
+	}
+	status, _ = postJSON(t, srv.URL+"/v1/assign", assignRequest{Records: [][]string{{"v0"}}})
+	if status != http.StatusOK {
+		t.Fatalf("assign after reload: %d", status)
+	}
+
+	h.beginDrain()
+	if got := getStatus(t, srv.URL+"/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", got)
+	}
+	if got := getStatus(t, srv.URL+"/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200", got)
+	}
+}
+
+// TestReloadRollbackFromDir corrupts the newest generation and checks the
+// daemon reloads the previous good one, keeps serving, and reports the
+// rollback.
+func TestReloadRollbackFromDir(t *testing.T) {
+	tmp := t.TempDir()
+	dir, err := model.OpenDir(store.OS, tmp, "model", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(schemaSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, _, err := dir.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := model.Compile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := serve.New(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := startConfigured(t, engine, serverConfig{dir: dir})
+
+	// A newer generation arrives torn: written without the atomic-save
+	// path, e.g. a partial copy.
+	if err := os.WriteFile(filepath.Join(tmp, "model-2.rock"), []byte("ROCKMDL\x02garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, payload := postJSON(t, srv.URL+"/v1/reload", reloadRequest{})
+	if status != http.StatusOK {
+		t.Fatalf("reload with corrupt newest: %d (%s)", status, payload)
+	}
+	var resp struct {
+		RolledBackPast []string `json:"rolled_back_past"`
+		Source         string   `json:"source"`
+	}
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.RolledBackPast) != 1 || filepath.Base(resp.RolledBackPast[0]) != "model-2.rock" {
+		t.Fatalf("rollback report %+v", resp)
+	}
+	if filepath.Base(resp.Source) != "model-1.rock" {
+		t.Fatalf("served source %q, want generation 1", resp.Source)
+	}
+	// Still answering, from the good model.
+	status, payload = postJSON(t, srv.URL+"/v1/assign", assignRequest{Records: [][]string{{"v0"}}})
+	if status != http.StatusOK {
+		t.Fatalf("assign after rollback: %d (%s)", status, payload)
+	}
+	var ar assignResponse
+	if err := json.Unmarshal(payload, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Assignments) != 1 || ar.Assignments[0].Cluster != 0 {
+		t.Fatalf("assignments after rollback: %+v", ar.Assignments)
+	}
+}
+
+// TestSheddingWith429: with the admission semaphore full, an assign request
+// must be shed immediately with 429 + Retry-After, and admitted again once
+// a slot frees.
+func TestSheddingWith429(t *testing.T) {
+	a, err := model.Compile(schemaSnapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := serve.New(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, srv := startConfigured(t, engine, serverConfig{maxInflight: 1})
+
+	// Occupy the only slot, as a stuck in-flight request would.
+	h.sem <- struct{}{}
+	b, _ := json.Marshal(assignRequest{Transactions: [][]int64{{1}}})
+	resp, err := http.Post(srv.URL+"/v1/assign", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated assign: %d (%s), want 429", resp.StatusCode, payload)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After")
+	}
+	<-h.sem
+
+	if status, _ := postJSON(t, srv.URL+"/v1/assign", assignRequest{Transactions: [][]int64{{1}}}); status != http.StatusOK {
+		t.Fatalf("assign after slot freed: %d", status)
+	}
+	var m daemonMetrics
+	mustGetJSON(t, srv.URL+"/metrics", &m)
+	if m.Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", m.Shed)
+	}
+}
+
+// TestPanicRecoveryKeepsServing: a handler panic must become a 500 — and
+// the daemon must keep answering afterwards.
+func TestPanicRecoveryKeepsServing(t *testing.T) {
+	a, err := model.Compile(schemaSnapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := serve.New(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, srv := startConfigured(t, engine, serverConfig{})
+	h.mux.HandleFunc("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+
+	if got := getStatus(t, srv.URL+"/boom"); got != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", got)
+	}
+	if status, _ := postJSON(t, srv.URL+"/v1/assign", assignRequest{Transactions: [][]int64{{1}}}); status != http.StatusOK {
+		t.Fatalf("assign after panic: %d", status)
+	}
+	var m daemonMetrics
+	mustGetJSON(t, srv.URL+"/metrics", &m)
+	if m.Panics != 1 {
+		t.Fatalf("panic counter = %d, want 1", m.Panics)
+	}
+}
+
+// TestRecordsConsistentDuringReloads is the reload-race regression test:
+// record batches are encoded against a captured model and must be assigned
+// by that same model, even while reloads swap generations underneath. With
+// model A clusters are {0,1} and with model B {10,11}, so a mixed batch —
+// or a record of v0..v2 landing outside {0,10} — proves the race.
+func TestRecordsConsistentDuringReloads(t *testing.T) {
+	tmp := t.TempDir()
+	pathA := filepath.Join(tmp, "a.rockm")
+	pathB := filepath.Join(tmp, "b.rockm")
+	if err := model.Save(pathA, schemaSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Save(pathB, schemaSnapshot(10)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := model.Compile(schemaSnapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := serve.New(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := startConfigured(t, engine, serverConfig{})
+
+	done := make(chan struct{})
+	fail := make(chan string, 16)
+	var reloader sync.WaitGroup
+	reloader.Add(1)
+	go func() {
+		defer reloader.Done()
+		paths := []string{pathB, pathA}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if status, payload := postJSON(t, srv.URL+"/v1/reload", reloadRequest{Path: paths[i%2]}); status != http.StatusOK {
+				fail <- fmt.Sprintf("reload: %d (%s)", status, payload)
+				return
+			}
+		}
+	}()
+
+	records := [][]string{{"v0"}, {"v3"}, {"v1"}, {"v4"}, {"v2"}, {"v5"}}
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < 40; b++ {
+				status, payload := postJSON(t, srv.URL+"/v1/assign", assignRequest{Records: records})
+				if status != http.StatusOK {
+					fail <- fmt.Sprintf("assign: %d (%s)", status, payload)
+					return
+				}
+				var resp assignResponse
+				if err := json.Unmarshal(payload, &resp); err != nil {
+					fail <- err.Error()
+					return
+				}
+				if len(resp.Assignments) != len(records) {
+					fail <- "short batch"
+					return
+				}
+				shift := -1
+				for i, got := range resp.Assignments {
+					wantLow := got.Cluster % 10 // 0 for v0..v2, 1 for v3..v5
+					if wantLow != i%2 {
+						fail <- fmt.Sprintf("record %d assigned cluster %d", i, got.Cluster)
+						return
+					}
+					s := 0
+					if got.Cluster >= 10 {
+						s = 10
+					}
+					if shift == -1 {
+						shift = s
+					} else if s != shift {
+						fail <- "batch split across two models"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	reloader.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	if engine.Metrics().Reloads == 0 {
+		t.Fatal("no reloads happened during the traffic window")
+	}
+}
+
+// TestChaosReloadCorruptShedUnderLoad drives the whole resilience loop at
+// once: concurrent clients (with client-side retry, like rockload's) hammer
+// assignments through a 1-slot admission gate while a chaos goroutine saves
+// new generations, drops corrupt ones into the directory, and reloads.
+// Required outcome: every batch eventually succeeds, zero wrong answers,
+// reloads always return 200 thanks to rollback, and overload is shed with
+// 429 rather than queued.
+func TestChaosReloadCorruptShedUnderLoad(t *testing.T) {
+	tmp := t.TempDir()
+	dir, err := model.OpenDir(store.OS, tmp, "model", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(schemaSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, _, err := dir.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := model.Compile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := serve.New(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := startConfigured(t, engine, serverConfig{maxInflight: 1, dir: dir})
+
+	done := make(chan struct{})
+	fail := make(chan string, 16)
+	var chaos sync.WaitGroup
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			shift := 0
+			if i%2 == 1 {
+				shift = 10
+			}
+			if _, err := dir.Save(schemaSnapshot(shift)); err != nil {
+				fail <- "save: " + err.Error()
+				return
+			}
+			if i%3 == 2 {
+				// A torn copy lands as the next generation.
+				ents, err := dir.List()
+				if err != nil {
+					fail <- err.Error()
+					return
+				}
+				bad := filepath.Join(tmp, fmt.Sprintf("model-%d.rock", ents[0].Seq+1))
+				if err := os.WriteFile(bad, []byte("ROCKMDL\x02shredded"), 0o644); err != nil {
+					fail <- err.Error()
+					return
+				}
+			}
+			if status, payload := postJSON(t, srv.URL+"/v1/reload", reloadRequest{}); status != http.StatusOK {
+				fail <- fmt.Sprintf("reload: %d (%s)", status, payload)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	const clients = 8
+	const batches = 25
+	var shed, retried sync2Counter
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := assignRequest{Transactions: make([][]int64, 200)}
+			for i := range req.Transactions {
+				req.Transactions[i] = [][]int64{{0}, {3}}[i%2]
+			}
+			for b := 0; b < batches; b++ {
+				var ar assignResponse
+				ok := false
+				for attempt := 0; attempt < 50; attempt++ {
+					status, payload := postJSON(t, srv.URL+"/v1/assign", req)
+					if status == http.StatusTooManyRequests {
+						shed.add(1)
+						retried.add(1)
+						time.Sleep(time.Duration(1+attempt) * time.Millisecond)
+						continue
+					}
+					if status != http.StatusOK {
+						fail <- fmt.Sprintf("assign: %d (%s)", status, payload)
+						return
+					}
+					if err := json.Unmarshal(payload, &ar); err != nil {
+						fail <- err.Error()
+						return
+					}
+					ok = true
+					break
+				}
+				if !ok {
+					fail <- "batch dropped: retries exhausted"
+					return
+				}
+				if len(ar.Assignments) != len(req.Transactions) {
+					fail <- "short batch"
+					return
+				}
+				shift := -1
+				for i, got := range ar.Assignments {
+					if got.Cluster%10 != i%2 {
+						fail <- fmt.Sprintf("probe %d assigned cluster %d: wrong answer", i, got.Cluster)
+						return
+					}
+					s := 0
+					if got.Cluster >= 10 {
+						s = 10
+					}
+					if shift == -1 {
+						shift = s
+					} else if s != shift {
+						fail <- "batch split across two models"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	chaos.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	var m daemonMetrics
+	mustGetJSON(t, srv.URL+"/metrics", &m)
+	if m.Reloads == 0 {
+		t.Fatal("chaos loop never reloaded")
+	}
+	if m.Shed == 0 {
+		t.Fatal("1-slot gate under 8 clients shed nothing — admission control inert")
+	}
+	t.Logf("chaos run: %d requests, %d reloads, %d shed (client saw %d, retried %d)",
+		m.Requests, m.Reloads, m.Shed, shed.load(), retried.load())
+}
+
+// sync2Counter is a tiny atomic counter for test tallies.
+type sync2Counter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (c *sync2Counter) add(d uint64) { c.mu.Lock(); c.n += d; c.mu.Unlock() }
+func (c *sync2Counter) load() uint64 { c.mu.Lock(); defer c.mu.Unlock(); return c.n }
+
+func mustGetJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,17 +4,28 @@
 // then serve:
 //
 //	rockd -model model.rockm -addr :7745
+//	rockd -dir /var/lib/rockd/models -addr :7745
+//
+// With -dir the daemon serves from a versioned snapshot directory
+// (model-<seq>.rock): it picks the newest generation that loads and
+// validates, automatically rolling back past corrupt ones, and may start
+// with no model at all (not ready until the first successful reload).
 //
 // API:
 //
 //	POST /v1/assign   {"transactions": [[1,2,3],...]}  →  {"assignments":[{"cluster":0,"score":1.7},...]}
 //	                  {"records": [["red","round"],...]} for models with a schema
-//	POST /v1/reload   {"path": "new.rockm"}  — hot-swap the model with zero downtime
-//	GET  /healthz     liveness probe
-//	GET  /metrics     request/assignment/outlier counters and latency quantiles
+//	POST /v1/reload   {"path": "new.rockm"} — hot-swap with zero downtime;
+//	                  {} with -dir reloads the latest good generation
+//	GET  /healthz     liveness probe (process up)
+//	GET  /readyz      readiness probe (model loaded, not draining)
+//	GET  /metrics     counters, latency quantiles, shed/panic counts
 //	GET  /v1/model    summary of the currently served model
 //
-// SIGINT/SIGTERM drain in-flight requests before exit.
+// Overload is shed with 429 + Retry-After once -max-inflight assign
+// requests are in flight; each request runs under a -req-timeout deadline;
+// handler panics become 500s without killing the process. SIGINT/SIGTERM
+// fail /readyz, drain in-flight requests, then exit.
 package main
 
 import (
@@ -30,40 +41,80 @@ import (
 
 	"rock/internal/model"
 	"rock/internal/serve"
+	"rock/internal/store"
 )
 
 func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	logger := log.New(os.Stderr, "rockd: ", log.LstdFlags|log.Lmicroseconds)
 	var (
-		addr      = flag.String("addr", ":7745", "listen address")
-		modelPath = flag.String("model", "", "snapshot file to serve (required)")
-		workers   = flag.Int("workers", 0, "assignment worker pool size (0 = GOMAXPROCS)")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		addr        = flag.String("addr", ":7745", "listen address")
+		modelPath   = flag.String("model", "", "snapshot file to serve")
+		dirPath     = flag.String("dir", "", "versioned snapshot directory to serve from (model-<seq>.rock)")
+		retention   = flag.Int("retention", model.DefaultRetention, "snapshot generations to keep in -dir")
+		workers     = flag.Int("workers", 0, "assignment worker pool size (0 = GOMAXPROCS)")
+		maxInflight = flag.Int("max-inflight", 256, "assign requests admitted concurrently before shedding with 429")
+		reqTimeout  = flag.Duration("req-timeout", 30*time.Second, "per-request deadline")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
-	if *modelPath == "" {
-		logger.Fatal("usage: rockd -model <snapshot> [-addr :7745]")
+	if (*modelPath == "") == (*dirPath == "") {
+		logger.Fatal("usage: rockd (-model <snapshot> | -dir <snapshot-dir>) [-addr :7745]")
 	}
 
-	snap, err := model.Load(*modelPath)
-	if err != nil {
-		logger.Fatalf("loading model: %v", err)
+	cfg := serverConfig{maxInflight: *maxInflight, reqTimeout: *reqTimeout}
+	var engine *serve.Engine
+	switch {
+	case *modelPath != "":
+		snap, err := model.Load(*modelPath)
+		if err != nil {
+			logger.Fatalf("loading model: %v", err)
+		}
+		assigner, err := model.Compile(snap)
+		if err != nil {
+			logger.Fatalf("compiling model: %v", err)
+		}
+		if engine, err = serve.New(assigner, *workers); err != nil {
+			logger.Fatalf("starting engine: %v", err)
+		}
+		logger.Printf("serving %s: %d clusters, %d labeled sets, %d labeled transactions, theta=%.3f sim=%s",
+			*modelPath, assigner.Clusters(), len(snap.Sets), len(snap.Txns), assigner.Theta(), assigner.SimName())
+	default:
+		if err := os.MkdirAll(*dirPath, 0o755); err != nil {
+			logger.Fatalf("creating snapshot directory: %v", err)
+		}
+		dir, err := model.OpenDir(store.OS, *dirPath, "model", *retention)
+		if err != nil {
+			logger.Fatalf("opening snapshot directory: %v", err)
+		}
+		cfg.dir = dir
+		snap, entry, skipped, err := dir.LoadLatest()
+		for _, e := range skipped {
+			logger.Printf("rollback: snapshot %s (seq %d) failed to load, falling back", e.Path, e.Seq)
+		}
+		switch {
+		case errors.Is(err, model.ErrNoSnapshots):
+			engine = serve.NewIdle(*workers)
+			logger.Printf("no loadable snapshot in %s yet; starting idle (not ready until first reload)", *dirPath)
+		case err != nil:
+			logger.Fatalf("scanning snapshot directory: %v", err)
+		default:
+			assigner, err := model.Compile(snap)
+			if err != nil {
+				logger.Fatalf("compiling snapshot %s: %v", entry.Path, err)
+			}
+			if engine, err = serve.New(assigner, *workers); err != nil {
+				logger.Fatalf("starting engine: %v", err)
+			}
+			logger.Printf("serving %s (seq %d): %d clusters, %d labeled transactions, theta=%.3f sim=%s",
+				entry.Path, entry.Seq, assigner.Clusters(), len(snap.Txns), assigner.Theta(), assigner.SimName())
+		}
 	}
-	assigner, err := model.Compile(snap)
-	if err != nil {
-		logger.Fatalf("compiling model: %v", err)
-	}
-	engine, err := serve.New(assigner, *workers)
-	if err != nil {
-		logger.Fatalf("starting engine: %v", err)
-	}
-	logger.Printf("serving %s: %d clusters, %d labeled sets, %d labeled transactions, theta=%.3f sim=%s",
-		*modelPath, assigner.Clusters(), len(snap.Sets), len(snap.Txns), assigner.Theta(), assigner.SimName())
 
+	handler := newServer(engine, logger, cfg)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(engine, logger),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -82,9 +133,11 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Drain: stop accepting, let in-flight requests finish, then release
-	// the worker pool.
+	// Drain: fail readiness so load balancers stop routing here, stop
+	// accepting, let in-flight requests finish, then release the worker
+	// pool.
 	logger.Printf("signal received, draining for up to %s", *drain)
+	handler.beginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

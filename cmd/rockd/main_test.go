@@ -58,7 +58,7 @@ func startDaemon(t *testing.T, path string) (*httptest.Server, *serve.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(engine, log.New(io.Discard, "", 0)))
+	srv := httptest.NewServer(newServer(engine, log.New(io.Discard, "", 0), serverConfig{}))
 	t.Cleanup(func() {
 		srv.Close()
 		engine.Close()

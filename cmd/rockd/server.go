@@ -1,11 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rock/internal/dataset"
 	"rock/internal/model"
@@ -27,7 +32,8 @@ type assignResponse struct {
 	Assignments []serve.Assignment `json:"assignments"`
 }
 
-// reloadRequest is the body of POST /v1/reload.
+// reloadRequest is the body of POST /v1/reload. An empty path asks the
+// daemon to reload the newest good snapshot from its -dir.
 type reloadRequest struct {
 	Path string `json:"path"`
 }
@@ -52,9 +58,45 @@ func infoOf(a *model.Assigner) modelInfo {
 	}
 }
 
+// daemonMetrics is the /metrics payload: the engine's counters plus the
+// daemon-level resilience counters.
+type daemonMetrics struct {
+	serve.Metrics
+	// Shed counts assign requests rejected with 429 because the admission
+	// semaphore was full.
+	Shed uint64 `json:"shed"`
+	// Panics counts handler panics converted to 500s by the recovery
+	// middleware.
+	Panics uint64 `json:"panics"`
+}
+
 // maxBodyBytes bounds request bodies; a labeling request has no business
 // being larger.
 const maxBodyBytes = 32 << 20
+
+// serverConfig tunes the daemon's resilience knobs.
+type serverConfig struct {
+	// maxInflight bounds concurrently admitted /v1/assign requests; the
+	// excess is shed with 429 + Retry-After instead of queuing without
+	// bound. <= 0 selects 256.
+	maxInflight int
+	// reqTimeout is the per-request deadline. <= 0 selects 30s.
+	reqTimeout time.Duration
+	// dir, when non-nil, is the versioned snapshot directory the daemon
+	// serves from; /v1/reload with an empty path picks its latest good
+	// generation (rolling back past corrupt ones).
+	dir *model.Dir
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.maxInflight <= 0 {
+		c.maxInflight = 256
+	}
+	if c.reqTimeout <= 0 {
+		c.reqTimeout = 30 * time.Second
+	}
+	return c
+}
 
 // server routes rockd's HTTP API onto a serve.Engine. It is an
 // http.Handler, so tests drive it through httptest without a socket.
@@ -62,25 +104,59 @@ type server struct {
 	engine *serve.Engine
 	logger *log.Logger
 	mux    *http.ServeMux
+	cfg    serverConfig
+	// sem is the admission semaphore for /v1/assign: a slot per admitted
+	// request, no queue. Full slot table → shed with 429.
+	sem chan struct{}
+	// draining is set when graceful shutdown begins; /readyz then fails so
+	// load balancers stop routing here while in-flight requests finish.
+	draining atomic.Bool
+	shed     atomic.Uint64
+	panics   atomic.Uint64
 	// reloadMu serializes snapshot loads (not swaps — swaps are lock-free
 	// and assignment traffic never takes this lock).
 	reloadMu sync.Mutex
 }
 
-func newServer(engine *serve.Engine, logger *log.Logger) *server {
-	s := &server{engine: engine, logger: logger, mux: http.NewServeMux()}
+func newServer(engine *serve.Engine, logger *log.Logger, cfg serverConfig) *server {
+	cfg = cfg.withDefaults()
+	s := &server{
+		engine: engine,
+		logger: logger,
+		mux:    http.NewServeMux(),
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.maxInflight),
+	}
 	s.mux.HandleFunc("POST /v1/assign", s.handleAssign)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/model", s.handleModel)
 	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Panic isolation: one broken request must cost a 500, not the
+	// process. Recover installs before anything else so even middleware
+	// bugs are contained.
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			s.logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			s.writeError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.reqTimeout)
+	defer cancel()
+	r = r.WithContext(ctx)
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	s.mux.ServeHTTP(w, r)
 }
+
+// beginDrain flips readiness off ahead of graceful shutdown, so probes pull
+// the instance out of rotation while in-flight requests complete.
+func (s *server) beginDrain() { s.draining.Store(true) }
 
 func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -95,6 +171,26 @@ func (s *server) writeError(w http.ResponseWriter, status int, format string, ar
 }
 
 func (s *server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	// Bounded admission: take a slot or shed. A full slot table means the
+	// worker pool is saturated; queuing more would only grow memory and
+	// latency without growing throughput.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight); retry later", s.cfg.maxInflight)
+		return
+	}
+	// Capture the model once: encoding (for records) and assignment below
+	// both use this assigner, so a concurrent reload can never split the
+	// request across two models.
+	a := s.engine.Model()
+	if a == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no model loaded yet; POST /v1/reload first")
+		return
+	}
 	var req assignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -120,9 +216,6 @@ func (s *server) handleAssign(w http.ResponseWriter, r *http.Request) {
 			txns[i] = t
 		}
 	} else {
-		// Records are encoded against the model the batch will be served
-		// by: capture it once so a concurrent reload cannot split the two.
-		a := s.engine.Model()
 		txns = make([]dataset.Transaction, len(req.Records))
 		for i, rec := range req.Records {
 			t, err := a.EncodeRecord(rec)
@@ -133,7 +226,18 @@ func (s *server) handleAssign(w http.ResponseWriter, r *http.Request) {
 			txns[i] = t
 		}
 	}
-	s.writeJSON(w, http.StatusOK, assignResponse{Assignments: s.engine.AssignAll(txns)})
+	out, err := s.engine.AssignAllContext(r.Context(), a, txns)
+	if err != nil {
+		// The client went away or the per-request deadline fired; either
+		// way the batch was not fully served.
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		s.writeError(w, status, "request abandoned: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, assignResponse{Assignments: out})
 }
 
 func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -142,36 +246,98 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if req.Path == "" {
-		s.writeError(w, http.StatusBadRequest, "missing snapshot path")
-		return
-	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	snap, err := model.Load(req.Path)
-	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, "loading snapshot: %v", err)
+
+	var (
+		snap    *model.Snapshot
+		source  string
+		skipped []model.Entry
+	)
+	switch {
+	case req.Path != "":
+		var err error
+		if snap, err = model.Load(req.Path); err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "loading snapshot: %v", err)
+			return
+		}
+		source = req.Path
+	case s.cfg.dir != nil:
+		var (
+			entry model.Entry
+			err   error
+		)
+		snap, entry, skipped, err = s.cfg.dir.LoadLatest()
+		if err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "loading latest snapshot: %v", err)
+			return
+		}
+		source = entry.Path
+		for _, e := range skipped {
+			s.logger.Printf("rollback: snapshot %s (seq %d) failed to load, falling back", e.Path, e.Seq)
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, "missing snapshot path (no -dir configured)")
 		return
 	}
+
 	a, err := model.Compile(snap)
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, "compiling snapshot: %v", err)
 		return
 	}
-	s.engine.Swap(a)
+	if _, err := s.engine.Swap(a); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "installing model: %v", err)
+		return
+	}
 	s.logger.Printf("reloaded model from %s (%d clusters, %d labeled transactions)",
-		req.Path, a.Clusters(), len(snap.Txns))
-	s.writeJSON(w, http.StatusOK, map[string]any{"ok": true, "model": infoOf(a)})
+		source, a.Clusters(), len(snap.Txns))
+	resp := map[string]any{"ok": true, "model": infoOf(a), "source": source}
+	if len(skipped) > 0 {
+		rolled := make([]string, len(skipped))
+		for i, e := range skipped {
+			rolled[i] = e.Path
+		}
+		resp["rolled_back_past"] = rolled
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is liveness only: the process is up and serving HTTP. It
+// deliberately stays green through drains and model-less starts — restarts
+// don't fix either.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
+// handleReadyz is readiness: route traffic here only when a model is loaded
+// and the daemon is not draining.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := s.engine.Ready() && !s.draining.Load()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, map[string]any{
+		"ready":        ready,
+		"model_loaded": s.engine.Ready(),
+		"draining":     s.draining.Load(),
+	})
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.engine.Metrics())
+	s.writeJSON(w, http.StatusOK, daemonMetrics{
+		Metrics: s.engine.Metrics(),
+		Shed:    s.shed.Load(),
+		Panics:  s.panics.Load(),
+	})
 }
 
 func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, infoOf(s.engine.Model()))
+	a := s.engine.Model()
+	if a == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, infoOf(a))
 }

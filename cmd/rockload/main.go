@@ -1,11 +1,17 @@
 // Command rockload is a closed-loop load generator for rockd: each of -c
 // workers keeps exactly one POST /v1/assign request in flight until -d
-// elapses, then the tool reports throughput and client-side latency
-// quantiles. Probe transactions are either sampled from a text-format
-// transaction file (positional argument) or generated uniformly from
-// -items/-size.
+// elapses, then the tool reports throughput, client-side latency quantiles,
+// and resilience tallies (shed responses seen, retries spent). Probe
+// transactions are either sampled from a text-format transaction file
+// (positional argument) or generated uniformly from -items/-size.
 //
-//	rockload -addr http://localhost:7745 -c 16 -d 30s -batch 32 txns.txt
+// Transient failures — connection errors, 429 (shed by the daemon's
+// admission gate), 5xx — are retried with exponential backoff plus jitter,
+// honoring Retry-After, up to -retries attempts per batch. Only a batch
+// that exhausts its retries counts as an error, so a reload storm or a
+// shedding burst shows up as retries, not as dropped work.
+//
+//	rockload -addr http://localhost:7745 -c 16 -d 30s -batch 32 -retries 5 txns.txt
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -38,11 +45,71 @@ type assignResponse struct {
 
 // workerResult is one worker's tally, merged after the run.
 type workerResult struct {
-	requests  int
-	errors    int
+	requests  int // batches attempted (excluding retries of the same batch)
+	errors    int // batches dropped after exhausting retries
+	retries   int // extra attempts spent on transient failures
+	shed      int // 429 responses seen
 	assigned  int
 	outliers  int
 	latencies []time.Duration
+}
+
+// attemptOutcome classifies one HTTP attempt.
+type attemptOutcome int
+
+const (
+	attemptOK attemptOutcome = iota
+	attemptRetryable
+	attemptFatal
+)
+
+// tryOnce posts one batch and classifies the result. retryAfter is the
+// server-requested delay (zero unless the response carried Retry-After).
+func tryOnce(client *http.Client, url string, body []byte, res *workerResult) (out assignResponse, outcome attemptOutcome, retryAfter time.Duration, lat time.Duration) {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	lat = time.Since(t0)
+	if err != nil {
+		// Connection refused/reset or client-side timeout: the daemon may
+		// be restarting — retryable.
+		return out, attemptRetryable, 0, lat
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return out, attemptRetryable, 0, lat
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if err := json.Unmarshal(payload, &out); err != nil {
+			return out, attemptFatal, 0, lat
+		}
+		return out, attemptOK, 0, lat
+	case resp.StatusCode == http.StatusTooManyRequests:
+		res.shed++
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			retryAfter = time.Duration(s) * time.Second
+		}
+		return out, attemptRetryable, retryAfter, lat
+	case resp.StatusCode >= 500:
+		return out, attemptRetryable, 0, lat
+	default:
+		// 4xx other than 429: the request itself is wrong; retrying cannot
+		// help.
+		return out, attemptFatal, 0, lat
+	}
+}
+
+// backoffDelay is the pre-retry sleep: base·2^attempt with ±50% jitter,
+// capped at 2s. The jitter decorrelates workers that were all shed by the
+// same overload spike, so they do not stampede back in lockstep.
+func backoffDelay(base time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	d := base << attempt
+	if max := 2 * time.Second; d > max {
+		d = max
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rng.Int63n(half+1))
 }
 
 func main() {
@@ -56,10 +123,16 @@ func main() {
 		items    = flag.Int("items", 1000, "generated probes: item-id universe size")
 		size     = flag.Int("size", 12, "generated probes: items per transaction")
 		seed     = flag.Int64("seed", 1, "probe generation seed")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-attempt request timeout")
+		retries  = flag.Int("retries", 5, "max attempts per batch on 429/5xx/connection errors")
+		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
 	)
 	flag.Parse()
 	if *workers < 1 || *batch < 1 {
 		log.Fatal("-c and -batch must be positive")
+	}
+	if *retries < 1 {
+		log.Fatal("-retries must be positive")
 	}
 
 	// Probe pool: a file of real transactions, or uniform random ones.
@@ -86,7 +159,7 @@ func main() {
 		log.Printf("probing with %d generated transactions (%d items, size %d)", len(pool), *items, *size)
 	}
 
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := &http.Client{Timeout: *timeout}
 	deadline := time.Now().Add(*duration)
 	results := make([]workerResult, *workers)
 	var wg sync.WaitGroup
@@ -111,31 +184,35 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				t0 := time.Now()
-				resp, err := client.Post(*addr+"/v1/assign", "application/json", bytes.NewReader(body))
-				lat := time.Since(t0)
 				res.requests++
-				if err != nil {
-					res.errors++
-					continue
-				}
-				payload, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if err != nil || resp.StatusCode != http.StatusOK {
-					res.errors++
-					continue
-				}
-				var ar assignResponse
-				if err := json.Unmarshal(payload, &ar); err != nil {
-					res.errors++
-					continue
-				}
-				res.latencies = append(res.latencies, lat)
-				res.assigned += len(ar.Assignments)
-				for _, a := range ar.Assignments {
-					if a.Cluster < 0 {
-						res.outliers++
+				delivered := false
+				for attempt := 0; attempt < *retries; attempt++ {
+					if attempt > 0 {
+						res.retries++
 					}
+					ar, outcome, retryAfter, lat := tryOnce(client, *addr+"/v1/assign", body, res)
+					if outcome == attemptOK {
+						res.latencies = append(res.latencies, lat)
+						res.assigned += len(ar.Assignments)
+						for _, a := range ar.Assignments {
+							if a.Cluster < 0 {
+								res.outliers++
+							}
+						}
+						delivered = true
+						break
+					}
+					if outcome == attemptFatal {
+						break
+					}
+					sleep := backoffDelay(*backoff, attempt, rng)
+					if retryAfter > sleep {
+						sleep = retryAfter
+					}
+					time.Sleep(sleep)
+				}
+				if !delivered {
+					res.errors++
 				}
 			}
 		}(w)
@@ -147,12 +224,15 @@ func main() {
 	for _, r := range results {
 		total.requests += r.requests
 		total.errors += r.errors
+		total.retries += r.retries
+		total.shed += r.shed
 		total.assigned += r.assigned
 		total.outliers += r.outliers
 		total.latencies = append(total.latencies, r.latencies...)
 	}
-	fmt.Printf("%d requests (%d errors), %d assignments (%d outliers) in %.1fs\n",
+	fmt.Printf("%d batches (%d dropped), %d assignments (%d outliers) in %.1fs\n",
 		total.requests, total.errors, total.assigned, total.outliers, elapsed.Seconds())
+	fmt.Printf("resilience: %d shed (429), %d retries spent\n", total.shed, total.retries)
 	if total.requests > 0 {
 		fmt.Printf("throughput: %.1f req/s, %.1f txn/s\n",
 			float64(total.requests)/elapsed.Seconds(), float64(total.assigned)/elapsed.Seconds())
@@ -167,7 +247,7 @@ func main() {
 			round(q(0)), round(q(0.50)), round(q(0.90)), round(q(0.99)), round(q(1)))
 	}
 	if total.errors > 0 {
-		log.Fatalf("%d requests failed", total.errors)
+		log.Fatalf("%d batches dropped after %d attempts each", total.errors, *retries)
 	}
 }
 

@@ -1,0 +1,179 @@
+package model
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rock/internal/store"
+)
+
+// encode returns the canonical on-disk bytes of a snapshot.
+func encode(t *testing.T, s *Snapshot) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// variantSnapshot is testSnapshot with a different theta, so a loaded model
+// reveals which generation it belongs to.
+func variantSnapshot() *Snapshot {
+	s := testSnapshot()
+	s.Theta = 0.75
+	s.FTheta = (1 - 0.75) / (1 + 0.75)
+	return s
+}
+
+// TestSaveCrashSweep is the power-cut test for SaveFS: with an old snapshot
+// durably on disk, the machine dies after every possible operation of the
+// save of a new one, under both journal orderings. Load must afterwards
+// yield the old model or the new model — never an error, never a hybrid.
+func TestSaveCrashSweep(t *testing.T) {
+	const path = "models/snap.rock"
+	snapOld, snapNew := testSnapshot(), variantSnapshot()
+	oldBytes, newBytes := encode(t, snapOld), encode(t, snapNew)
+
+	for n := 0; ; n++ {
+		fsys := store.NewFaultFS()
+		fsys.WriteDurable(path, oldBytes)
+		fsys.SetFailAfter(n)
+		saveErr := SaveFS(fsys, path, snapNew)
+		for _, renamesDurable := range []bool{false, true} {
+			after := fsys.Crash(renamesDurable)
+			raw, ok := after.ReadFile(path)
+			if !ok {
+				t.Fatalf("failAfter=%d renamesDurable=%v: snapshot vanished", n, renamesDurable)
+			}
+			if !bytes.Equal(raw, oldBytes) && !bytes.Equal(raw, newBytes) {
+				t.Fatalf("failAfter=%d renamesDurable=%v: torn bytes on disk (%d bytes)",
+					n, renamesDurable, len(raw))
+			}
+			got, err := LoadFS(after, path)
+			if err != nil {
+				t.Fatalf("failAfter=%d renamesDurable=%v: post-crash load failed: %v",
+					n, renamesDurable, err)
+			}
+			if got.Theta != snapOld.Theta && got.Theta != snapNew.Theta {
+				t.Fatalf("failAfter=%d renamesDurable=%v: loaded theta %v is neither generation",
+					n, renamesDurable, got.Theta)
+			}
+		}
+		if saveErr == nil {
+			if n > 200 {
+				t.Fatalf("SaveFS took over 200 filesystem ops (%d)", n)
+			}
+			return
+		}
+		if !errors.Is(saveErr, store.ErrInjected) {
+			t.Fatalf("failAfter=%d: unexpected error %v", n, saveErr)
+		}
+	}
+}
+
+// TestSaveShortWriteLeavesOldSnapshot: a torn buffered write must surface as
+// an error and leave the previous snapshot untouched.
+func TestSaveShortWriteLeavesOldSnapshot(t *testing.T) {
+	const path = "models/snap.rock"
+	fsys := store.NewFaultFS()
+	oldBytes := encode(t, testSnapshot())
+	fsys.WriteDurable(path, oldBytes)
+	fsys.SetShortWrites(true)
+	if err := SaveFS(fsys, path, variantSnapshot()); err == nil {
+		t.Fatal("short-write save reported success")
+	}
+	got, err := LoadFS(fsys, path)
+	if err != nil {
+		t.Fatalf("load after failed save: %v", err)
+	}
+	if got.Theta != testSnapshot().Theta {
+		t.Fatalf("old snapshot disturbed: theta %v", got.Theta)
+	}
+}
+
+// TestCRCDetectsBitrot flips each of a spread of bytes in a saved snapshot;
+// every flip must be rejected at load time (CRC mismatch or header error),
+// never parsed into a model.
+func TestCRCDetectsBitrot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.rock")
+	if err := Save(path, testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(good); pos += 3 {
+		bad := bytes.Clone(good)
+		bad[pos] ^= 0x41
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flip at byte %d of %d accepted", pos, len(good))
+		}
+	}
+	// Truncations must be rejected too.
+	for _, cut := range []int{1, 4, len(good) / 2, len(good) - 1} {
+		if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", cut, len(good))
+		}
+	}
+}
+
+// TestLegacyV1SnapshotsStillLoad hand-builds a version-1 snapshot (header
+// byte 1, gzip body, no CRC trailer) and checks the reader still accepts it.
+func TestLegacyV1SnapshotsStillLoad(t *testing.T) {
+	want := testSnapshot()
+	var b bytes.Buffer
+	b.Write(magic[:])
+	b.WriteByte(1)
+	zw := gzip.NewWriter(&b)
+	bw := bufio.NewWriter(zw)
+	if err := want.writeBody(bw); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	snapshotsEqual(t, want, got)
+}
+
+// TestFutureVersionRejected: a version this build does not know must fail
+// loudly, not parse as garbage.
+func TestFutureVersionRejected(t *testing.T) {
+	raw := encode(t, testSnapshot())
+	raw[7] = 9
+	_, err := Read(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: err = %v", err)
+	}
+}
+
+// TestCorruptionErrorNamesCRC: the bitrot error should say CRC, so an
+// operator knows the file is damaged rather than mis-versioned.
+func TestCorruptionErrorNamesCRC(t *testing.T) {
+	raw := encode(t, testSnapshot())
+	raw[len(raw)/2] ^= 0xFF
+	_, err := Read(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+	if !strings.Contains(err.Error(), "CRC") && !strings.Contains(err.Error(), "corrupt") {
+		// Gzip may catch some flips first; mid-file flips land in the body
+		// where only the CRC notices. This position is inside the body.
+		t.Logf("note: corruption surfaced as %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rock/internal/store"
+)
+
+// Dir is a versioned snapshot directory: every Save writes a new
+// `<name>-<seq>.rock` (crash-safely, via SaveFS), readers pick the highest
+// sequence number, and a load that fails validation rolls back to the next
+// older snapshot. The sequence numbers make "which model is live" a property
+// of the directory listing instead of of mtimes or symlinks, both of which
+// survive crashes poorly.
+type Dir struct {
+	fsys store.FS
+	dir  string
+	name string
+	keep int
+}
+
+// DefaultRetention is how many snapshot generations a Dir keeps when the
+// caller does not say otherwise.
+const DefaultRetention = 5
+
+// ErrNoSnapshots is returned when a Dir holds no loadable snapshot at all.
+var ErrNoSnapshots = errors.New("model: no loadable snapshot in directory")
+
+// OpenDir opens (logically — nothing is created until the first Save) the
+// versioned snapshot directory dir, with files named `<name>-<seq>.rock`.
+// keep bounds retention; keep <= 0 selects DefaultRetention.
+func OpenDir(fsys store.FS, dir, name string, keep int) (*Dir, error) {
+	if name == "" {
+		name = "model"
+	}
+	if strings.ContainsAny(name, "/-") {
+		return nil, fmt.Errorf("model: snapshot name %q may not contain '/' or '-'", name)
+	}
+	if keep <= 0 {
+		keep = DefaultRetention
+	}
+	return &Dir{fsys: fsys, dir: dir, name: name, keep: keep}, nil
+}
+
+// Entry is one snapshot generation in a Dir.
+type Entry struct {
+	// Seq is the generation number; higher is newer.
+	Seq uint64
+	// Path is the snapshot file's full path.
+	Path string
+}
+
+// List returns the directory's snapshot generations, newest first. Files
+// that do not match `<name>-<seq>.rock` are ignored — the directory may
+// hold temp files from interrupted saves.
+func (d *Dir) List() ([]Entry, error) {
+	names, err := d.fsys.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := d.name + "-"
+	var out []Entry
+	for _, fn := range names {
+		if !strings.HasPrefix(fn, prefix) || !strings.HasSuffix(fn, ".rock") {
+			continue
+		}
+		seqStr := strings.TrimSuffix(strings.TrimPrefix(fn, prefix), ".rock")
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Seq: seq, Path: path.Join(d.dir, fn)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out, nil
+}
+
+// Save writes s as the next generation and prunes generations beyond the
+// retention limit. It returns the new entry.
+func (d *Dir) Save(s *Snapshot) (Entry, error) {
+	ents, err := d.List()
+	if err != nil {
+		return Entry{}, err
+	}
+	var seq uint64 = 1
+	if len(ents) > 0 {
+		seq = ents[0].Seq + 1
+	}
+	e := Entry{Seq: seq, Path: path.Join(d.dir, fmt.Sprintf("%s-%d.rock", d.name, seq))}
+	if err := SaveFS(d.fsys, e.Path, s); err != nil {
+		return Entry{}, err
+	}
+	// Prune oldest-first; keep counts the new generation. Pruning failures
+	// are reported but the save itself has succeeded.
+	if excess := len(ents) + 1 - d.keep; excess > 0 {
+		for _, old := range ents[len(ents)-excess:] {
+			if err := d.fsys.Remove(old.Path); err != nil {
+				return e, fmt.Errorf("model: pruning %s: %w", old.Path, err)
+			}
+		}
+	}
+	return e, nil
+}
+
+// LoadLatest walks the generations newest-first and returns the first
+// snapshot that loads and validates, along with its entry and the entries
+// it had to skip (newer generations that failed — corrupt, torn by an
+// unsynced copy, or unreadable). This is the serving path's auto-rollback:
+// a bad newest snapshot degrades to the previous good one instead of an
+// outage. ErrNoSnapshots is returned only when nothing loads.
+func (d *Dir) LoadLatest() (*Snapshot, Entry, []Entry, error) {
+	ents, err := d.List()
+	if err != nil {
+		return nil, Entry{}, nil, err
+	}
+	var skipped []Entry
+	for _, e := range ents {
+		s, err := LoadFS(d.fsys, e.Path)
+		if err != nil {
+			skipped = append(skipped, e)
+			continue
+		}
+		return s, e, skipped, nil
+	}
+	return nil, Entry{}, skipped, ErrNoSnapshots
+}

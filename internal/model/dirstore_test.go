@@ -1,0 +1,146 @@
+package model
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rock/internal/store"
+)
+
+func openTestDir(t *testing.T, keep int) (*Dir, string) {
+	t.Helper()
+	dir := t.TempDir()
+	d, err := OpenDir(store.OS, dir, "model", keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, dir
+}
+
+func TestDirSaveAndLoadLatest(t *testing.T) {
+	d, _ := openTestDir(t, 0)
+	if _, _, _, err := d.LoadLatest(); !errors.Is(err, ErrNoSnapshots) {
+		t.Fatalf("empty dir: err = %v", err)
+	}
+	e1, err := d.Save(testSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Seq != 1 {
+		t.Fatalf("first seq = %d", e1.Seq)
+	}
+	e2, err := d.Save(variantSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Seq != 2 {
+		t.Fatalf("second seq = %d", e2.Seq)
+	}
+	s, e, skipped, err := d.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 2 || len(skipped) != 0 {
+		t.Fatalf("latest = %+v, skipped %v", e, skipped)
+	}
+	if s.Theta != variantSnapshot().Theta {
+		t.Fatalf("loaded theta %v, want the newer model", s.Theta)
+	}
+}
+
+func TestDirRetention(t *testing.T) {
+	d, dir := openTestDir(t, 3)
+	for i := 0; i < 7; i++ {
+		if _, err := d.Save(testSnapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 {
+		t.Fatalf("retained %d generations, want 3", len(ents))
+	}
+	if ents[0].Seq != 7 || ents[2].Seq != 5 {
+		t.Fatalf("retained %v", ents)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("%d files on disk, want 3", len(files))
+	}
+}
+
+// TestDirRollback corrupts the newest generations and checks LoadLatest
+// degrades to the newest good one, reporting what it skipped.
+func TestDirRollback(t *testing.T) {
+	d, _ := openTestDir(t, 0)
+	if _, err := d.Save(testSnapshot()); err != nil { // seq 1, good
+		t.Fatal(err)
+	}
+	e2, err := d.Save(variantSnapshot()) // seq 2, to be corrupted
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := d.Save(variantSnapshot()) // seq 3, to be truncated
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(e2.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(e2.Path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(e3.Path, raw[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, e, skipped, err := d.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seq != 1 {
+		t.Fatalf("rolled back to seq %d, want 1", e.Seq)
+	}
+	if s.Theta != testSnapshot().Theta {
+		t.Fatalf("loaded theta %v, want generation 1's", s.Theta)
+	}
+	if len(skipped) != 2 || skipped[0].Seq != 3 || skipped[1].Seq != 2 {
+		t.Fatalf("skipped %v", skipped)
+	}
+}
+
+func TestDirIgnoresForeignFiles(t *testing.T) {
+	d, dir := openTestDir(t, 0)
+	for _, fn := range []string{"model-1.rock.tmp", "model-x.rock", "other-1.rock", "README"} {
+		if err := os.WriteFile(filepath.Join(dir, fn), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("foreign files listed: %v", ents)
+	}
+	if e, err := d.Save(testSnapshot()); err != nil || e.Seq != 1 {
+		t.Fatalf("save among foreign files: %v %v", e, err)
+	}
+}
+
+func TestOpenDirRejectsBadNames(t *testing.T) {
+	for _, name := range []string{"a/b", "model-x"} {
+		if _, err := OpenDir(store.OS, t.TempDir(), name, 0); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+}

@@ -29,6 +29,15 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte("ROCKMDL\x02junk"))
 	f.Add([]byte{})
 	f.Add([]byte("ROCK"))
+	// A legacy version-1 encoding (no CRC trailer) of the good snapshot.
+	v1 := bytes.Clone(good.Bytes()[:8])
+	v1[7] = 1
+	v1 = append(v1, good.Bytes()[8:good.Len()-4]...)
+	f.Add(v1)
+	// The good snapshot with its CRC trailer zeroed: must be rejected.
+	broken := bytes.Clone(good.Bytes())
+	copy(broken[len(broken)-4:], []byte{0, 0, 0, 0})
+	f.Add(broken)
 
 	f.Fuzz(func(t *testing.T, in []byte) {
 		s, err := Read(bytes.NewReader(in))

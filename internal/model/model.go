@@ -10,11 +10,13 @@ package model
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
-	"os"
 
 	"rock/internal/dataset"
 	"rock/internal/store"
@@ -27,7 +29,15 @@ var magic = [7]byte{'R', 'O', 'C', 'K', 'M', 'D', 'L'}
 // with a newer version; the magic+version header exists exactly so future
 // formats can evolve without breaking old daemons loudly or new daemons
 // silently.
-const Version = 1
+//
+// Version 2 appends a little-endian CRC32 (IEEE) of the compressed body as
+// a 4-byte trailer, so silent corruption — a flipped bit on disk, a torn
+// copy — is detected at load time instead of surfacing as a subtly wrong
+// model. Version-1 snapshots (no trailer) still load.
+const Version = 2
+
+// crcTrailerLen is the length of the version-2 CRC32 trailer.
+const crcTrailerLen = 4
 
 // Set is one labeled subset L_i in persisted form.
 type Set struct {
@@ -121,8 +131,9 @@ func (s *Snapshot) Clusters() int {
 // Write serializes the snapshot: the magic+version header in the clear, then
 // a gzip stream holding the scalars, similarity name, optional schema, the
 // labeled sets (delta-varint point lists) and finally the transactions in
-// internal/store's binary transaction format. Writing validates first, so
-// only well-formed snapshots ever reach disk.
+// internal/store's binary transaction format, then a CRC32 trailer over the
+// compressed body. Writing validates first, so only well-formed snapshots
+// ever reach disk.
 func (s *Snapshot) Write(w io.Writer) error {
 	if err := s.Validate(); err != nil {
 		return err
@@ -133,7 +144,10 @@ func (s *Snapshot) Write(w io.Writer) error {
 	if _, err := w.Write([]byte{Version}); err != nil {
 		return err
 	}
-	zw := gzip.NewWriter(w)
+	// Tee the compressed stream through the CRC so the trailer covers the
+	// exact bytes a reader will checksum, with no extra buffering.
+	crc := crc32.NewIEEE()
+	zw := gzip.NewWriter(io.MultiWriter(w, crc))
 	bw := bufio.NewWriter(zw)
 	if err := s.writeBody(bw); err != nil {
 		zw.Close()
@@ -143,7 +157,13 @@ func (s *Snapshot) Write(w io.Writer) error {
 		zw.Close()
 		return err
 	}
-	return zw.Close()
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	var trailer [crcTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	_, err := w.Write(trailer[:])
+	return err
 }
 
 func (s *Snapshot) writeBody(bw *bufio.Writer) error {
@@ -203,9 +223,10 @@ func (s *Snapshot) writeBody(bw *bufio.Writer) error {
 	return store.WriteBinary(bw, s.Txns)
 }
 
-// Read parses a snapshot, validating the header, the format version and
-// every structural invariant. Arbitrary input must never panic; it either
-// parses into a valid snapshot or returns an error.
+// Read parses a snapshot, validating the header, the format version, the
+// CRC32 trailer (version 2) and every structural invariant. Arbitrary input
+// must never panic; it either parses into a valid snapshot or returns an
+// error.
 func Read(r io.Reader) (*Snapshot, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -214,10 +235,31 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if [7]byte(hdr[:7]) != magic {
 		return nil, fmt.Errorf("model: not a ROCK model snapshot")
 	}
-	if hdr[7] != Version {
-		return nil, fmt.Errorf("model: snapshot format version %d, this build reads %d", hdr[7], Version)
+	var body io.Reader
+	switch hdr[7] {
+	case 1:
+		// Legacy format: no trailer, the gzip stream runs to EOF.
+		body = r
+	case 2:
+		// The trailer can only be located from the end, so the body is
+		// read whole; snapshots are served from memory anyway.
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("model: reading body: %w", err)
+		}
+		if len(rest) < crcTrailerLen {
+			return nil, fmt.Errorf("model: snapshot truncated before CRC trailer")
+		}
+		compressed := rest[:len(rest)-crcTrailerLen]
+		want := binary.LittleEndian.Uint32(rest[len(rest)-crcTrailerLen:])
+		if got := crc32.ChecksumIEEE(compressed); got != want {
+			return nil, fmt.Errorf("model: snapshot corrupt: CRC32 %08x, trailer says %08x", got, want)
+		}
+		body = bytes.NewReader(compressed)
+	default:
+		return nil, fmt.Errorf("model: snapshot format version %d, this build reads <= %d", hdr[7], Version)
 	}
-	zr, err := gzip.NewReader(r)
+	zr, err := gzip.NewReader(body)
 	if err != nil {
 		return nil, fmt.Errorf("model: opening body: %w", err)
 	}
@@ -317,30 +359,28 @@ func readBody(br *bufio.Reader) (*Snapshot, error) {
 	return s, nil
 }
 
-// Save writes the snapshot to path. The file is written to a temporary
-// sibling and renamed into place, so a concurrently loading server (rockd's
-// /v1/reload) never observes a half-written snapshot.
+// Save writes the snapshot to path crash-safely: temp file, fsync, rename,
+// directory fsync (store.AtomicWriteFile). A concurrently loading server
+// (rockd's /v1/reload) — or a machine that loses power mid-save — observes
+// either the previous snapshot or the complete new one, never a torn file.
 func Save(path string, s *Snapshot) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := s.Write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return SaveFS(store.OS, path, s)
+}
+
+// SaveFS is Save against an explicit filesystem; crash tests inject a
+// store.FaultFS here to prove the old-or-new guarantee.
+func SaveFS(fsys store.FS, path string, s *Snapshot) error {
+	return store.AtomicWriteFile(fsys, path, s.Write)
 }
 
 // Load reads a snapshot from path.
 func Load(path string) (*Snapshot, error) {
-	f, err := os.Open(path)
+	return LoadFS(store.OS, path)
+}
+
+// LoadFS is Load against an explicit filesystem.
+func LoadFS(fsys store.FS, path string) (*Snapshot, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -67,6 +68,16 @@ func New(a *model.Assigner, workers int) (*Engine, error) {
 	if a == nil {
 		return nil, errors.New("serve: nil assigner")
 	}
+	e := NewIdle(workers)
+	e.cur.Store(a)
+	return e, nil
+}
+
+// NewIdle starts an engine with no model loaded: Model returns nil and the
+// serving layer must answer "not ready" until Swap installs one. rockd uses
+// this to come up against an empty snapshot directory and turn ready on the
+// first successful reload.
+func NewIdle(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -74,12 +85,11 @@ func New(a *model.Assigner, workers int) (*Engine, error) {
 		jobs:    make(chan job, 4*workers),
 		workers: workers,
 	}
-	e.cur.Store(a)
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go e.worker()
 	}
-	return e, nil
+	return e
 }
 
 func (e *Engine) worker() {
@@ -104,35 +114,68 @@ func (e *Engine) runChunk(a *model.Assigner, in []dataset.Transaction, out []Ass
 	}
 }
 
-// Model returns the currently served assigner.
+// Model returns the currently served assigner, or nil when the engine was
+// started idle and no model has been swapped in yet.
 func (e *Engine) Model() *model.Assigner { return e.cur.Load() }
 
-// Swap atomically installs a new model and returns the previous one.
-// In-flight batches keep using the model they started with; new batches see
-// the new model immediately. Swap never blocks assignment traffic.
-func (e *Engine) Swap(a *model.Assigner) *model.Assigner {
+// Ready reports whether a model is loaded.
+func (e *Engine) Ready() bool { return e.cur.Load() != nil }
+
+// Swap atomically installs a new model and returns the previous one (nil
+// when the engine was idle). In-flight batches keep using the model they
+// started with; new batches see the new model immediately. Swap never
+// blocks assignment traffic. A nil assigner is refused — installing it
+// would crash every subsequent Assign — so a buggy reload path degrades to
+// an error, not an outage.
+func (e *Engine) Swap(a *model.Assigner) (*model.Assigner, error) {
+	if a == nil {
+		return nil, errors.New("serve: refusing to install a nil assigner")
+	}
 	old := e.cur.Swap(a)
 	e.reloads.Add(1)
-	return old
+	return old, nil
 }
 
 // Assign labels one transaction with the current model.
 func (e *Engine) Assign(t dataset.Transaction) Assignment {
 	start := time.Now()
-	a := e.cur.Load()
+	a := e.mustModel()
 	var out [1]Assignment
 	e.runChunk(a, []dataset.Transaction{t}, out[:])
 	e.finish(start, 1)
 	return out[0]
 }
 
-// AssignAll labels a batch, fanning chunks across the worker pool. The whole
-// batch is served by the model current at entry. AssignAll may be called
-// concurrently from many goroutines; chunks from concurrent batches
-// interleave over the shared pool.
-func (e *Engine) AssignAll(ts []dataset.Transaction) []Assignment {
-	start := time.Now()
+// mustModel returns the current assigner, panicking with a clear message
+// when none is loaded. Serving layers check Ready/Model before assigning;
+// reaching this panic means that guard is missing, and a named panic beats
+// a nil dereference deep inside runChunk.
+func (e *Engine) mustModel() *model.Assigner {
 	a := e.cur.Load()
+	if a == nil {
+		panic("serve: no model loaded (engine started idle; Swap one in first)")
+	}
+	return a
+}
+
+// AssignAll labels a batch with the model current at entry, fanning chunks
+// across the worker pool. AssignAll may be called concurrently from many
+// goroutines; chunks from concurrent batches interleave over the shared
+// pool.
+func (e *Engine) AssignAll(ts []dataset.Transaction) []Assignment {
+	return e.AssignAllWith(e.mustModel(), ts)
+}
+
+// AssignAllWith is AssignAll against an explicitly captured assigner. A
+// caller that must make several passes over one batch under a single model
+// — rockd encodes records against a model's schema and then assigns them —
+// captures the model once and uses it for every step, so a concurrent Swap
+// cannot split the passes across two models.
+func (e *Engine) AssignAllWith(a *model.Assigner, ts []dataset.Transaction) []Assignment {
+	if a == nil {
+		panic("serve: AssignAllWith called with a nil assigner")
+	}
+	start := time.Now()
 	out := make([]Assignment, len(ts))
 	if len(ts) <= chunkSize || e.workers == 1 {
 		e.runChunk(a, ts, out)
@@ -151,6 +194,49 @@ func (e *Engine) AssignAll(ts []dataset.Transaction) []Assignment {
 	wg.Wait()
 	e.finish(start, len(ts))
 	return out
+}
+
+// AssignAllContext is AssignAllWith under a deadline: it stops handing
+// chunks to the pool once ctx is done and returns ctx's error. Chunks
+// already submitted run to completion (workers never abandon a chunk
+// mid-slice), so a cancelled call costs at most one chunk per worker of
+// extra latency. On error the partial assignments are not returned: a
+// half-labeled batch is worse than a clean failure.
+func (e *Engine) AssignAllContext(ctx context.Context, a *model.Assigner, ts []dataset.Transaction) ([]Assignment, error) {
+	if a == nil {
+		panic("serve: AssignAllContext called with a nil assigner")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out := make([]Assignment, len(ts))
+	if len(ts) <= chunkSize || e.workers == 1 {
+		e.runChunk(a, ts, out)
+		e.finish(start, len(ts))
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	cancelled := false
+	for lo := 0; lo < len(ts) && !cancelled; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		select {
+		case <-ctx.Done():
+			cancelled = true
+		default:
+			wg.Add(1)
+			e.jobs <- job{a: a, in: ts[lo:hi], out: out[lo:hi], wg: &wg}
+		}
+	}
+	wg.Wait()
+	if cancelled {
+		return nil, ctx.Err()
+	}
+	e.finish(start, len(ts))
+	return out, nil
 }
 
 func (e *Engine) finish(start time.Time, n int) {

@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"rock/internal/dataset"
@@ -107,6 +110,7 @@ func TestHotSwapBatchConsistency(t *testing.T) {
 		batches = 40
 	)
 	stop := make(chan struct{})
+	errs := make(chan string, clients+1)
 	var swapper sync.WaitGroup
 	swapper.Add(1)
 	go func() {
@@ -117,16 +121,18 @@ func TestHotSwapBatchConsistency(t *testing.T) {
 				return
 			default:
 			}
-			if i%2 == 0 {
-				e.Swap(a1)
-			} else {
-				e.Swap(a0)
+			next := a1
+			if i%2 == 1 {
+				next = a0
+			}
+			if _, err := e.Swap(next); err != nil {
+				errs <- err.Error()
+				return
 			}
 		}
 	}()
 
 	var wg sync.WaitGroup
-	errs := make(chan string, clients)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(seed int64) {
@@ -199,5 +205,138 @@ func TestMetricsCounters(t *testing.T) {
 func TestNewRejectsNilAssigner(t *testing.T) {
 	if _, err := New(nil, 1); err == nil {
 		t.Fatal("nil assigner accepted")
+	}
+}
+
+// TestSwapRejectsNilAssigner: installing nil would crash the next Assign,
+// so Swap must refuse it and leave the current model serving.
+func TestSwapRejectsNilAssigner(t *testing.T) {
+	e, err := New(compile(t, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Swap(nil); err == nil {
+		t.Fatal("nil assigner swapped in")
+	}
+	if e.Model() == nil {
+		t.Fatal("refused swap still cleared the model")
+	}
+	// The engine must still answer.
+	if got := e.Assign(dataset.NewTransaction(1, 2, 3)); got.Cluster != 0 {
+		t.Fatalf("assign after refused swap: %+v", got)
+	}
+}
+
+func TestIdleEngineBecomesReadyOnSwap(t *testing.T) {
+	e := NewIdle(2)
+	defer e.Close()
+	if e.Ready() || e.Model() != nil {
+		t.Fatal("idle engine claims a model")
+	}
+	if _, err := e.Swap(compile(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Ready() {
+		t.Fatal("engine not ready after swap")
+	}
+	if got := e.Assign(dataset.NewTransaction(1, 2, 3)); got.Cluster != 0 {
+		t.Fatalf("assign after first swap: %+v", got)
+	}
+}
+
+// TestAssignAllWithCapturedModel: a batch run through AssignAllWith must be
+// served by the captured model even when the engine's current model has
+// moved on — the invariant the rockd encode-then-assign path leans on.
+func TestAssignAllWithCapturedModel(t *testing.T) {
+	a0, a1 := compile(t, 0), compile(t, 10)
+	e, err := New(a0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	captured := e.Model()
+	if _, err := e.Swap(a1); err != nil {
+		t.Fatal(err)
+	}
+	probes := randomProbes(200, rand.New(rand.NewSource(3)))
+	res := e.AssignAllWith(captured, probes)
+	for i, r := range res {
+		if r.Cluster >= 10 {
+			t.Fatalf("probe %d served by the swapped-in model: %+v", i, r)
+		}
+	}
+}
+
+func TestAssignAllContextHonorsCancellation(t *testing.T) {
+	e, err := New(compile(t, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	probes := randomProbes(500, rand.New(rand.NewSource(4)))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.AssignAllContext(ctx, e.Model(), probes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: err = %v", err)
+	}
+
+	out, err := e.AssignAllContext(context.Background(), e.Model(), probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(probes) {
+		t.Fatalf("%d assignments for %d probes", len(out), len(probes))
+	}
+}
+
+// TestCloseAfterDrainAndMetricsConsistency is the Engine.Close regression
+// test: concurrent mixed Assign/AssignAll traffic, then a drain (all calls
+// returned), then Close — which must be safe — and the counters must add
+// up exactly: requests == calls, assignments == sum of batch sizes.
+func TestCloseAfterDrainAndMetricsConsistency(t *testing.T) {
+	e, err := New(compile(t, 0), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const rounds = 30
+	var calls, txns atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < rounds; r++ {
+				if rng.Intn(2) == 0 {
+					e.Assign(randomProbes(1, rng)[0])
+					calls.Add(1)
+					txns.Add(1)
+				} else {
+					n := 1 + rng.Intn(200)
+					probes := randomProbes(n, rng)
+					if got := e.AssignAll(probes); len(got) != n {
+						panic("short batch")
+					}
+					calls.Add(1)
+					txns.Add(uint64(n))
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	// Traffic fully drained: Close must be safe and must not lose counts.
+	e.Close()
+	m := e.Metrics()
+	if m.Requests != calls.Load() {
+		t.Fatalf("requests = %d, want %d", m.Requests, calls.Load())
+	}
+	if m.Assignments != txns.Load() {
+		t.Fatalf("assignments = %d, want %d", m.Assignments, txns.Load())
+	}
+	if m.Outliers > m.Assignments {
+		t.Fatalf("outliers %d exceed assignments %d", m.Outliers, m.Assignments)
 	}
 }

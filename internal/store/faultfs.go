@@ -1,0 +1,294 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the error every FaultFS operation returns once its fault
+// budget is exhausted — the moment the simulated machine "loses power".
+var ErrInjected = errors.New("store: injected fault")
+
+// FaultFS is an in-memory FS with programmable faults, built to test
+// crash-safety of AtomicWriteFile and the snapshot formats on top of it.
+//
+// It models the durability semantics that make torn writes possible on a
+// real filesystem:
+//
+//   - written bytes live in a volatile page cache until File.Sync;
+//   - a rename is applied to the live namespace immediately but becomes
+//     durable only at SyncDir (or, journal-dependent, maybe earlier — Crash
+//     exposes both orderings);
+//   - a power cut (Crash) discards everything volatile.
+//
+// Faults: SetFailAfter(n) makes every mutating operation after the n-th
+// fail with ErrInjected (crash-after-N-ops); ShortWrites makes every write
+// persist only half its bytes before failing (torn buffers).
+//
+// FaultFS is safe for concurrent use.
+type FaultFS struct {
+	mu sync.Mutex
+	// live is the volatile view: what a process running right now reads.
+	live map[string][]byte
+	// durable is what survives a power cut: content fsync'd via File.Sync,
+	// under the name it had when synced.
+	durable map[string][]byte
+	// pending are renames applied to live but not yet made durable by
+	// SyncDir.
+	pending []renameOp
+
+	ops         int
+	failAfter   int // -1 = unlimited
+	shortWrites bool
+}
+
+type renameOp struct{ from, to string }
+
+// NewFaultFS returns an empty FaultFS with no faults armed.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{
+		live:      map[string][]byte{},
+		durable:   map[string][]byte{},
+		failAfter: -1,
+	}
+}
+
+// SetFailAfter arms the op-count fault: the first n mutating operations
+// (creates, writes, syncs, closes, renames, removes, dir syncs) succeed and
+// every later one returns ErrInjected. n < 0 disarms.
+func (m *FaultFS) SetFailAfter(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failAfter = n
+	m.ops = 0
+}
+
+// SetShortWrites makes every subsequent write persist only half its bytes
+// and return ErrInjected.
+func (m *FaultFS) SetShortWrites(v bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shortWrites = v
+}
+
+// Ops returns the number of mutating operations performed so far.
+func (m *FaultFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// step counts one mutating operation and injects the armed fault.
+// Callers hold m.mu.
+func (m *FaultFS) step() error {
+	if m.failAfter >= 0 && m.ops >= m.failAfter {
+		return ErrInjected
+	}
+	m.ops++
+	return nil
+}
+
+// Crash returns the filesystem state after a power cut at this instant: a
+// fresh, fault-free FaultFS holding only durable content. Renames that were
+// applied but whose directory was never synced may or may not have hit the
+// journal; renamesDurable selects which of the two legal outcomes the
+// simulated journal committed. The receiver is not modified, so a test can
+// examine both outcomes of one run.
+func (m *FaultFS) Crash(renamesDurable bool) *FaultFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewFaultFS()
+	for name, b := range m.durable {
+		out.durable[name] = bytes.Clone(b)
+	}
+	if renamesDurable {
+		for _, op := range m.pending {
+			applyRename(out.durable, op)
+		}
+	}
+	for name, b := range out.durable {
+		out.live[name] = bytes.Clone(b)
+	}
+	return out
+}
+
+func applyRename(files map[string][]byte, op renameOp) {
+	// The renamed file's durable content is whatever was fsync'd under its
+	// old name — nothing, if the writer skipped Sync, which is exactly the
+	// torn state a CRC trailer exists to catch.
+	if b, ok := files[op.from]; ok {
+		files[op.to] = b
+		delete(files, op.from)
+	} else {
+		files[op.to] = nil
+	}
+}
+
+// ReadFile returns the live content of name.
+func (m *FaultFS) ReadFile(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.live[name]
+	return bytes.Clone(b), ok
+}
+
+// WriteDurable seeds a file that is already fully durable, as if written
+// and synced long before the test began.
+func (m *FaultFS) WriteDurable(name string, b []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live[name] = bytes.Clone(b)
+	m.durable[name] = bytes.Clone(b)
+}
+
+// Create implements FS.
+func (m *FaultFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return nil, err
+	}
+	m.live[name] = nil
+	return &faultFile{fs: m, name: name}, nil
+}
+
+// Open implements FS. Reads never fault: the tests always inspect state
+// through a post-crash or post-run view.
+func (m *FaultFS) Open(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.live[name]
+	if !ok {
+		return nil, fmt.Errorf("store: open %s: %w", name, errNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(bytes.Clone(b))), nil
+}
+
+var errNotExist = errors.New("file does not exist")
+
+// Rename implements FS: live effect immediate, durable effect pending until
+// SyncDir.
+func (m *FaultFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	b, ok := m.live[oldpath]
+	if !ok {
+		return fmt.Errorf("store: rename %s: %w", oldpath, errNotExist)
+	}
+	m.live[newpath] = b
+	delete(m.live, oldpath)
+	m.pending = append(m.pending, renameOp{from: oldpath, to: newpath})
+	return nil
+}
+
+// Remove implements FS. Removals are applied durably at once — the crash
+// tests target the save path, where removal only cleans up temp files.
+func (m *FaultFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	if _, ok := m.live[name]; !ok {
+		return fmt.Errorf("store: remove %s: %w", name, errNotExist)
+	}
+	delete(m.live, name)
+	delete(m.durable, name)
+	return nil
+}
+
+// ReadDir implements FS over the live view.
+func (m *FaultFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for name := range m.live {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS: commits every pending rename under dir to the
+// durable namespace.
+func (m *FaultFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step(); err != nil {
+		return err
+	}
+	var rest []renameOp
+	for _, op := range m.pending {
+		if filepath.Dir(op.to) == filepath.Clean(dir) {
+			applyRename(m.durable, op)
+		} else {
+			rest = append(rest, op)
+		}
+	}
+	m.pending = rest
+	return nil
+}
+
+// faultFile is a FaultFS file handle.
+type faultFile struct {
+	fs     *FaultFS
+	name   string
+	closed bool
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, errors.New("store: write to closed file")
+	}
+	if err := f.fs.step(); err != nil {
+		return 0, err
+	}
+	if f.fs.shortWrites && len(p) > 1 {
+		n := len(p) / 2
+		f.fs.live[f.name] = append(f.fs.live[f.name], p[:n]...)
+		return n, ErrInjected
+	}
+	f.fs.live[f.name] = append(f.fs.live[f.name], p...)
+	return len(p), nil
+}
+
+// Sync makes the file's current bytes durable under its current name.
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return errors.New("store: sync of closed file")
+	}
+	if err := f.fs.step(); err != nil {
+		return err
+	}
+	f.fs.durable[f.name] = bytes.Clone(f.fs.live[f.name])
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if err := f.fs.step(); err != nil {
+		return err
+	}
+	return nil
+}

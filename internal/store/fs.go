@@ -1,0 +1,130 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the store needs to write snapshots
+// durably. Production code uses OS (the real filesystem); crash and
+// fault-injection tests substitute a FaultFS to prove that AtomicWriteFile
+// leaves either the old file or the new file — never a torn hybrid — under
+// every failure the interface can express.
+type FS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists the file names in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making renames within it
+	// durable. (On a power cut, an unsynced rename may be rolled back by
+	// the filesystem journal.)
+	SyncDir(dir string) error
+}
+
+// File is a writable file handle that can be made durable before closing.
+type File interface {
+	io.Writer
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+	// Close closes the handle.
+	Close() error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is not supported everywhere (notably some non-Linux
+	// platforms and overlay filesystems return EINVAL); the rename is still
+	// atomic there, only its durability window widens, so the error is not
+	// propagated.
+	_ = d.Sync()
+	return d.Close()
+}
+
+// AtomicWriteFile writes a file crash-safely: the content goes to a
+// temporary sibling, is fsync'd, renamed over path, and the directory is
+// fsync'd. A reader (or a post-crash reboot) therefore observes either the
+// previous file or the complete new one, never a prefix or hybrid. The
+// write callback produces the content; any error it returns aborts the
+// write and removes the temporary file.
+func AtomicWriteFile(fsys FS, path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", tmp, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	// Contents must be durable *before* the rename: a journaled filesystem
+	// may commit the rename but not the data, leaving a complete-looking
+	// file of garbage at path.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: closing %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: renaming %s: %w", tmp, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("store: syncing directory of %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFileFS reads the whole of name from fsys.
+func ReadFileFS(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAtomicWriteFileOS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	content := []byte("hello, durable world")
+	err := AtomicWriteFile(OS, path, func(w io.Writer) error {
+		_, err := w.Write(content)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("read back %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temporary file left behind")
+	}
+}
+
+func TestAtomicWriteFileReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	for _, content := range []string{"first version", "second, longer version"} {
+		err := AtomicWriteFile(OS, path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("read back %q, want %q", got, content)
+		}
+	}
+}
+
+func TestAtomicWriteFileWriterErrorCleansUp(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.WriteDurable("dir/out.bin", []byte("old"))
+	boom := errors.New("boom")
+	err := AtomicWriteFile(fsys, "dir/out.bin", func(w io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if b, ok := fsys.ReadFile("dir/out.bin"); !ok || string(b) != "old" {
+		t.Fatalf("target disturbed: %q %v", b, ok)
+	}
+	if _, ok := fsys.ReadFile("dir/out.bin.tmp"); ok {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestAtomicWriteFileShortWrite(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.WriteDurable("dir/out.bin", []byte("old"))
+	fsys.SetShortWrites(true)
+	err := AtomicWriteFile(fsys, "dir/out.bin", func(w io.Writer) error {
+		_, err := w.Write([]byte("new content that will be torn"))
+		return err
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if b, _ := fsys.ReadFile("dir/out.bin"); string(b) != "old" {
+		t.Fatalf("target disturbed: %q", b)
+	}
+}
+
+// TestAtomicWriteFileCrashAtEveryOp is the power-cut sweep: the machine
+// dies after op N of the atomic write, for every N, under both journal
+// orderings. The target must afterwards hold exactly the old or the new
+// content — never a prefix, suffix, or hybrid.
+func TestAtomicWriteFileCrashAtEveryOp(t *testing.T) {
+	oldContent := []byte("old snapshot bytes")
+	newContent := []byte("new snapshot bytes, somewhat longer than the old ones")
+	write := func(w io.Writer) error {
+		// Two writes so a crash can land between them.
+		if _, err := w.Write(newContent[:7]); err != nil {
+			return err
+		}
+		_, err := w.Write(newContent[7:])
+		return err
+	}
+	for n := 0; ; n++ {
+		fsys := NewFaultFS()
+		fsys.WriteDurable("dir/snap.rock", oldContent)
+		fsys.SetFailAfter(n)
+		err := AtomicWriteFile(fsys, "dir/snap.rock", write)
+		for _, renamesDurable := range []bool{false, true} {
+			after := fsys.Crash(renamesDurable)
+			b, ok := after.ReadFile("dir/snap.rock")
+			if !ok {
+				t.Fatalf("failAfter=%d renamesDurable=%v: target vanished", n, renamesDurable)
+			}
+			if !bytes.Equal(b, oldContent) && !bytes.Equal(b, newContent) {
+				t.Fatalf("failAfter=%d renamesDurable=%v: torn content %q", n, renamesDurable, b)
+			}
+		}
+		if err == nil {
+			// The write ran to completion within the budget: it must now be
+			// durable under both orderings.
+			for _, renamesDurable := range []bool{false, true} {
+				b, _ := fsys.Crash(renamesDurable).ReadFile("dir/snap.rock")
+				if !bytes.Equal(b, newContent) {
+					t.Fatalf("completed write not durable (renamesDurable=%v): %q", renamesDurable, b)
+				}
+			}
+			if n > 100 {
+				t.Fatalf("atomic write took over 100 ops (%d)", n)
+			}
+			return
+		}
+	}
+}
+
+func TestFaultFSDurabilitySemantics(t *testing.T) {
+	fsys := NewFaultFS()
+	f, err := fsys.Create("d/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	// Unsynced bytes die with the power.
+	if b, ok := fsys.Crash(false).ReadFile("d/a"); ok {
+		t.Fatalf("unsynced file survived crash: %q", b)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := fsys.Crash(false).ReadFile("d/a"); !ok || string(b) != "volatile" {
+		t.Fatalf("synced file lost: %q %v", b, ok)
+	}
+	// A rename is live immediately but durable only after SyncDir (or with
+	// a journal that committed it early).
+	if err := fsys.Rename("d/a", "d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fsys.ReadFile("d/b"); !ok {
+		t.Fatal("rename not visible live")
+	}
+	if _, ok := fsys.Crash(false).ReadFile("d/b"); ok {
+		t.Fatal("unsynced rename survived a crash with a strict journal")
+	}
+	if _, ok := fsys.Crash(true).ReadFile("d/b"); !ok {
+		t.Fatal("rename missing under the early-commit journal")
+	}
+	if err := fsys.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := fsys.Crash(false).ReadFile("d/b"); !ok || string(b) != "volatile" {
+		t.Fatalf("synced rename lost: %q %v", b, ok)
+	}
+	if _, ok := fsys.Crash(false).ReadFile("d/a"); ok {
+		t.Fatal("old name survived a synced rename")
+	}
+}
+
+func TestFaultFSReadDir(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.WriteDurable("d/b.rock", nil)
+	fsys.WriteDurable("d/a.rock", nil)
+	fsys.WriteDurable("d/sub/c.rock", nil)
+	fsys.WriteDurable("other/x.rock", nil)
+	names, err := fsys.ReadDir("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a.rock" || names[1] != "b.rock" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+}

@@ -272,6 +272,12 @@ func ClusterScanner(open func() (store.Scanner, io.Closer, error), cfg PipelineC
 		}
 		pos++
 	}
+	// A stream that shrank would otherwise leave the tail silently marked
+	// as outliers — data quietly dropped, the opposite of what the paper's
+	// robustness is about. Fail as loudly as the grow case above.
+	if pos < total {
+		return nil, fmt.Errorf("rock: stream shrank between passes (%d < %d)", pos, total)
+	}
 	return out, nil
 }
 

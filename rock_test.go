@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"rock"
@@ -299,6 +300,73 @@ func TestClusterScannerLabelsEverything(t *testing.T) {
 	}
 	if lr.Labeled != len(d.Txns)-600 {
 		t.Fatalf("labeled = %d", lr.Labeled)
+	}
+}
+
+// limitedScanner truncates an underlying scanner after left transactions,
+// simulating a stream that shrank between the two pipeline passes.
+type limitedScanner struct {
+	sc   store.Scanner
+	left int
+}
+
+func (l *limitedScanner) Next() (rock.Transaction, error) {
+	if l.left <= 0 {
+		return nil, io.EOF
+	}
+	l.left--
+	return l.sc.Next()
+}
+
+// TestClusterScannerDetectsShrinkingStream: pass 2 seeing fewer transactions
+// than pass 1 must be an error, not a tail of silent outliers.
+func TestClusterScannerDetectsShrinkingStream(t *testing.T) {
+	d := basketTestData(t)
+	path := filepath.Join(t.TempDir(), "txns.bin")
+	if err := store.SaveBinary(path, d.Txns); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	open := func() (store.Scanner, io.Closer, error) {
+		sc, c, err := store.OpenBinary(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		calls++
+		if calls == 2 {
+			return &limitedScanner{sc: sc, left: len(d.Txns) - 7}, c, nil
+		}
+		return sc, c, nil
+	}
+	_, err := rock.ClusterScanner(open, pipelineCfg(600))
+	if err == nil || !strings.Contains(err.Error(), "shrank") {
+		t.Fatalf("shrinking stream: err = %v, want a 'stream shrank' error", err)
+	}
+}
+
+// TestClusterScannerDetectsGrowingStream is the symmetric case.
+func TestClusterScannerDetectsGrowingStream(t *testing.T) {
+	d := basketTestData(t)
+	dir := t.TempDir()
+	short := filepath.Join(dir, "short.bin")
+	long := filepath.Join(dir, "long.bin")
+	if err := store.SaveBinary(short, d.Txns[:len(d.Txns)-7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveBinary(long, d.Txns); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	open := func() (store.Scanner, io.Closer, error) {
+		calls++
+		if calls == 2 {
+			return store.OpenBinary(long)
+		}
+		return store.OpenBinary(short)
+	}
+	_, err := rock.ClusterScanner(open, pipelineCfg(600))
+	if err == nil || !strings.Contains(err.Error(), "grew") {
+		t.Fatalf("growing stream: err = %v, want a 'stream grew' error", err)
 	}
 }
 
