@@ -6,10 +6,11 @@
 #   make faults   fault-injection + chaos suite under the race detector
 #   make check    all of the above
 #   make bench    benchmark harness (short mode)
+#   make benchjoin  brute vs indexed neighbor-join sweep (full size)
 
 GO ?= go
 
-.PHONY: verify race vet faults check bench fuzz
+.PHONY: verify race vet faults check bench benchjoin fuzz
 
 verify:
 	$(GO) build ./...
@@ -34,6 +35,11 @@ check: verify race vet faults
 
 bench:
 	$(GO) test -short -bench=. -benchmem ./...
+
+# The inverted-index threshold join against the brute-force O(n²) neighbor
+# sweep, across sample size, theta and basket size (EXPERIMENTS.md table).
+benchjoin:
+	$(GO) test -run '^$$' -bench 'Neighbors(Brute|Indexed)' -benchmem -timeout 30m .
 
 # Short fuzz passes over every decoder (text, binary, categorical, model
 # snapshot); lengthen with FUZZTIME=5m etc.

@@ -6,6 +6,7 @@ import (
 	"rock/internal/links"
 	"rock/internal/rockcore"
 	"rock/internal/sim"
+	"rock/internal/simjoin"
 )
 
 // MergeStep is one recorded agglomeration step (see Config.TraceMerges).
@@ -37,7 +38,9 @@ func Components(txns []Transaction, theta float64, similarity TxnSimilarity) [][
 	if similarity == nil {
 		similarity = sim.Jaccard
 	}
-	nb := links.ComputeNeighbors(len(txns), sim.ByIndex(txns, similarity), links.Config{Theta: theta})
+	// Same engine selection as ClusterTransactions: indexed join for the
+	// named set measures, brute force otherwise.
+	nb := simjoin.NewSource(txns, similarity).ComputeNeighbors(links.Config{Theta: theta})
 	comps := rockcore.ConnectedComponents(nb.Lists)
 	sortClustersBySize(comps)
 	return comps

@@ -1,0 +1,7 @@
+//go:build !race
+
+package rock_test
+
+// raceDetectorEnabled reports whether the binary was built with -race; see
+// bench_race_test.go.
+const raceDetectorEnabled = false

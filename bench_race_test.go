@@ -1,0 +1,9 @@
+//go:build race
+
+package rock_test
+
+// raceDetectorEnabled trims the paper-scale equivalence sweep under the
+// race detector: its ~20× slowdown turns the 20k brute-force reference runs
+// into minutes, and race mode is about concurrency, which the small corpus
+// exercises just as well.
+const raceDetectorEnabled = true

@@ -11,7 +11,9 @@ package rock_test
 // (-short trims the heavy experiments to reduced workloads.)
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"rock"
@@ -21,6 +23,7 @@ import (
 	"rock/internal/rockcore"
 	"rock/internal/sample"
 	"rock/internal/sim"
+	"rock/internal/simjoin"
 )
 
 // ---- Tables and figures ----
@@ -148,6 +151,107 @@ func benchSample(b *testing.B, n int) []rock.Transaction {
 func benchNeighbors(b *testing.B, txns []rock.Transaction, theta float64) *links.Neighbors {
 	b.Helper()
 	return links.ComputeNeighbors(len(txns), sim.ByIndex(txns, sim.Jaccard), links.Config{Theta: theta})
+}
+
+// ---- Inverted-index threshold join vs brute-force neighbor sweep ----
+
+// neighborJoinCase is one cell of the speedup sweep: sample size, neighbor
+// threshold and mean basket size (the paper's synthetic generator, mean 15).
+type neighborJoinCase struct {
+	n     int
+	theta float64
+	mean  float64
+}
+
+func (c neighborJoinCase) name() string {
+	return fmt.Sprintf("n=%d/theta=%g/basket=%g", c.n, c.theta, c.mean)
+}
+
+// neighborJoinCases spans the sweep recorded in EXPERIMENTS.md. Short mode
+// keeps only the small corpus so the CI bench smoke stays cheap.
+func neighborJoinCases(short bool) []neighborJoinCase {
+	if short {
+		return []neighborJoinCase{{2000, 0.5, 15}}
+	}
+	return []neighborJoinCase{
+		{2000, 0.5, 15},
+		{5000, 0.2, 15},
+		{5000, 0.5, 15},
+		{5000, 0.8, 15},
+		{5000, 0.5, 8},
+		{5000, 0.5, 30},
+		{20000, 0.5, 15},
+		{20000, 0.8, 15},
+	}
+}
+
+// joinSample draws n transactions from the Section 5.3 basket generator
+// with the given mean basket size (std scaled proportionally).
+func joinSample(tb testing.TB, n int, mean float64) []rock.Transaction {
+	tb.Helper()
+	cfg := datagen.DefaultBasketConfig()
+	if d := 114586 / n; d > 1 {
+		cfg = datagen.ScaledBasketConfig(d)
+	}
+	cfg.MeanSize = mean
+	cfg.StdSize = 1.72 * mean / 15
+	rng := rand.New(rand.NewSource(1))
+	d := datagen.Basket(cfg, rng)
+	idx := sample.Indices(len(d.Txns), n, rng)
+	sub := make([]rock.Transaction, len(idx))
+	for i, p := range idx {
+		sub[i] = d.Txns[p]
+	}
+	return sub
+}
+
+func BenchmarkNeighborsBrute(b *testing.B) {
+	for _, c := range neighborJoinCases(testing.Short()) {
+		txns := joinSample(b, c.n, c.mean)
+		s := sim.ByIndex(txns, sim.Jaccard)
+		b.Run(c.name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				links.ComputeNeighbors(len(txns), s, links.Config{Theta: c.theta})
+			}
+		})
+	}
+}
+
+func BenchmarkNeighborsIndexed(b *testing.B) {
+	for _, c := range neighborJoinCases(testing.Short()) {
+		txns := joinSample(b, c.n, c.mean)
+		b.Run(c.name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simjoin.Join(txns, simjoin.Jaccard, c.theta, 0)
+			}
+		})
+	}
+}
+
+// TestIndexedNeighborsMatchBrute proves the equivalence claim on the exact
+// datasets the benchmark sweep uses: for every case (and every set measure
+// on the mid-size case) the indexed join returns bit-identical
+// Neighbors.Lists. Short mode trims to the small corpus, as the benchmarks
+// do; a full run covers the 20k paper-scale corpora.
+func TestIndexedNeighborsMatchBrute(t *testing.T) {
+	for _, c := range neighborJoinCases(testing.Short() || raceDetectorEnabled) {
+		txns := joinSample(t, c.n, c.mean)
+		measures := []simjoin.Measure{simjoin.Jaccard}
+		if c.n <= 5000 && c.theta == 0.5 && c.mean == 15 {
+			measures = []simjoin.Measure{simjoin.Jaccard, simjoin.Dice, simjoin.Cosine, simjoin.Overlap}
+		}
+		for _, m := range measures {
+			f, ok := rock.SimilarityByName(m.String())
+			if !ok {
+				t.Fatalf("measure %v not registered", m)
+			}
+			want := links.ComputeNeighbors(len(txns), sim.ByIndex(txns, f), links.Config{Theta: c.theta})
+			got := simjoin.Join(txns, m, c.theta, 0)
+			if !reflect.DeepEqual(got.Lists, want.Lists) {
+				t.Errorf("%s measure=%v: indexed lists differ from brute force", c.name(), m)
+			}
+		}
+	}
 }
 
 func BenchmarkNeighborComputation1000(b *testing.B) {

@@ -44,6 +44,18 @@ func (t *Transaction) Normalize() {
 // Len returns the number of items in the transaction.
 func (t Transaction) Len() int { return len(t) }
 
+// IsNormalized reports whether the transaction is sorted and duplicate-free
+// — the form Normalize produces and the form the merge intersections (and
+// the indexed similarity join) rely on.
+func (t Transaction) IsNormalized() bool {
+	for i := 1; i < len(t); i++ {
+		if t[i] <= t[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
 // Contains reports whether the transaction contains item v.
 func (t Transaction) Contains(v Item) bool {
 	i := sort.Search(len(t), func(i int) bool { return t[i] >= v })

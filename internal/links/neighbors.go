@@ -89,6 +89,29 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// NeighborSource produces the theta-neighbor lists of a point set. The
+// brute-force pairwise sweep (SimSource) and the inverted-index threshold
+// join (internal/simjoin) both implement it; callers that hold typed data
+// pick the engine, while the clustering core consumes only the interface.
+// Implementations must produce lists identical to ComputeNeighbors over the
+// same points and similarity.
+type NeighborSource interface {
+	ComputeNeighbors(cfg Config) *Neighbors
+}
+
+// SimSource is the brute-force NeighborSource: an index-addressed similarity
+// evaluated over all pairs. It handles any similarity — expert tables, Lp
+// vectors, pairwise record rules — at O(n²) cost.
+type SimSource struct {
+	NumPoints int
+	Sim       sim.Func
+}
+
+// ComputeNeighbors implements NeighborSource.
+func (s SimSource) ComputeNeighbors(cfg Config) *Neighbors {
+	return ComputeNeighbors(s.NumPoints, s.Sim, cfg)
+}
+
 // ComputeNeighbors evaluates the similarity of every pair of the n points
 // and returns the neighbor lists. The similarity function must be symmetric;
 // only pairs i < j are evaluated and the result is mirrored.
@@ -119,7 +142,7 @@ func ComputeNeighbors(n int, s sim.Func, cfg Config) *Neighbors {
 		wg.Wait()
 		// Mirror: lists currently hold only j > i entries.
 	}
-	mirror(lists)
+	Mirror(lists)
 	return &Neighbors{Lists: lists}
 }
 
@@ -140,26 +163,36 @@ func computeNeighborRow(i, n int, s sim.Func, theta float64, lists [][]int32) {
 	lists[i] = row
 }
 
-// mirror completes neighbor lists that contain only forward (j > i) entries
-// so that every list holds all neighbors in sorted order.
-func mirror(lists [][]int32) {
+// Mirror completes neighbor lists that contain only forward (j > i) entries
+// so that every list holds all neighbors in sorted order. It is shared by
+// every NeighborSource that generates pairs once, from the smaller index.
+// Back-degrees are counted in a first pass so each merged list is allocated
+// exactly once at its final size.
+func Mirror(lists [][]int32) {
 	n := len(lists)
-	back := make([][]int32, n)
+	bd := make([]int, n)
 	for i := 0; i < n; i++ {
 		for _, j := range lists[i] {
-			back[j] = append(back[j], int32(i))
+			bd[j]++
+		}
+	}
+	merged := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		if bd[i] > 0 {
+			merged[i] = make([]int32, 0, bd[i]+len(lists[i]))
+		}
+	}
+	// Scanning i in ascending order writes each back section pre-sorted.
+	for i := 0; i < n; i++ {
+		for _, j := range lists[i] {
+			merged[j] = append(merged[j], int32(i))
 		}
 	}
 	for i := 0; i < n; i++ {
-		// back[i] entries are all < i and sorted (produced in i order);
-		// lists[i] entries are all > i and sorted.
-		if len(back[i]) == 0 {
-			continue
+		// back entries are all < i, forward entries all > i, both sorted.
+		if bd[i] > 0 {
+			lists[i] = append(merged[i], lists[i]...)
 		}
-		merged := make([]int32, 0, len(back[i])+len(lists[i]))
-		merged = append(merged, back[i]...)
-		merged = append(merged, lists[i]...)
-		lists[i] = merged
 	}
 }
 
@@ -183,15 +216,20 @@ func (nb *Neighbors) FilterMinDegree(minDeg int) (keep, outliers []int) {
 // returned structure has len(keep) points, and neighbors outside keep are
 // dropped.
 func (nb *Neighbors) Subset(keep []int) *Neighbors {
-	remap := make(map[int32]int32, len(keep))
+	// Dense remap array: this runs on the outlier-pruning path of every
+	// clustering run, and the map version's hash lookups dominated it.
+	remap := make([]int32, nb.N())
+	for i := range remap {
+		remap[i] = -1
+	}
 	for newID, old := range keep {
-		remap[int32(old)] = int32(newID)
+		remap[old] = int32(newID)
 	}
 	lists := make([][]int32, len(keep))
 	for newID, old := range keep {
 		var row []int32
 		for _, j := range nb.Lists[old] {
-			if nj, ok := remap[j]; ok {
+			if nj := remap[j]; nj >= 0 {
 				row = append(row, nj)
 			}
 		}

@@ -131,12 +131,22 @@ type Result struct {
 }
 
 // Cluster computes neighbors under cfg.Theta using the given similarity and
-// clusters the n points.
+// clusters the n points via the brute-force O(n²) neighbor sweep. Callers
+// holding typed data that admits a faster neighbor engine (e.g. the
+// inverted-index join of internal/simjoin) use ClusterSource instead.
 func Cluster(n int, s sim.Func, cfg Config) (*Result, error) {
+	return ClusterSource(links.SimSource{NumPoints: n, Sim: s}, cfg)
+}
+
+// ClusterSource clusters the points whose neighbor graph the given source
+// produces. The source decides how sim >= theta pairs are found — brute
+// force or indexed join — and every source yields identical lists, so the
+// clustering result is independent of the engine.
+func ClusterSource(src links.NeighborSource, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	nb := links.ComputeNeighbors(n, s, links.Config{Theta: cfg.Theta, Workers: cfg.Workers})
+	nb := src.ComputeNeighbors(links.Config{Theta: cfg.Theta, Workers: cfg.Workers})
 	return ClusterNeighbors(nb, cfg)
 }
 

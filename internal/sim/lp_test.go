@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLpFastPathsMatchGeneric pins the p=1 / p=2 fast paths to the generic
+// math.Pow formulation bit for bit: Pow(x,1) = x, Pow(x,2) rounds like x*x,
+// Pow(x,0.5) = Sqrt(x), so any divergence is a bug.
+func TestLpFastPathsMatchGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []float64{1, 2} {
+		fast := LpSimilarity(p)
+		gen := lpGeneric(p)
+		for trial := 0; trial < 200; trial++ {
+			n := rng.Intn(12)
+			a := make([]float64, n)
+			b := make([]float64, n)
+			for i := range a {
+				a[i] = rng.Float64()
+				b[i] = rng.Float64()
+			}
+			if got, want := fast(a, b), gen(a, b); got != want {
+				t.Fatalf("p=%v n=%d: fast=%v generic=%v", p, n, got, want)
+			}
+		}
+		// Identical vectors and the empty vector, exactly.
+		v := []float64{0.25, 0.5, 0.75}
+		if got := fast(v, v); got != 1 {
+			t.Fatalf("p=%v: sim(v, v) = %v, want 1", p, got)
+		}
+		if got := fast(nil, nil); got != 0 {
+			t.Fatalf("p=%v: sim(nil, nil) = %v, want 0", p, got)
+		}
+	}
+}
+
+func benchVecs(n int) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	return a, b
+}
+
+// BenchmarkLpSimilarity compares the dedicated p=1/p=2 loops against the
+// math.Pow-per-coordinate generic path on a 64-dim vector pair.
+func BenchmarkLpSimilarity(b *testing.B) {
+	x, y := benchVecs(64)
+	cases := []struct {
+		name string
+		f    VecFunc
+	}{
+		{"p=1/fast", LpSimilarity(1)},
+		{"p=1/generic", lpGeneric(1)},
+		{"p=2/fast", LpSimilarity(2)},
+		{"p=2/generic", lpGeneric(2)},
+		{"p=3/generic", LpSimilarity(3)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.f(x, y)
+			}
+		})
+	}
+}

@@ -70,14 +70,28 @@ type VecFunc func(a, b []float64) float64
 // LpSimilarity converts the Lp distance between vectors whose coordinates
 // lie in [0, 1] into a normalized similarity: 1 - d_p(a, b) / d_max, where
 // d_max = dim^(1/p) is the Lp diameter of the unit cube. p must be >= 1.
+//
+// p = 1 and p = 2 — the Manhattan and Euclidean similarities, the only
+// exponents the rest of the system uses — take dedicated fast paths whose
+// hot loop avoids math.Pow per coordinate. They return the same values as
+// the generic path: math.Pow(x, 1) is x, Pow(x, 2) rounds identically to
+// x*x, and Pow(x, 0.5) is math.Sqrt(x).
 func LpSimilarity(p float64) VecFunc {
 	if p < 1 {
 		panic(fmt.Sprintf("sim: Lp similarity requires p >= 1, got %v", p))
 	}
+	switch p {
+	case 1:
+		return l1Similarity
+	case 2:
+		return l2Similarity
+	}
+	return lpGeneric(p)
+}
+
+func lpGeneric(p float64) VecFunc {
 	return func(a, b []float64) float64 {
-		if len(a) != len(b) {
-			panic(fmt.Sprintf("sim: vector length mismatch %d vs %d", len(a), len(b)))
-		}
+		checkVecs(a, b)
 		if len(a) == 0 {
 			return 0
 		}
@@ -87,12 +101,46 @@ func LpSimilarity(p float64) VecFunc {
 		}
 		d := math.Pow(s, 1/p)
 		dmax := math.Pow(float64(len(a)), 1/p)
-		v := 1 - d/dmax
-		if v < 0 {
-			return 0
-		}
-		return v
+		return clampUnit(1 - d/dmax)
 	}
+}
+
+func l1Similarity(a, b []float64) float64 {
+	checkVecs(a, b)
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return clampUnit(1 - s/float64(len(a)))
+}
+
+func l2Similarity(a, b []float64) float64 {
+	checkVecs(a, b)
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return clampUnit(1 - math.Sqrt(s)/math.Sqrt(float64(len(a))))
+}
+
+func checkVecs(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("sim: vector length mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Euclidean is the L2-derived normalized similarity.

@@ -1,0 +1,323 @@
+package simjoin
+
+import (
+	"math/bits"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+
+	"rock/internal/dataset"
+	"rock/internal/links"
+	"rock/internal/sim"
+)
+
+// posting is one prefix-index entry: record id and the position of the
+// indexed item within the record's frequency-remapped item array.
+type posting struct {
+	id  int32
+	pos int32
+}
+
+// Join computes the theta-neighbor lists of the corpus under measure m using
+// the inverted-index threshold join. The result is bit-identical to
+//
+//	links.ComputeNeighbors(len(txns), sim.ByIndex(txns, f), cfg)
+//
+// for the corresponding similarity f. Transactions must be normalized
+// (sorted, duplicate-free) — Source checks this and falls back to brute
+// force otherwise. theta <= 0 defeats every filter (any pair, even two empty
+// transactions, qualifies), so that case is delegated to the brute-force
+// path as well.
+func Join(txns []dataset.Transaction, m Measure, theta float64, workers int) *links.Neighbors {
+	if theta <= 0 {
+		return bruteForce(txns, m, theta, workers)
+	}
+	n := len(txns)
+	lists := make([][]int32, n)
+	if n > 1 {
+		ix := buildIndex(txns, m, theta)
+		w := workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > n {
+			w = n
+		}
+		if w <= 1 {
+			probeStripe(ix, m, theta, 0, 1, lists)
+		} else {
+			var wg sync.WaitGroup
+			for g := 0; g < w; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					probeStripe(ix, m, theta, g, w, lists)
+				}(g)
+			}
+			wg.Wait()
+		}
+	}
+	links.Mirror(lists)
+	return &links.Neighbors{Lists: lists}
+}
+
+// bruteForce is the exact fallback used when theta prunes nothing.
+func bruteForce(txns []dataset.Transaction, m Measure, theta float64, workers int) *links.Neighbors {
+	f, _ := sim.TxnByName(m.String())
+	return links.ComputeNeighbors(len(txns), sim.ByIndex(txns, f), links.Config{Theta: theta, Workers: workers})
+}
+
+// String returns the sim-package registry name of the measure.
+func (m Measure) String() string {
+	switch m {
+	case Jaccard:
+		return "jaccard"
+	case Dice:
+		return "dice"
+	case Cosine:
+		return "cosine"
+	default:
+		return "overlap"
+	}
+}
+
+// index is the immutable shared state the probe workers read.
+type index struct {
+	recs     [][]int32 // per record: item ranks, sorted ascending (rarest first)
+	beta     []int32   // per record length: minOverlapAny
+	postings [][]posting
+}
+
+// buildIndex remaps items by ascending document frequency and indexes every
+// record on its filter prefix.
+//
+// The remap does double duty: prefixes hold each record's *rarest* items, so
+// posting lists stay short exactly where they are probed most, and items
+// common across natural clusters (high document frequency) sort to the ends
+// of records where the prefix filter never touches them.
+func buildIndex(txns []dataset.Transaction, m Measure, theta float64) *index {
+	n := len(txns)
+
+	// Document frequency per item. Transactions are duplicate-free, so each
+	// record contributes at most 1 per item.
+	df := make(map[dataset.Item]int32)
+	maxLen := 0
+	for _, t := range txns {
+		if len(t) > maxLen {
+			maxLen = len(t)
+		}
+		for _, it := range t {
+			df[it]++
+		}
+	}
+
+	// Rank items by (frequency, item id) ascending; ties broken by id keep
+	// the remap deterministic.
+	uniq := make([]dataset.Item, 0, len(df))
+	for it := range df {
+		uniq = append(uniq, it)
+	}
+	sort.Slice(uniq, func(a, b int) bool {
+		if df[uniq[a]] != df[uniq[b]] {
+			return df[uniq[a]] < df[uniq[b]]
+		}
+		return uniq[a] < uniq[b]
+	})
+	rank := make(map[dataset.Item]int32, len(uniq))
+	for r, it := range uniq {
+		rank[it] = int32(r)
+	}
+
+	ix := &index{recs: make([][]int32, n), beta: make([]int32, maxLen+1)}
+	flat := make([]int32, 0, totalItems(txns))
+	for i, t := range txns {
+		start := len(flat)
+		for _, it := range t {
+			flat = append(flat, rank[it])
+		}
+		rec := flat[start:len(flat):len(flat)]
+		slices.Sort(rec)
+		ix.recs[i] = rec
+	}
+	for l := 1; l <= maxLen; l++ {
+		ix.beta[l] = int32(m.minOverlapAny(l, theta))
+	}
+
+	// Exact-size posting lists: count prefix items, then fill in record-id
+	// order so every list is sorted by id (the probe binary-searches on it).
+	counts := make([]int32, len(uniq))
+	for i, rec := range ix.recs {
+		for _, r := range rec[:prefixLen(ix, i)] {
+			counts[r]++
+		}
+	}
+	ix.postings = make([][]posting, len(uniq))
+	for r, c := range counts {
+		if c > 0 {
+			ix.postings[r] = make([]posting, 0, c)
+		}
+	}
+	for i, rec := range ix.recs {
+		for p, r := range rec[:prefixLen(ix, i)] {
+			ix.postings[r] = append(ix.postings[r], posting{id: int32(i), pos: int32(p)})
+		}
+	}
+	return ix
+}
+
+// prefixLen returns the filter-prefix length of record i: a pair reaching
+// theta must share an item within both records' prefixes, so only these
+// positions are indexed and probed. Empty records have no prefix.
+func prefixLen(ix *index, i int) int {
+	l := len(ix.recs[i])
+	if l == 0 {
+		return 0
+	}
+	return l - int(ix.beta[l]) + 1
+}
+
+func totalItems(txns []dataset.Transaction) int {
+	s := 0
+	for _, t := range txns {
+		s += len(t)
+	}
+	return s
+}
+
+// probeStripe fills lists[i] with the verified neighbors j > i for every
+// record i in the worker's stripe. Rows are disjoint across workers, so no
+// synchronization is needed; links.Mirror completes the lists afterwards.
+func probeStripe(ix *index, m Measure, theta float64, g, w int, lists [][]int32) {
+	n := len(ix.recs)
+	// seen deduplicates candidates within one probe: a pair sharing k prefix
+	// items would otherwise be generated k times. alphaByLen memoizes the
+	// per-length minimum-overlap bound across one probe (stamped, so neither
+	// array is cleared between records).
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	alphaByLen := make([]int32, len(ix.beta))
+	alphaStamp := make([]int32, len(ix.beta))
+	for i := range alphaStamp {
+		alphaStamp[i] = -1
+	}
+	// Verified neighbors are collected in a bitmap and extracted in id
+	// order afterwards — cheaper than sorting each row, and the extraction
+	// scan doubles as the reset.
+	found := make([]uint64, (n+63)/64)
+
+	for i := g; i < n; i += w {
+		ti := ix.recs[i]
+		li := len(ti)
+		if li == 0 {
+			continue
+		}
+		cnt := 0
+		self := int32(i)
+		for pi, r := range ti[:prefixLen(ix, i)] {
+			pl := ix.postings[r]
+			// Pairs are generated once, by the smaller id; entries are
+			// sorted by id, so binary-search straight past j <= i.
+			lo, hi := 0, len(pl)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if pl[mid].id <= self {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			for _, pe := range pl[lo:] {
+				j := pe.id
+				if seen[j] == self {
+					continue
+				}
+				seen[j] = self
+				tj := ix.recs[j]
+				lj := len(tj)
+				var alpha int
+				if alphaStamp[lj] == self {
+					alpha = int(alphaByLen[lj])
+				} else {
+					alpha = m.minOverlapPair(li, lj, theta)
+					alphaByLen[lj] = int32(alpha)
+					alphaStamp[lj] = self
+				}
+				mn := li
+				if lj < mn {
+					mn = lj
+				}
+				if alpha > mn {
+					continue // length filter: no intersection size suffices
+				}
+				// This hit is the pair's smallest shared item — a smaller
+				// one would sit earlier in both prefixes and have been hit
+				// first. So every other shared item lies after both
+				// positions: bound the intersection by the shorter suffix
+				// (positional filter), and on survival count only the
+				// suffixes, with the hit contributing 1.
+				pj := int(pe.pos)
+				rem := li - pi - 1
+				if r := lj - pj - 1; r < rem {
+					rem = r
+				}
+				if 1+rem < alpha {
+					continue
+				}
+				if inter, full := intersectAtLeast(ti[pi+1:], tj[pj+1:], alpha-1); full && m.Eval(inter+1, li, lj) >= theta {
+					found[j>>6] |= 1 << (uint(j) & 63)
+					cnt++
+				}
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		row := make([]int32, 0, cnt)
+		for w := i >> 6; len(row) < cnt; w++ {
+			x := found[w]
+			if x == 0 {
+				continue
+			}
+			found[w] = 0
+			base := int32(w << 6)
+			for ; x != 0; x &= x - 1 {
+				row = append(row, base+int32(bits.TrailingZeros64(x)))
+			}
+		}
+		lists[i] = row
+	}
+}
+
+// intersectAtLeast merge-intersects two sorted rank arrays, abandoning as
+// soon as the intersection provably cannot reach alpha. It returns the exact
+// intersection size and full=true when the merge ran to completion; on early
+// exit full is false and the pair is known to fail the threshold. alpha may
+// be <= 0, in which case the merge always completes.
+// The caller guarantees the bound holds on entry (the positional filter);
+// matches never shrink it, so it is re-checked only when a mismatch consumes
+// an element from one side.
+func intersectAtLeast(a, b []int32, alpha int) (inter int, full bool) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+			if inter+len(a)-i < alpha {
+				return 0, false
+			}
+		case a[i] > b[j]:
+			j++
+			if inter+len(b)-j < alpha {
+				return 0, false
+			}
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	return inter, true
+}

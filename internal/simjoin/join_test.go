@@ -1,0 +1,235 @@
+package simjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rock/internal/dataset"
+	"rock/internal/links"
+	"rock/internal/sim"
+)
+
+var allMeasures = []Measure{Jaccard, Dice, Cosine, Overlap}
+
+// brute is the reference: the O(n²) sweep the join must match bit for bit.
+func brute(txns []dataset.Transaction, m Measure, theta float64) *links.Neighbors {
+	f, ok := sim.TxnByName(m.String())
+	if !ok {
+		panic("unregistered measure " + m.String())
+	}
+	return links.ComputeNeighbors(len(txns), sim.ByIndex(txns, f), links.Config{Theta: theta, Workers: 1})
+}
+
+// randomCorpus draws n transactions over a vocab of the given size, with a
+// slice of deliberately empty transactions and a slice of exact duplicates —
+// the edge cases the equivalence contract calls out.
+func randomCorpus(rng *rand.Rand, n, vocab, maxItems int) []dataset.Transaction {
+	txns := make([]dataset.Transaction, n)
+	for i := range txns {
+		switch {
+		case rng.Float64() < 0.05:
+			txns[i] = dataset.Transaction{} // empty
+		case i > 0 && rng.Float64() < 0.15:
+			txns[i] = txns[rng.Intn(i)].Clone() // duplicate of an earlier one
+		default:
+			k := 1 + rng.Intn(maxItems)
+			items := make([]dataset.Item, k)
+			for j := range items {
+				items[j] = dataset.Item(rng.Intn(vocab))
+			}
+			txns[i] = dataset.NewTransaction(items...)
+		}
+	}
+	return txns
+}
+
+// TestJoinMatchesBruteForce is the central equivalence property: for random
+// corpora × thresholds × all four set measures, the indexed join produces
+// exactly the brute-force neighbor lists.
+func TestJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	corpora := [][]dataset.Transaction{
+		nil,
+		{dataset.NewTransaction(1, 2, 3)},
+		{{}, {}, {}},
+		randomCorpus(rng, 60, 12, 6),    // dense: most pairs overlap
+		randomCorpus(rng, 150, 200, 10), // sparse
+		randomCorpus(rng, 200, 40, 15),  // mid, bigger baskets
+	}
+	for ci, txns := range corpora {
+		for _, m := range allMeasures {
+			for _, theta := range []float64{0, 0.2, 0.5, 0.8, 1} {
+				want := brute(txns, m, theta)
+				for _, workers := range []int{1, 3} {
+					got := Join(txns, m, theta, workers)
+					if !reflect.DeepEqual(got.Lists, want.Lists) {
+						t.Errorf("corpus %d, %v, theta=%v, workers=%d: lists differ\n got %v\nwant %v",
+							ci, m, theta, workers, got.Lists, want.Lists)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinThetaEdge exercises thresholds landing exactly on attainable
+// similarity values, where a >= comparison differs from > by one float ULP:
+// the filters must not lose pairs that sit exactly on theta.
+func TestJoinThetaEdge(t *testing.T) {
+	// Pairs of 4-item transactions sharing 2 items: Jaccard = 2/6, Dice =
+	// 4/8, Cosine = 2/4, Overlap = 2/4 — all exactly representable or
+	// exactly computed values a user can pass back as theta.
+	txns := []dataset.Transaction{
+		dataset.NewTransaction(1, 2, 3, 4),
+		dataset.NewTransaction(3, 4, 5, 6),
+		dataset.NewTransaction(5, 6, 7, 8),
+		dataset.NewTransaction(1, 2, 3, 4), // duplicate
+	}
+	for _, m := range allMeasures {
+		for _, theta := range []float64{2.0 / 6, 0.5, 2.0/6 + 1e-16, 0.5 + 1e-16, 1} {
+			want := brute(txns, m, theta)
+			got := Join(txns, m, theta, 1)
+			if !reflect.DeepEqual(got.Lists, want.Lists) {
+				t.Errorf("%v theta=%v: got %v want %v", m, theta, got.Lists, want.Lists)
+			}
+		}
+	}
+}
+
+// TestSourceRouting checks the engine-selection contract of Source.
+func TestSourceRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	txns := randomCorpus(rng, 80, 30, 8)
+
+	// Named measures on normalized data: indexed.
+	if !NewSource(txns, sim.Jaccard).Indexed() {
+		t.Error("jaccard source not indexed")
+	}
+	// Nil similarity selects Jaccard (matching rock.Config) and indexes.
+	if !NewSource(txns, nil).Indexed() {
+		t.Error("nil-similarity source not indexed")
+	}
+	// A custom similarity function cannot be indexed.
+	custom := func(a, b dataset.Transaction) float64 { return sim.Jaccard(a, b) }
+	if NewSource(txns, custom).Indexed() {
+		t.Error("custom similarity claimed indexed")
+	}
+	// Unnormalized transactions force brute force.
+	bad := append([]dataset.Transaction{{3, 1, 2}}, txns...)
+	if NewSource(bad, sim.Jaccard).Indexed() {
+		t.Error("unnormalized corpus claimed indexed")
+	}
+
+	// Whatever the routing decision, results match brute force — including
+	// below MinIndexTheta, where the source itself switches engines.
+	for _, theta := range []float64{0, MinIndexTheta / 2, 0.4, 0.9} {
+		for _, f := range []sim.TxnFunc{sim.Jaccard, sim.Dice, custom} {
+			want := links.ComputeNeighbors(len(txns), sim.ByIndex(txns, f), links.Config{Theta: theta, Workers: 1})
+			got := NewSource(txns, f).ComputeNeighbors(links.Config{Theta: theta})
+			if !reflect.DeepEqual(got.Lists, want.Lists) {
+				t.Errorf("theta=%v: source lists differ from brute force", theta)
+			}
+		}
+	}
+}
+
+// TestMinOverlapBounds verifies the filter bounds against exhaustive
+// evaluation of the float predicate they are derived from.
+func TestMinOverlapBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		m := allMeasures[rng.Intn(len(allMeasures))]
+		la, lb := rng.Intn(30), rng.Intn(30)
+		theta := rng.Float64()
+		mn := la
+		if lb < mn {
+			mn = lb
+		}
+		want := mn + 1
+		for i := 0; i <= mn; i++ {
+			if m.Eval(i, la, lb) >= theta {
+				want = i
+				break
+			}
+		}
+		if got := m.minOverlapPair(la, lb, theta); got != want {
+			t.Fatalf("%v minOverlapPair(%d,%d,%v) = %d, want %d", m, la, lb, theta, got, want)
+		}
+		wantAny := la + 1
+		for i := 0; i <= la; i++ {
+			if m.Eval(i, la, i) >= theta {
+				wantAny = i
+				break
+			}
+		}
+		if got := m.minOverlapAny(la, theta); got != wantAny {
+			t.Fatalf("%v minOverlapAny(%d,%v) = %d, want %d", m, la, theta, got, wantAny)
+		}
+	}
+}
+
+// TestEvalMatchesSimPackage pins Measure.Eval to the sim package functions
+// it mirrors: same intersection, same lengths, same float64 result.
+func TestEvalMatchesSimPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		a := randomCorpus(rng, 1, 25, 12)[0]
+		b := randomCorpus(rng, 1, 25, 12)[0]
+		inter := a.IntersectLen(b)
+		for _, m := range allMeasures {
+			f, _ := sim.TxnByName(m.String())
+			if got, want := m.Eval(inter, len(a), len(b)), f(a, b); got != want {
+				t.Fatalf("%v: Eval=%v sim=%v (a=%v b=%v)", m, got, want, a, b)
+			}
+		}
+	}
+}
+
+func TestMeasureByName(t *testing.T) {
+	for _, m := range allMeasures {
+		got, ok := MeasureByName(m.String())
+		if !ok || got != m {
+			t.Errorf("MeasureByName(%q) = %v, %v", m.String(), got, ok)
+		}
+		if _, ok := sim.TxnByName(m.String()); !ok {
+			t.Errorf("measure %q not in sim registry", m.String())
+		}
+	}
+	if _, ok := MeasureByName("euclidean"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+// TestJoinLargerRandom runs a bigger randomized sweep so the prefix,
+// length and positional filters all actually fire (it fails loudly if any
+// of them over-prunes).
+func TestJoinLargerRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger randomized equivalence sweep")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		txns := randomCorpus(rng, 400, 60, 20)
+		for _, m := range allMeasures {
+			theta := 0.1 + 0.85*rng.Float64()
+			want := brute(txns, m, theta)
+			got := Join(txns, m, theta, 2)
+			if !reflect.DeepEqual(got.Lists, want.Lists) {
+				t.Errorf("seed=%d %v theta=%v: lists differ", seed, m, theta)
+			}
+		}
+	}
+}
+
+func ExampleJoin() {
+	txns := []dataset.Transaction{
+		dataset.NewTransaction(1, 2, 3),
+		dataset.NewTransaction(1, 2, 4),
+		dataset.NewTransaction(5, 6),
+	}
+	nb := Join(txns, Jaccard, 0.5, 1)
+	fmt.Println(nb.Lists[0], nb.Lists[1], nb.Lists[2])
+	// Output: [1] [0] []
+}

@@ -80,6 +80,12 @@ func (r *LargeResult) Clusters() [][]int {
 // slice: reservoir-sample SampleSize transactions, cluster them, then label
 // every other transaction by normalized neighbor counts in the clusters'
 // labeled sets.
+//
+// The sample clustering goes through ClusterTransactions and therefore uses
+// the inverted-index neighbor join when the configured similarity and theta
+// admit it — which is what makes large SampleSize values practical: the
+// neighbor phase, the pipeline's dominant cost, stops being quadratic in
+// the sample.
 func ClusterLarge(txns []Transaction, cfg PipelineConfig) (*LargeResult, error) {
 	if cfg.SampleSize <= 0 {
 		return nil, errors.New("rock: SampleSize must be positive")

@@ -6,6 +6,7 @@ import (
 	"rock/internal/dataset"
 	"rock/internal/rockcore"
 	"rock/internal/sim"
+	"rock/internal/simjoin"
 )
 
 // Core data types, shared with the internal packages via aliases.
@@ -118,8 +119,15 @@ func (c Config) txnSim() TxnSimilarity {
 }
 
 // ClusterTransactions clusters market-basket transactions.
+//
+// When the configured similarity is one of the named set measures (Jaccard,
+// Dice, cosine, overlap), the transactions are normalized, and Theta is
+// high enough to prune (simjoin.MinIndexTheta), the neighbor phase runs on
+// the inverted-index threshold join instead of the O(n²) pairwise sweep —
+// same neighbor lists, bit for bit, found near-linearly on sparse data.
+// Custom similarity functions and near-zero thresholds use brute force.
 func ClusterTransactions(txns []Transaction, cfg Config) (*Result, error) {
-	return rockcore.Cluster(len(txns), sim.ByIndex(txns, cfg.txnSim()), cfg.core())
+	return rockcore.ClusterSource(simjoin.NewSource(txns, cfg.txnSim()), cfg.core())
 }
 
 // ClusterRecords clusters categorical records by converting each to a
