@@ -4,13 +4,14 @@
 #   make race     full test suite under the race detector
 #   make vet      static checks
 #   make faults   fault-injection + chaos suite under the race detector
+#   make chaos    multi-replica fleet chaos drills under the race detector
 #   make check    all of the above
 #   make bench    benchmark harness (short mode)
 #   make benchjoin  brute vs indexed neighbor-join sweep (full size)
 
 GO ?= go
 
-.PHONY: verify race vet faults check bench benchjoin fuzz
+.PHONY: verify race vet faults chaos check bench benchjoin fuzz
 
 verify:
 	$(GO) build ./...
@@ -29,9 +30,17 @@ faults:
 	$(GO) test -race ./internal/store -run 'Fault|Atomic|Crash|Durab|Short'
 	$(GO) test -race ./internal/model -run 'Crash|CRC|Corrupt|Legacy|Future|Dir|Rollback|Retention'
 	$(GO) test -race ./internal/serve -run 'Swap|Reload|Context|Close|Idle|Captured'
-	$(GO) test -race ./cmd/rockd -run 'Chaos|Readyz|Rollback|Shed|Panic|Reload'
+	$(GO) test -race ./internal/daemon -run 'Chaos|Readyz|Rollback|Shed|Panic|Reload'
 
-check: verify race vet faults
+# Fleet-level chaos: a single replica's crash/reload drills, then the
+# gateway drills — 3 replicas under client load with a kill + restart in
+# the middle of a coordinated rolling reload. Zero failed assignments,
+# zero wrong answers, no mixed model generations once the reload lands.
+chaos:
+	$(GO) test -race ./internal/daemon -run 'Chaos'
+	$(GO) test -race ./internal/gate -run 'Chaos|Smoke'
+
+check: verify race vet faults chaos
 
 bench:
 	$(GO) test -short -bench=. -benchmem ./...

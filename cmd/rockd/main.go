@@ -11,21 +11,23 @@
 // validates, automatically rolling back past corrupt ones, and may start
 // with no model at all (not ready until the first successful reload).
 //
-// API:
+// API (see internal/daemon for the handler layer):
 //
 //	POST /v1/assign   {"transactions": [[1,2,3],...]}  →  {"assignments":[{"cluster":0,"score":1.7},...]}
-//	                  {"records": [["red","round"],...]} for models with a schema
+//	                  {"records": [["red","round"],...]} for models with a schema;
+//	                  responses carry X-Rock-Model-Seq naming the serving generation
 //	POST /v1/reload   {"path": "new.rockm"} — hot-swap with zero downtime;
 //	                  {} with -dir reloads the latest good generation
 //	GET  /healthz     liveness probe (process up)
-//	GET  /readyz      readiness probe (model loaded, not draining)
-//	GET  /metrics     counters, latency quantiles, shed/panic counts
+//	GET  /readyz      readiness probe (model loaded, not draining) + serving seq
+//	GET  /metrics     Prometheus text exposition; ?format=json for the JSON shape
 //	GET  /v1/model    summary of the currently served model
 //
 // Overload is shed with 429 + Retry-After once -max-inflight assign
 // requests are in flight; each request runs under a -req-timeout deadline;
 // handler panics become 500s without killing the process. SIGINT/SIGTERM
-// fail /readyz, drain in-flight requests, then exit.
+// fail /readyz, drain in-flight requests, then exit. A fleet of rockd
+// replicas is fronted by rockgate (cmd/rockgate).
 package main
 
 import (
@@ -39,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"rock/internal/daemon"
 	"rock/internal/model"
 	"rock/internal/serve"
 	"rock/internal/store"
@@ -56,13 +59,22 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 256, "assign requests admitted concurrently before shedding with 429")
 		reqTimeout  = flag.Duration("req-timeout", 30*time.Second, "per-request deadline")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		injectLat   = flag.Duration("inject-latency", 0, "fault injection: extra service time per assign request (testing/benchmarking routing tiers)")
+		injectTail  = flag.Duration("inject-tail", 0, "fault injection: extra straggler latency applied every -inject-tail-every requests")
+		injectEvery = flag.Int("inject-tail-every", 0, "fault injection: apply -inject-tail to every Nth assign request (0 = off)")
 	)
 	flag.Parse()
 	if (*modelPath == "") == (*dirPath == "") {
 		logger.Fatal("usage: rockd (-model <snapshot> | -dir <snapshot-dir>) [-addr :7745]")
 	}
 
-	cfg := serverConfig{maxInflight: *maxInflight, reqTimeout: *reqTimeout}
+	cfg := daemon.Config{
+		MaxInflight:     *maxInflight,
+		ReqTimeout:      *reqTimeout,
+		InjectLatency:   *injectLat,
+		InjectTail:      *injectTail,
+		InjectTailEvery: *injectEvery,
+	}
 	var engine *serve.Engine
 	switch {
 	case *modelPath != "":
@@ -87,7 +99,7 @@ func main() {
 		if err != nil {
 			logger.Fatalf("opening snapshot directory: %v", err)
 		}
-		cfg.dir = dir
+		cfg.Dir = dir
 		snap, entry, skipped, err := dir.LoadLatest()
 		for _, e := range skipped {
 			logger.Printf("rollback: snapshot %s (seq %d) failed to load, falling back", e.Path, e.Seq)
@@ -106,12 +118,13 @@ func main() {
 			if engine, err = serve.New(assigner, *workers); err != nil {
 				logger.Fatalf("starting engine: %v", err)
 			}
+			cfg.InitialSeq = entry.Seq
 			logger.Printf("serving %s (seq %d): %d clusters, %d labeled transactions, theta=%.3f sim=%s",
 				entry.Path, entry.Seq, assigner.Clusters(), len(snap.Txns), assigner.Theta(), assigner.SimName())
 		}
 	}
 
-	handler := newServer(engine, logger, cfg)
+	handler := daemon.New(engine, logger, cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -137,7 +150,7 @@ func main() {
 	// accepting, let in-flight requests finish, then release the worker
 	// pool.
 	logger.Printf("signal received, draining for up to %s", *drain)
-	handler.beginDrain()
+	handler.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

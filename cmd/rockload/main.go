@@ -12,6 +12,13 @@
 // shedding burst shows up as retries, not as dropped work.
 //
 //	rockload -addr http://localhost:7745 -c 16 -d 30s -batch 32 -retries 5 txns.txt
+//
+// With -targets, workers are spread round-robin over several base URLs
+// (replicas, or rockgate instances) and the report adds a per-target
+// breakdown next to the fleet total. A batch's retries stay on the target
+// that first attempted it, so per-target error tallies stay meaningful.
+//
+//	rockload -targets http://replica1:7745,http://replica2:7745 -c 16 -d 30s
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +60,22 @@ type workerResult struct {
 	assigned  int
 	outliers  int
 	latencies []time.Duration
+}
+
+// merge folds another tally into r.
+func (r *workerResult) merge(o workerResult) {
+	r.requests += o.requests
+	r.errors += o.errors
+	r.retries += o.retries
+	r.shed += o.shed
+	r.assigned += o.assigned
+	r.outliers += o.outliers
+	r.latencies = append(r.latencies, o.latencies...)
+}
+
+// quantile reads the p-th latency quantile; latencies must be sorted.
+func (r *workerResult) quantile(p float64) time.Duration {
+	return r.latencies[int(p*float64(len(r.latencies)-1))]
 }
 
 // attemptOutcome classifies one HTTP attempt.
@@ -117,6 +141,7 @@ func main() {
 	log.SetPrefix("rockload: ")
 	var (
 		addr     = flag.String("addr", "http://localhost:7745", "rockd base URL")
+		targets  = flag.String("targets", "", "comma-separated base URLs; overrides -addr, workers spread round-robin")
 		workers  = flag.Int("c", 8, "concurrent closed-loop workers")
 		duration = flag.Duration("d", 10*time.Second, "run duration")
 		batch    = flag.Int("batch", 16, "transactions per request")
@@ -133,6 +158,21 @@ func main() {
 	}
 	if *retries < 1 {
 		log.Fatal("-retries must be positive")
+	}
+	urls := []string{*addr}
+	if *targets != "" {
+		urls = urls[:0]
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(urls) == 0 {
+			log.Fatal("-targets holds no URLs")
+		}
+	}
+	if *workers < len(urls) {
+		log.Fatalf("-c %d is fewer than the %d targets; every target needs at least one worker", *workers, len(urls))
 	}
 
 	// Probe pool: a file of real transactions, or uniform random ones.
@@ -170,6 +210,7 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			res := &results[w]
+			target := urls[w%len(urls)]
 			for time.Now().Before(deadline) {
 				req := assignRequest{Transactions: make([][]int64, *batch)}
 				for i := range req.Transactions {
@@ -190,7 +231,7 @@ func main() {
 					if attempt > 0 {
 						res.retries++
 					}
-					ar, outcome, retryAfter, lat := tryOnce(client, *addr+"/v1/assign", body, res)
+					ar, outcome, retryAfter, lat := tryOnce(client, target+"/v1/assign", body, res)
 					if outcome == attemptOK {
 						res.latencies = append(res.latencies, lat)
 						res.assigned += len(ar.Assignments)
@@ -221,14 +262,10 @@ func main() {
 	elapsed := time.Since(start)
 
 	var total workerResult
-	for _, r := range results {
-		total.requests += r.requests
-		total.errors += r.errors
-		total.retries += r.retries
-		total.shed += r.shed
-		total.assigned += r.assigned
-		total.outliers += r.outliers
-		total.latencies = append(total.latencies, r.latencies...)
+	perTarget := make([]workerResult, len(urls))
+	for w, r := range results {
+		total.merge(r)
+		perTarget[w%len(urls)].merge(r)
 	}
 	fmt.Printf("%d batches (%d dropped), %d assignments (%d outliers) in %.1fs\n",
 		total.requests, total.errors, total.assigned, total.outliers, elapsed.Seconds())
@@ -239,12 +276,22 @@ func main() {
 	}
 	if len(total.latencies) > 0 {
 		sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
-		q := func(p float64) time.Duration {
-			i := int(p * float64(len(total.latencies)-1))
-			return total.latencies[i]
-		}
 		fmt.Printf("latency: min %s  p50 %s  p90 %s  p99 %s  max %s\n",
-			round(q(0)), round(q(0.50)), round(q(0.90)), round(q(0.99)), round(q(1)))
+			round(total.quantile(0)), round(total.quantile(0.50)), round(total.quantile(0.90)),
+			round(total.quantile(0.99)), round(total.quantile(1)))
+	}
+	if len(urls) > 1 {
+		fmt.Println("per-target:")
+		for i, url := range urls {
+			r := &perTarget[i]
+			line := fmt.Sprintf("  %-40s %6d batches (%d dropped)  %5.1f req/s  shed %d  retries %d",
+				url, r.requests, r.errors, float64(r.requests)/elapsed.Seconds(), r.shed, r.retries)
+			if len(r.latencies) > 0 {
+				sort.Slice(r.latencies, func(a, b int) bool { return r.latencies[a] < r.latencies[b] })
+				line += fmt.Sprintf("  p50 %s  p99 %s", round(r.quantile(0.50)), round(r.quantile(0.99)))
+			}
+			fmt.Println(line)
+		}
 	}
 	if total.errors > 0 {
 		log.Fatalf("%d batches dropped after %d attempts each", total.errors, *retries)

@@ -1,4 +1,4 @@
-package main
+package daemon_test
 
 import (
 	"bytes"
@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"rock/internal/daemon"
 	"rock/internal/dataset"
 	"rock/internal/model"
 	"rock/internal/serve"
@@ -50,9 +51,9 @@ func schemaSnapshot(shift int) *model.Snapshot {
 // startConfigured starts a daemon over an explicit engine and config,
 // returning the handler too so tests can reach its internals (semaphore,
 // drain flag, mux).
-func startConfigured(t *testing.T, engine *serve.Engine, cfg serverConfig) (*server, *httptest.Server) {
+func startConfigured(t *testing.T, engine *serve.Engine, cfg daemon.Config) (*daemon.Server, *httptest.Server) {
 	t.Helper()
-	h := newServer(engine, log.New(io.Discard, "", 0), cfg)
+	h := daemon.New(engine, log.New(io.Discard, "", 0), cfg)
 	srv := httptest.NewServer(h)
 	t.Cleanup(func() {
 		srv.Close()
@@ -79,7 +80,7 @@ func TestReadyzLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, srv := startConfigured(t, serve.NewIdle(1), serverConfig{dir: dir})
+	h, srv := startConfigured(t, serve.NewIdle(1), daemon.Config{Dir: dir})
 
 	if got := getStatus(t, srv.URL+"/readyz"); got != http.StatusServiceUnavailable {
 		t.Fatalf("readyz before any model: %d, want 503", got)
@@ -90,7 +91,7 @@ func TestReadyzLifecycle(t *testing.T) {
 	if got := getStatus(t, srv.URL+"/v1/model"); got != http.StatusServiceUnavailable {
 		t.Fatalf("model info before any model: %d, want 503", got)
 	}
-	status, payload := postJSON(t, srv.URL+"/v1/assign", assignRequest{Transactions: [][]int64{{1}}})
+	status, payload := postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Transactions: [][]int64{{1}}})
 	if status != http.StatusServiceUnavailable {
 		t.Fatalf("assign before any model: %d (%s), want 503", status, payload)
 	}
@@ -98,19 +99,19 @@ func TestReadyzLifecycle(t *testing.T) {
 	if _, err := dir.Save(schemaSnapshot(0)); err != nil {
 		t.Fatal(err)
 	}
-	status, payload = postJSON(t, srv.URL+"/v1/reload", reloadRequest{})
+	status, payload = postJSON(t, srv.URL+"/v1/reload", daemon.ReloadRequest{})
 	if status != http.StatusOK {
 		t.Fatalf("reload from dir: %d (%s)", status, payload)
 	}
 	if got := getStatus(t, srv.URL+"/readyz"); got != http.StatusOK {
 		t.Fatalf("readyz after reload: %d, want 200", got)
 	}
-	status, _ = postJSON(t, srv.URL+"/v1/assign", assignRequest{Records: [][]string{{"v0"}}})
+	status, _ = postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Records: [][]string{{"v0"}}})
 	if status != http.StatusOK {
 		t.Fatalf("assign after reload: %d", status)
 	}
 
-	h.beginDrain()
+	h.BeginDrain()
 	if got := getStatus(t, srv.URL+"/readyz"); got != http.StatusServiceUnavailable {
 		t.Fatalf("readyz while draining: %d, want 503", got)
 	}
@@ -143,21 +144,18 @@ func TestReloadRollbackFromDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, srv := startConfigured(t, engine, serverConfig{dir: dir})
+	_, srv := startConfigured(t, engine, daemon.Config{Dir: dir})
 
 	// A newer generation arrives torn: written without the atomic-save
 	// path, e.g. a partial copy.
 	if err := os.WriteFile(filepath.Join(tmp, "model-2.rock"), []byte("ROCKMDL\x02garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	status, payload := postJSON(t, srv.URL+"/v1/reload", reloadRequest{})
+	status, payload := postJSON(t, srv.URL+"/v1/reload", daemon.ReloadRequest{})
 	if status != http.StatusOK {
 		t.Fatalf("reload with corrupt newest: %d (%s)", status, payload)
 	}
-	var resp struct {
-		RolledBackPast []string `json:"rolled_back_past"`
-		Source         string   `json:"source"`
-	}
+	var resp daemon.ReloadResponse
 	if err := json.Unmarshal(payload, &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -167,12 +165,15 @@ func TestReloadRollbackFromDir(t *testing.T) {
 	if filepath.Base(resp.Source) != "model-1.rock" {
 		t.Fatalf("served source %q, want generation 1", resp.Source)
 	}
+	if resp.Seq != 1 {
+		t.Fatalf("reload seq %d, want 1", resp.Seq)
+	}
 	// Still answering, from the good model.
-	status, payload = postJSON(t, srv.URL+"/v1/assign", assignRequest{Records: [][]string{{"v0"}}})
+	status, payload = postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Records: [][]string{{"v0"}}})
 	if status != http.StatusOK {
 		t.Fatalf("assign after rollback: %d (%s)", status, payload)
 	}
-	var ar assignResponse
+	var ar daemon.AssignResponse
 	if err := json.Unmarshal(payload, &ar); err != nil {
 		t.Fatal(err)
 	}
@@ -193,11 +194,11 @@ func TestSheddingWith429(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, srv := startConfigured(t, engine, serverConfig{maxInflight: 1})
+	h, srv := startConfigured(t, engine, daemon.Config{MaxInflight: 1})
 
 	// Occupy the only slot, as a stuck in-flight request would.
-	h.sem <- struct{}{}
-	b, _ := json.Marshal(assignRequest{Transactions: [][]int64{{1}}})
+	h.Sem() <- struct{}{}
+	b, _ := json.Marshal(daemon.AssignRequest{Transactions: [][]int64{{1}}})
 	resp, err := http.Post(srv.URL+"/v1/assign", "application/json", bytes.NewReader(b))
 	if err != nil {
 		t.Fatal(err)
@@ -210,13 +211,13 @@ func TestSheddingWith429(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 carries no Retry-After")
 	}
-	<-h.sem
+	<-h.Sem()
 
-	if status, _ := postJSON(t, srv.URL+"/v1/assign", assignRequest{Transactions: [][]int64{{1}}}); status != http.StatusOK {
+	if status, _ := postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Transactions: [][]int64{{1}}}); status != http.StatusOK {
 		t.Fatalf("assign after slot freed: %d", status)
 	}
-	var m daemonMetrics
-	mustGetJSON(t, srv.URL+"/metrics", &m)
+	var m daemon.Metrics
+	mustGetJSON(t, srv.URL+"/metrics?format=json", &m)
 	if m.Shed != 1 {
 		t.Fatalf("shed counter = %d, want 1", m.Shed)
 	}
@@ -233,19 +234,19 @@ func TestPanicRecoveryKeepsServing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, srv := startConfigured(t, engine, serverConfig{})
-	h.mux.HandleFunc("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+	h, srv := startConfigured(t, engine, daemon.Config{})
+	h.Mux().HandleFunc("GET /boom", func(w http.ResponseWriter, r *http.Request) {
 		panic("kaboom")
 	})
 
 	if got := getStatus(t, srv.URL+"/boom"); got != http.StatusInternalServerError {
 		t.Fatalf("panicking handler returned %d, want 500", got)
 	}
-	if status, _ := postJSON(t, srv.URL+"/v1/assign", assignRequest{Transactions: [][]int64{{1}}}); status != http.StatusOK {
+	if status, _ := postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Transactions: [][]int64{{1}}}); status != http.StatusOK {
 		t.Fatalf("assign after panic: %d", status)
 	}
-	var m daemonMetrics
-	mustGetJSON(t, srv.URL+"/metrics", &m)
+	var m daemon.Metrics
+	mustGetJSON(t, srv.URL+"/metrics?format=json", &m)
 	if m.Panics != 1 {
 		t.Fatalf("panic counter = %d, want 1", m.Panics)
 	}
@@ -274,7 +275,7 @@ func TestRecordsConsistentDuringReloads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, srv := startConfigured(t, engine, serverConfig{})
+	_, srv := startConfigured(t, engine, daemon.Config{})
 
 	done := make(chan struct{})
 	fail := make(chan string, 16)
@@ -289,7 +290,7 @@ func TestRecordsConsistentDuringReloads(t *testing.T) {
 				return
 			default:
 			}
-			if status, payload := postJSON(t, srv.URL+"/v1/reload", reloadRequest{Path: paths[i%2]}); status != http.StatusOK {
+			if status, payload := postJSON(t, srv.URL+"/v1/reload", daemon.ReloadRequest{Path: paths[i%2]}); status != http.StatusOK {
 				fail <- fmt.Sprintf("reload: %d (%s)", status, payload)
 				return
 			}
@@ -303,12 +304,12 @@ func TestRecordsConsistentDuringReloads(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for b := 0; b < 40; b++ {
-				status, payload := postJSON(t, srv.URL+"/v1/assign", assignRequest{Records: records})
+				status, payload := postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Records: records})
 				if status != http.StatusOK {
 					fail <- fmt.Sprintf("assign: %d (%s)", status, payload)
 					return
 				}
-				var resp assignResponse
+				var resp daemon.AssignResponse
 				if err := json.Unmarshal(payload, &resp); err != nil {
 					fail <- err.Error()
 					return
@@ -379,7 +380,7 @@ func TestChaosReloadCorruptShedUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, srv := startConfigured(t, engine, serverConfig{maxInflight: 1, dir: dir})
+	_, srv := startConfigured(t, engine, daemon.Config{MaxInflight: 1, Dir: dir})
 
 	done := make(chan struct{})
 	fail := make(chan string, 16)
@@ -414,7 +415,7 @@ func TestChaosReloadCorruptShedUnderLoad(t *testing.T) {
 					return
 				}
 			}
-			if status, payload := postJSON(t, srv.URL+"/v1/reload", reloadRequest{}); status != http.StatusOK {
+			if status, payload := postJSON(t, srv.URL+"/v1/reload", daemon.ReloadRequest{}); status != http.StatusOK {
 				fail <- fmt.Sprintf("reload: %d (%s)", status, payload)
 				return
 			}
@@ -430,12 +431,12 @@ func TestChaosReloadCorruptShedUnderLoad(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			req := assignRequest{Transactions: make([][]int64, 200)}
+			req := daemon.AssignRequest{Transactions: make([][]int64, 200)}
 			for i := range req.Transactions {
 				req.Transactions[i] = [][]int64{{0}, {3}}[i%2]
 			}
 			for b := 0; b < batches; b++ {
-				var ar assignResponse
+				var ar daemon.AssignResponse
 				ok := false
 				for attempt := 0; attempt < 50; attempt++ {
 					status, payload := postJSON(t, srv.URL+"/v1/assign", req)
@@ -492,8 +493,8 @@ func TestChaosReloadCorruptShedUnderLoad(t *testing.T) {
 		t.Fatal(msg)
 	default:
 	}
-	var m daemonMetrics
-	mustGetJSON(t, srv.URL+"/metrics", &m)
+	var m daemon.Metrics
+	mustGetJSON(t, srv.URL+"/metrics?format=json", &m)
 	if m.Reloads == 0 {
 		t.Fatal("chaos loop never reloaded")
 	}

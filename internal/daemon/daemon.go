@@ -1,0 +1,482 @@
+// Package daemon is the rockd replica: the HTTP serving layer that fronts a
+// serve.Engine with bounded admission, per-request deadlines, panic
+// isolation, readiness/liveness probes, hot reloads from versioned snapshot
+// directories, and Prometheus metrics. cmd/rockd wires it to a listener and
+// signals; the gateway's tests (internal/gate) run whole fleets of these
+// in-process.
+//
+// Every assignment response carries the X-Rock-Model-Seq header naming the
+// snapshot generation that served it, and /readyz reports the same seq, so
+// a routing tier can detect model-version skew across replicas without
+// extra round trips.
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rock/internal/dataset"
+	"rock/internal/model"
+	"rock/internal/promtext"
+	"rock/internal/serve"
+)
+
+// ModelSeqHeader is the response header naming the snapshot generation
+// (model.Dir sequence number) of the model that served the response. It is
+// 0 for models loaded from a bare file rather than a versioned directory.
+const ModelSeqHeader = "X-Rock-Model-Seq"
+
+// AssignRequest is the body of POST /v1/assign. Exactly one of Transactions
+// and Records must be set; Records requires the model to carry a schema.
+type AssignRequest struct {
+	// Transactions are item-id sets, e.g. [[1,2,3],[4,5]].
+	Transactions [][]int64 `json:"transactions,omitempty"`
+	// Records are categorical records as value strings ("?" = missing),
+	// e.g. [["red","round"],["green","?"]].
+	Records [][]string `json:"records,omitempty"`
+}
+
+// AssignResponse is the body of a successful POST /v1/assign.
+type AssignResponse struct {
+	Assignments []serve.Assignment `json:"assignments"`
+}
+
+// ReloadRequest is the body of POST /v1/reload. An empty path asks the
+// daemon to reload the newest good snapshot from its configured directory.
+type ReloadRequest struct {
+	Path string `json:"path"`
+}
+
+// ReloadResponse is the body of a successful POST /v1/reload.
+type ReloadResponse struct {
+	OK             bool      `json:"ok"`
+	Model          ModelInfo `json:"model"`
+	Source         string    `json:"source"`
+	Seq            uint64    `json:"seq"`
+	RolledBackPast []string  `json:"rolled_back_past,omitempty"`
+}
+
+// ModelInfo summarizes the served model (GET /v1/model).
+type ModelInfo struct {
+	Clusters     int     `json:"clusters"`
+	Sets         int     `json:"sets"`
+	Transactions int     `json:"transactions"`
+	Theta        float64 `json:"theta"`
+	Similarity   string  `json:"similarity"`
+	HasSchema    bool    `json:"has_schema"`
+	Seq          uint64  `json:"seq"`
+}
+
+func infoOf(a *model.Assigner, seq uint64) ModelInfo {
+	return ModelInfo{
+		Clusters:     a.Clusters(),
+		Sets:         len(a.Snapshot().Sets),
+		Transactions: len(a.Snapshot().Txns),
+		Theta:        a.Theta(),
+		Similarity:   a.SimName(),
+		HasSchema:    a.Schema() != nil,
+		Seq:          seq,
+	}
+}
+
+// Readiness is the body of GET /readyz.
+type Readiness struct {
+	Ready       bool   `json:"ready"`
+	ModelLoaded bool   `json:"model_loaded"`
+	Draining    bool   `json:"draining"`
+	// Seq is the serving snapshot generation (0 for file-loaded models or
+	// when no model is loaded).
+	Seq uint64 `json:"seq"`
+}
+
+// Metrics is the GET /metrics?format=json payload: the engine's counters
+// plus the daemon-level resilience counters. The default /metrics encoding
+// is Prometheus text exposition (see writePrometheus).
+type Metrics struct {
+	serve.Metrics
+	// Shed counts assign requests rejected with 429 because the admission
+	// semaphore was full.
+	Shed uint64 `json:"shed"`
+	// Panics counts handler panics converted to 500s by the recovery
+	// middleware.
+	Panics uint64 `json:"panics"`
+	// Seq is the serving snapshot generation.
+	Seq uint64 `json:"seq"`
+}
+
+// maxBodyBytes bounds request bodies; a labeling request has no business
+// being larger.
+const maxBodyBytes = 32 << 20
+
+// Config tunes the daemon's resilience knobs.
+type Config struct {
+	// MaxInflight bounds concurrently admitted /v1/assign requests; the
+	// excess is shed with 429 + Retry-After instead of queuing without
+	// bound. <= 0 selects 256.
+	MaxInflight int
+	// ReqTimeout is the per-request deadline. <= 0 selects 30s.
+	ReqTimeout time.Duration
+	// Dir, when non-nil, is the versioned snapshot directory the daemon
+	// serves from; /v1/reload with an empty path picks its latest good
+	// generation (rolling back past corrupt ones).
+	Dir *model.Dir
+	// InitialSeq is the generation of the model the engine was constructed
+	// with (0 for file-loaded models or idle engines).
+	InitialSeq uint64
+	// InjectLatency, when positive, adds that much service time to every
+	// assign request while it holds its admission slot. It exists to test
+	// and benchmark routing tiers: it turns a replica into a realistic
+	// capacity-bounded server (capacity ≈ MaxInflight/InjectLatency) even
+	// on hosts with a single core, the same way proxy fault-injection
+	// filters do. Off (zero) in production.
+	InjectLatency time.Duration
+	// InjectTail adds an extra InjectTail sleep to every InjectTailEvery-th
+	// assign request, modeling a straggler tail for hedging experiments.
+	// InjectTailEvery <= 0 disables it.
+	InjectTail      time.Duration
+	InjectTailEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.ReqTimeout <= 0 {
+		c.ReqTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// version pairs the served assigner with its snapshot generation, so one
+// atomic load gives a request both consistently during reloads.
+type version struct {
+	a   *model.Assigner
+	seq uint64
+}
+
+// Server routes rockd's HTTP API onto a serve.Engine. It is an
+// http.Handler, so tests drive it through httptest without a socket.
+type Server struct {
+	engine *serve.Engine
+	logger *log.Logger
+	mux    *http.ServeMux
+	cfg    Config
+	// sem is the admission semaphore for /v1/assign: a slot per admitted
+	// request, no queue. Full slot table → shed with 429.
+	sem chan struct{}
+	// draining is set when graceful shutdown begins; /readyz then fails so
+	// load balancers stop routing here while in-flight requests finish.
+	draining atomic.Bool
+	shed     atomic.Uint64
+	panics   atomic.Uint64
+	// admitted counts admitted assign requests; the tail injector keys off
+	// it to slow every Nth one.
+	admitted atomic.Uint64
+	// cur is the served model + generation; stores happen only under
+	// reloadMu, loads are lock-free on the request path.
+	cur atomic.Pointer[version]
+	// reloadMu serializes snapshot loads (not swaps — swaps are lock-free
+	// and assignment traffic never takes this lock).
+	reloadMu sync.Mutex
+}
+
+// New wraps engine in the rockd HTTP API. The engine may be idle (no model
+// loaded); the server then answers 503 on /v1/assign and fails /readyz
+// until the first successful reload.
+func New(engine *serve.Engine, logger *log.Logger, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		engine: engine,
+		logger: logger,
+		mux:    http.NewServeMux(),
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxInflight),
+	}
+	s.cur.Store(&version{a: engine.Model(), seq: cfg.InitialSeq})
+	s.mux.HandleFunc("POST /v1/assign", s.handleAssign)
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Panic isolation: one broken request must cost a 500, not the
+	// process. Recover installs before anything else so even middleware
+	// bugs are contained.
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			s.logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			s.writeError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ReqTimeout)
+	defer cancel()
+	r = r.WithContext(ctx)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// BeginDrain flips readiness off ahead of graceful shutdown, so probes pull
+// the instance out of rotation while in-flight requests complete.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Mux exposes the underlying mux so tests can graft extra handlers (e.g. a
+// deliberately panicking route).
+func (s *Server) Mux() *http.ServeMux { return s.mux }
+
+// Sem exposes the admission semaphore for tests that saturate it directly.
+func (s *Server) Sem() chan struct{} { return s.sem }
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logger.Printf("writing response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	// Bounded admission: take a slot or shed. A full slot table means the
+	// worker pool is saturated; queuing more would only grow memory and
+	// latency without growing throughput.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight); retry later", s.cfg.MaxInflight)
+		return
+	}
+	// Capture model + generation once: encoding (for records), assignment
+	// and the response's seq header all describe this one version, so a
+	// concurrent reload can never split the request across two models.
+	v := s.cur.Load()
+	if v.a == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no model loaded yet; POST /v1/reload first")
+		return
+	}
+	var req AssignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if (req.Transactions == nil) == (req.Records == nil) {
+		s.writeError(w, http.StatusBadRequest, "send exactly one of transactions or records")
+		return
+	}
+	var txns []dataset.Transaction
+	if req.Transactions != nil {
+		txns = make([]dataset.Transaction, len(req.Transactions))
+		for i, items := range req.Transactions {
+			t := make(dataset.Transaction, 0, len(items))
+			for _, it := range items {
+				if it < 0 || it > 1<<31-1 {
+					s.writeError(w, http.StatusBadRequest, "transaction %d: item %d out of range", i, it)
+					return
+				}
+				t = append(t, dataset.Item(it))
+			}
+			t.Normalize()
+			txns[i] = t
+		}
+	} else {
+		txns = make([]dataset.Transaction, len(req.Records))
+		for i, rec := range req.Records {
+			t, err := v.a.EncodeRecord(rec)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "record %d: %v", i, err)
+				return
+			}
+			txns[i] = t
+		}
+	}
+	s.injectServiceTime()
+	out, err := s.engine.AssignAllContext(r.Context(), v.a, txns)
+	if err != nil {
+		// The client went away or the per-request deadline fired; either
+		// way the batch was not fully served.
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		s.writeError(w, status, "request abandoned: %v", err)
+		return
+	}
+	w.Header().Set(ModelSeqHeader, strconv.FormatUint(v.seq, 10))
+	s.writeJSON(w, http.StatusOK, AssignResponse{Assignments: out})
+}
+
+// injectServiceTime applies the configured fault-injection sleeps while the
+// request holds its admission slot, turning the replica into a
+// capacity-bounded server for routing-tier tests and benchmarks.
+func (s *Server) injectServiceTime() {
+	if s.cfg.InjectLatency <= 0 && s.cfg.InjectTailEvery <= 0 {
+		return
+	}
+	d := s.cfg.InjectLatency
+	if n := s.cfg.InjectTailEvery; n > 0 {
+		if s.admitted.Add(1)%uint64(n) == 0 {
+			d += s.cfg.InjectTail
+		}
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+
+	var (
+		snap    *model.Snapshot
+		source  string
+		seq     uint64
+		skipped []model.Entry
+	)
+	switch {
+	case req.Path != "":
+		var err error
+		if snap, err = model.Load(req.Path); err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "loading snapshot: %v", err)
+			return
+		}
+		source = req.Path
+	case s.cfg.Dir != nil:
+		var (
+			entry model.Entry
+			err   error
+		)
+		snap, entry, skipped, err = s.cfg.Dir.LoadLatest()
+		if err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, "loading latest snapshot: %v", err)
+			return
+		}
+		source = entry.Path
+		seq = entry.Seq
+		for _, e := range skipped {
+			s.logger.Printf("rollback: snapshot %s (seq %d) failed to load, falling back", e.Path, e.Seq)
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, "missing snapshot path (no -dir configured)")
+		return
+	}
+
+	a, err := model.Compile(snap)
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "compiling snapshot: %v", err)
+		return
+	}
+	if _, err := s.engine.Swap(a); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "installing model: %v", err)
+		return
+	}
+	s.cur.Store(&version{a: a, seq: seq})
+	s.logger.Printf("reloaded model from %s (seq %d, %d clusters, %d labeled transactions)",
+		source, seq, a.Clusters(), len(snap.Txns))
+	resp := ReloadResponse{OK: true, Model: infoOf(a, seq), Source: source, Seq: seq}
+	for _, e := range skipped {
+		resp.RolledBackPast = append(resp.RolledBackPast, e.Path)
+	}
+	w.Header().Set(ModelSeqHeader, strconv.FormatUint(seq, 10))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is liveness only: the process is up and serving HTTP. It
+// deliberately stays green through drains and model-less starts — restarts
+// don't fix either.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReadyz is readiness: route traffic here only when a model is loaded
+// and the daemon is not draining. The payload carries the serving snapshot
+// generation so health checkers double as skew detectors.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	v := s.cur.Load()
+	loaded := v.a != nil
+	ready := loaded && !s.draining.Load()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, Readiness{
+		Ready:       ready,
+		ModelLoaded: loaded,
+		Draining:    s.draining.Load(),
+		Seq:         v.seq,
+	})
+}
+
+func (s *Server) metrics() Metrics {
+	return Metrics{
+		Metrics: s.engine.Metrics(),
+		Shed:    s.shed.Load(),
+		Panics:  s.panics.Load(),
+		Seq:     s.cur.Load().seq,
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		s.writeJSON(w, http.StatusOK, s.metrics())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writePrometheus(w)
+}
+
+// writePrometheus emits the daemon's counters and latency histogram in
+// Prometheus text exposition format, the default /metrics encoding, so the
+// gateway and any scraper can parse and aggregate them.
+func (s *Server) writePrometheus(w http.ResponseWriter) {
+	m := s.metrics()
+	p := promtext.NewWriter(w)
+	p.Counter("rockd_requests_total", "Assign batches served.", float64(m.Requests))
+	p.Counter("rockd_assignments_total", "Individual transactions assigned.", float64(m.Assignments))
+	p.Counter("rockd_outliers_total", "Assignments that landed in no cluster.", float64(m.Outliers))
+	p.Counter("rockd_reloads_total", "Model hot-swaps.", float64(m.Reloads))
+	p.Counter("rockd_shed_total", "Assign requests shed with 429 at the admission gate.", float64(m.Shed))
+	p.Counter("rockd_panics_total", "Handler panics converted to 500s.", float64(m.Panics))
+	p.Gauge("rockd_model_seq", "Serving snapshot generation (0 = file-loaded or none).", float64(m.Seq))
+	p.Gauge("rockd_inflight", "Assign requests currently holding an admission slot.", float64(len(s.sem)))
+	lat := s.engine.Latency()
+	p.Histogram("rockd_request_latency_seconds", "Engine batch-assignment latency.",
+		lat.Bounds, lat.Counts, lat.SumSeconds)
+	if err := p.Err(); err != nil {
+		s.logger.Printf("writing metrics: %v", err)
+	}
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	v := s.cur.Load()
+	if v.a == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	w.Header().Set(ModelSeqHeader, strconv.FormatUint(v.seq, 10))
+	s.writeJSON(w, http.StatusOK, infoOf(v.a, v.seq))
+}

@@ -1,4 +1,4 @@
-package main
+package daemon_test
 
 import (
 	"bytes"
@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"rock"
+	"rock/internal/daemon"
 	"rock/internal/datagen"
 	"rock/internal/model"
 	"rock/internal/serve"
@@ -58,7 +59,7 @@ func startDaemon(t *testing.T, path string) (*httptest.Server, *serve.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(engine, log.New(io.Discard, "", 0), serverConfig{}))
+	srv := httptest.NewServer(daemon.New(engine, log.New(io.Discard, "", 0), daemon.Config{}))
 	t.Cleanup(func() {
 		srv.Close()
 		engine.Close()
@@ -93,7 +94,7 @@ func TestServedAssignmentsMatchInProcessLabeler(t *testing.T) {
 
 	fresh := datagen.Basket(datagen.ScaledBasketConfig(100), rand.New(rand.NewSource(77)))
 	probes := fresh.Txns[:200]
-	req := assignRequest{Transactions: make([][]int64, len(probes))}
+	req := daemon.AssignRequest{Transactions: make([][]int64, len(probes))}
 	for i, tx := range probes {
 		ids := make([]int64, len(tx))
 		for j, it := range tx {
@@ -105,7 +106,7 @@ func TestServedAssignmentsMatchInProcessLabeler(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("assign returned %d: %s", status, payload)
 	}
-	var resp assignResponse
+	var resp daemon.AssignResponse
 	if err := json.Unmarshal(payload, &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestReloadUnderTraffic(t *testing.T) {
 				return
 			default:
 			}
-			status, payload := postJSON(t, srv.URL+"/v1/reload", reloadRequest{Path: paths[i%2]})
+			status, payload := postJSON(t, srv.URL+"/v1/reload", daemon.ReloadRequest{Path: paths[i%2]})
 			if status != http.StatusOK {
 				fail <- "reload failed: " + string(payload)
 				return
@@ -182,7 +183,7 @@ func TestReloadUnderTraffic(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for b := 0; b < perClient; b++ {
-				req := assignRequest{Transactions: make([][]int64, 20)}
+				req := daemon.AssignRequest{Transactions: make([][]int64, 20)}
 				for i := range req.Transactions {
 					tx := fresh.Txns[rng.Intn(len(fresh.Txns))]
 					ids := make([]int64, len(tx))
@@ -196,7 +197,7 @@ func TestReloadUnderTraffic(t *testing.T) {
 					fail <- "assign failed: " + string(payload)
 					return
 				}
-				var resp assignResponse
+				var resp daemon.AssignResponse
 				if err := json.Unmarshal(payload, &resp); err != nil {
 					fail <- "bad assign response: " + err.Error()
 					return
@@ -241,12 +242,12 @@ func TestHealthzMetricsAndModelEndpoints(t *testing.T) {
 		t.Fatalf("healthz returned %d", resp.StatusCode)
 	}
 
-	status, _ := postJSON(t, srv.URL+"/v1/assign", assignRequest{Transactions: [][]int64{{1, 2, 3}}})
+	status, _ := postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Transactions: [][]int64{{1, 2, 3}}})
 	if status != http.StatusOK {
 		t.Fatalf("assign returned %d", status)
 	}
 
-	resp, err = http.Get(srv.URL + "/metrics")
+	resp, err = http.Get(srv.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestHealthzMetricsAndModelEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var info modelInfo
+	var info daemon.ModelInfo
 	err = json.NewDecoder(resp.Body).Decode(&info)
 	resp.Body.Close()
 	if err != nil {
@@ -316,11 +317,11 @@ func TestReloadRejectsBadSnapshots(t *testing.T) {
 	_, path := trainSnapshot(t, dir, 6, 1)
 	srv, engine := startDaemon(t, path)
 
-	status, _ := postJSON(t, srv.URL+"/v1/reload", reloadRequest{Path: filepath.Join(dir, "missing.rockm")})
+	status, _ := postJSON(t, srv.URL+"/v1/reload", daemon.ReloadRequest{Path: filepath.Join(dir, "missing.rockm")})
 	if status != http.StatusUnprocessableEntity {
 		t.Fatalf("missing snapshot: status %d, want 422", status)
 	}
-	status, _ = postJSON(t, srv.URL+"/v1/reload", reloadRequest{})
+	status, _ = postJSON(t, srv.URL+"/v1/reload", daemon.ReloadRequest{})
 	if status != http.StatusBadRequest {
 		t.Fatalf("empty path: status %d, want 400", status)
 	}
@@ -328,7 +329,7 @@ func TestReloadRejectsBadSnapshots(t *testing.T) {
 	if engine.Metrics().Reloads != 0 {
 		t.Fatal("failed reloads must not swap the model")
 	}
-	status, _ = postJSON(t, srv.URL+"/v1/assign", assignRequest{Transactions: [][]int64{{1, 2, 3}}})
+	status, _ = postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Transactions: [][]int64{{1, 2, 3}}})
 	if status != http.StatusOK {
 		t.Fatalf("assign after failed reload: status %d", status)
 	}

@@ -1,0 +1,189 @@
+package daemon_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rock/internal/daemon"
+	"rock/internal/model"
+	"rock/internal/promtext"
+	"rock/internal/serve"
+	"rock/internal/store"
+)
+
+// TestModelSeqHeaderAndReadyz: serving from a versioned directory, every
+// assign response must carry X-Rock-Model-Seq naming the generation that
+// served it, /readyz must report the same seq, and a reload must advance
+// both in lockstep.
+func TestModelSeqHeaderAndReadyz(t *testing.T) {
+	tmp := t.TempDir()
+	dir, err := model.OpenDir(store.OS, tmp, "model", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dir.Save(schemaSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	snap, entry, _, err := dir.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := model.Compile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := serve.New(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := startConfigured(t, engine, daemon.Config{Dir: dir, InitialSeq: entry.Seq})
+
+	assignSeq := func() string {
+		t.Helper()
+		b := strings.NewReader(`{"records": [["v0"]]}`)
+		resp, err := http.Post(srv.URL+"/v1/assign", "application/json", b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("assign: %d", resp.StatusCode)
+		}
+		return resp.Header.Get(daemon.ModelSeqHeader)
+	}
+	readyzSeq := func() uint64 {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rd daemon.Readiness
+		if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+			t.Fatal(err)
+		}
+		return rd.Seq
+	}
+
+	if got := assignSeq(); got != "1" {
+		t.Fatalf("assign seq header %q, want 1", got)
+	}
+	if got := readyzSeq(); got != 1 {
+		t.Fatalf("readyz seq %d, want 1", got)
+	}
+
+	if _, err := dir.Save(schemaSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	status, payload := postJSON(t, srv.URL+"/v1/reload", daemon.ReloadRequest{})
+	if status != http.StatusOK {
+		t.Fatalf("reload: %d (%s)", status, payload)
+	}
+	var rr daemon.ReloadResponse
+	if err := json.Unmarshal(payload, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Seq != 2 {
+		t.Fatalf("reload seq %d, want 2", rr.Seq)
+	}
+	if got := assignSeq(); got != "2" {
+		t.Fatalf("assign seq header after reload %q, want 2", got)
+	}
+	if got := readyzSeq(); got != 2 {
+		t.Fatalf("readyz seq after reload %d, want 2", got)
+	}
+}
+
+// TestMetricsPrometheusExposition: the default /metrics encoding must be
+// parseable exposition text whose counters agree with the JSON variant, and
+// must include the latency histogram and the model seq gauge.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	a, err := model.Compile(schemaSnapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := serve.New(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := startConfigured(t, engine, daemon.Config{InitialSeq: 3})
+
+	for i := 0; i < 4; i++ {
+		status, _ := postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Transactions: [][]int64{{0}, {3}}})
+		if status != http.StatusOK {
+			t.Fatalf("assign %d: %d", i, status)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text exposition", ct)
+	}
+	samples, err := promtext.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := map[string]float64{}
+	promtext.Sum(agg, samples)
+
+	var jm daemon.Metrics
+	mustGetJSON(t, srv.URL+"/metrics?format=json", &jm)
+	for name, want := range map[string]float64{
+		"rockd_requests_total":    float64(jm.Requests),
+		"rockd_assignments_total": float64(jm.Assignments),
+		"rockd_model_seq":         3,
+		"rockd_shed_total":        0,
+	} {
+		got, ok := agg[name]
+		if !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+	if agg["rockd_request_latency_seconds_count"] != float64(jm.Requests) {
+		t.Errorf("histogram count %v, want %v", agg["rockd_request_latency_seconds_count"], jm.Requests)
+	}
+	inf, ok := agg[`rockd_request_latency_seconds_bucket{le="+Inf"}`]
+	if !ok || inf != float64(jm.Requests) {
+		t.Errorf("+Inf bucket %v (present=%v), want %v", inf, ok, jm.Requests)
+	}
+}
+
+// TestInjectedServiceTime: with latency injection on, an assign request
+// must take at least the injected time — the knob routing-tier tests and
+// single-host scaling benchmarks rely on.
+func TestInjectedServiceTime(t *testing.T) {
+	a, err := model.Compile(schemaSnapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := serve.New(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := startConfigured(t, engine, daemon.Config{
+		InjectLatency: 30 * time.Millisecond, InjectTail: 100 * time.Millisecond, InjectTailEvery: 2,
+	})
+
+	start := time.Now()
+	if status, _ := postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Transactions: [][]int64{{0}}}); status != http.StatusOK {
+		t.Fatalf("assign: %d", status)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("injected request finished in %s, want >= 30ms", d)
+	}
+	// The second admitted request is the tail-injected one.
+	start = time.Now()
+	if status, _ := postJSON(t, srv.URL+"/v1/assign", daemon.AssignRequest{Transactions: [][]int64{{0}}}); status != http.StatusOK {
+		t.Fatalf("assign: %d", status)
+	}
+	if d := time.Since(start); d < 130*time.Millisecond {
+		t.Fatalf("tail-injected request finished in %s, want >= 130ms", d)
+	}
+}

@@ -1,0 +1,339 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"rock/internal/daemon"
+	"rock/internal/promtext"
+)
+
+// FleetReplica is one backend's row in GET /v1/fleet.
+type FleetReplica struct {
+	URL              string `json:"url"`
+	State            string `json:"state"`
+	Seq              uint64 `json:"seq"`
+	Inflight         int64  `json:"inflight"`
+	Draining         bool   `json:"draining"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	Requests         uint64 `json:"requests"`
+	Errors           uint64 `json:"errors"`
+	Hedges           uint64 `json:"hedges"`
+	HedgeWins        uint64 `json:"hedge_wins"`
+}
+
+// FleetResponse is the body of GET /v1/fleet.
+type FleetResponse struct {
+	Replicas []FleetReplica `json:"replicas"`
+	// MaxSeq is the newest snapshot generation any live replica serves.
+	MaxSeq uint64 `json:"max_seq"`
+	// SkewDetected is true when live replicas disagree on the serving seq.
+	SkewDetected bool `json:"skew_detected"`
+	// Transitioning is true while a rolling reload walks the fleet.
+	Transitioning bool `json:"transitioning"`
+}
+
+func (g *Gateway) fleet() FleetResponse {
+	out := FleetResponse{Transitioning: g.transitioning.Load()}
+	seqs := map[uint64]bool{}
+	for _, b := range g.backends {
+		st := b.State()
+		out.Replicas = append(out.Replicas, FleetReplica{
+			URL:              b.url,
+			State:            st.String(),
+			Seq:              b.Seq(),
+			Inflight:         b.Inflight(),
+			Draining:         b.drained.Load(),
+			ConsecutiveFails: b.consecutiveFails(),
+			Requests:         b.requests.Load(),
+			Errors:           b.errors.Load(),
+			Hedges:           b.hedges.Load(),
+			HedgeWins:        b.hedgeWins.Load(),
+		})
+		if st == StateLive {
+			seqs[b.Seq()] = true
+			if b.Seq() > out.MaxSeq {
+				out.MaxSeq = b.Seq()
+			}
+		}
+	}
+	out.SkewDetected = len(seqs) > 1
+	return out
+}
+
+func (g *Gateway) handleFleet(w http.ResponseWriter, r *http.Request) {
+	g.writeJSON(w, http.StatusOK, g.fleet())
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReadyz: the gateway is ready when at least one backend is routable.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	n := len(g.eligible(time.Now()))
+	status := http.StatusOK
+	if n == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	g.writeJSON(w, status, map[string]any{"ready": n > 0, "routable_backends": n})
+}
+
+// ReplicaReload is one backend's row in the rolling-reload report.
+type ReplicaReload struct {
+	URL     string `json:"url"`
+	OK      bool   `json:"ok"`
+	Skipped bool   `json:"skipped,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ReloadFleetResponse is the body of the gateway's POST /v1/reload.
+type ReloadFleetResponse struct {
+	OK       bool            `json:"ok"`
+	Seq      uint64          `json:"seq"`
+	Replicas []ReplicaReload `json:"replicas"`
+}
+
+// handleReload performs a coordinated rolling reload: one replica at a
+// time is drained via the balancer (gateway-tracked in-flight reaches
+// zero), told to reload its newest snapshot generation, then verified back
+// through /readyz — ready and serving the expected seq — before the next
+// replica starts. Capacity therefore never drops below N−1 routable
+// replicas, and every replica must land on the same generation; a mismatch
+// (replica snapshot directories out of sync) aborts the walk.
+func (g *Gateway) handleReload(w http.ResponseWriter, r *http.Request) {
+	if !g.reloadMu.TryLock() {
+		g.writeError(w, http.StatusConflict, "a rolling reload is already in progress")
+		return
+	}
+	defer g.reloadMu.Unlock()
+	// While the walk deliberately mixes seqs across the fleet, the skew
+	// filter must not collapse routing onto the first reloaded replica.
+	g.transitioning.Store(true)
+	defer g.transitioning.Store(false)
+
+	resp := ReloadFleetResponse{OK: true}
+	var target uint64
+	targetSet := false
+	for _, b := range g.backends {
+		if b.State() != StateLive {
+			resp.Replicas = append(resp.Replicas, ReplicaReload{
+				URL: b.url, Skipped: true,
+				Error: fmt.Sprintf("replica is %s; it reloads from its snapshot directory on restart/reinstatement", b.State()),
+			})
+			continue
+		}
+		rr := g.reloadReplica(r.Context(), b, &target, &targetSet)
+		resp.Replicas = append(resp.Replicas, rr)
+		if !rr.OK {
+			resp.OK = false
+			break
+		}
+	}
+	resp.Seq = target
+	status := http.StatusOK
+	if !resp.OK {
+		status = http.StatusBadGateway
+	}
+	if g.logger != nil {
+		g.logger.Printf("rolling reload: ok=%v seq=%d (%d replicas)", resp.OK, resp.Seq, len(resp.Replicas))
+	}
+	g.writeJSON(w, status, resp)
+}
+
+func (g *Gateway) reloadReplica(ctx context.Context, b *Backend, target *uint64, targetSet *bool) ReplicaReload {
+	out := ReplicaReload{URL: b.url}
+	// Drain: out of the balancer, then wait for in-flight zero.
+	b.drained.Store(true)
+	defer b.drained.Store(false)
+	drainDeadline := time.Now().Add(g.cfg.DrainTimeout)
+	for b.inflight.Load() > 0 {
+		if time.Now().After(drainDeadline) {
+			out.Error = fmt.Sprintf("drain timed out with %d requests in flight", b.inflight.Load())
+			return out
+		}
+		select {
+		case <-ctx.Done():
+			out.Error = "canceled while draining: " + ctx.Err().Error()
+			return out
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	// Reload the replica's newest snapshot generation.
+	rctx, cancel := context.WithTimeout(ctx, g.cfg.ReloadTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, b.url+"/v1/reload", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := g.client.Do(req)
+	if err != nil {
+		out.Error = "reload: " + err.Error()
+		return out
+	}
+	var rl daemon.ReloadResponse
+	if err := decodeJSONBody(httpResp, &rl); err != nil {
+		out.Error = "reload: decoding response: " + err.Error()
+		return out
+	}
+	if httpResp.StatusCode != http.StatusOK || !rl.OK {
+		out.Error = fmt.Sprintf("reload: replica answered %d", httpResp.StatusCode)
+		return out
+	}
+	out.Seq = rl.Seq
+
+	// Version check: every replica must land on the same generation.
+	if !*targetSet {
+		*target, *targetSet = rl.Seq, true
+	} else if rl.Seq != *target {
+		out.Error = fmt.Sprintf("version skew: replica reloaded seq %d, fleet target is %d (snapshot directories out of sync)", rl.Seq, *target)
+		return out
+	}
+
+	// Verify through the same readiness probe the health checker trusts
+	// before the next replica is touched.
+	for {
+		rd, err := g.fetchReadyz(rctx, b)
+		if err == nil && rd.Ready && rd.Seq == rl.Seq {
+			break
+		}
+		select {
+		case <-rctx.Done():
+			out.Error = "replica did not come back ready on the new seq: " + rctx.Err().Error()
+			return out
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	b.seq.Store(rl.Seq)
+	out.OK = true
+	return out
+}
+
+func (g *Gateway) fetchReadyz(ctx context.Context, b *Backend) (daemon.Readiness, error) {
+	var rd daemon.Readiness
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/readyz", nil)
+	if err != nil {
+		return rd, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return rd, err
+	}
+	if err := decodeJSONBody(resp, &rd); err != nil {
+		return rd, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return rd, fmt.Errorf("readyz: %d", resp.StatusCode)
+	}
+	return rd, nil
+}
+
+// handleMetrics exposes the gateway's own counters plus fleet-aggregated
+// replica counters, all in Prometheus text exposition format. The replica
+// aggregation scrapes each backend's /metrics, parses the exposition and
+// sums counters and histogram buckets pointwise — every replica shares the
+// same bucket bounds, so the sums are themselves a valid histogram.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := promtext.NewWriter(w)
+	p.Counter("rockgate_requests_total", "Assign requests admitted at the gateway.", float64(g.requests.Load()))
+	p.Counter("rockgate_hedges_total", "Hedge attempts launched.", float64(g.hedged.Load()))
+	p.Counter("rockgate_hedge_wins_total", "Hedge attempts whose response won.", float64(g.hedgeWins.Load()))
+	p.Counter("rockgate_retries_total", "Retry attempts launched within budget.", float64(g.retried.Load()))
+	p.Counter("rockgate_failed_total", "Assign requests answered with a non-200.", float64(g.failed.Load()))
+	p.Counter("rockgate_no_backend_total", "Assign requests refused: no routable backend.", float64(g.noBackend.Load()))
+	p.Counter("rockgate_skew_filtered_total", "Routing decisions that excluded stale-seq replicas.", float64(g.skewRoutes.Load()))
+	p.Counter("rockgate_scrape_errors_total", "Backend /metrics scrapes that failed.", float64(g.scrapeErrs.Load()))
+	lat := g.lat.Snapshot()
+	p.Histogram("rockgate_attempt_latency_seconds", "Latency of successful backend attempts.",
+		lat.Bounds, lat.Counts, lat.SumSeconds)
+
+	p.Header("rockgate_backend_up", "gauge", "1 when the backend is live in the registry.")
+	for _, b := range g.backends {
+		up := 0.0
+		if b.State() == StateLive {
+			up = 1
+		}
+		p.Sample("rockgate_backend_up", promtext.Label("backend", b.url), up)
+	}
+	p.Header("rockgate_backend_inflight", "gauge", "Outstanding gateway attempts per backend.")
+	for _, b := range g.backends {
+		p.Sample("rockgate_backend_inflight", promtext.Label("backend", b.url), float64(b.Inflight()))
+	}
+	p.Header("rockgate_backend_model_seq", "gauge", "Snapshot generation each backend serves.")
+	for _, b := range g.backends {
+		p.Sample("rockgate_backend_model_seq", promtext.Label("backend", b.url), float64(b.Seq()))
+	}
+	p.Header("rockgate_backend_requests_total", "counter", "Attempts dispatched per backend.")
+	for _, b := range g.backends {
+		p.Sample("rockgate_backend_requests_total", promtext.Label("backend", b.url), float64(b.requests.Load()))
+	}
+	p.Header("rockgate_backend_errors_total", "counter", "Failed attempts per backend.")
+	for _, b := range g.backends {
+		p.Sample("rockgate_backend_errors_total", promtext.Label("backend", b.url), float64(b.errors.Load()))
+	}
+
+	g.writeFleetAggregate(p, r.Context())
+	if err := p.Err(); err != nil && g.logger != nil {
+		g.logger.Printf("writing metrics: %v", err)
+	}
+}
+
+// writeFleetAggregate scrapes every live backend's Prometheus /metrics and
+// re-emits the summed rockd_* series under rockgate_fleet_*. Gauges whose
+// sum is meaningless across replicas (the per-replica model seq) are
+// skipped; the fleet view carries those per replica.
+func (g *Gateway) writeFleetAggregate(p *promtext.Writer, ctx context.Context) {
+	agg := map[string]float64{}
+	for _, b := range g.backends {
+		if b.State() != StateLive {
+			continue
+		}
+		sctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(sctx, http.MethodGet, b.url+"/metrics", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			cancel()
+			g.scrapeErrs.Add(1)
+			continue
+		}
+		samples, err := promtext.Parse(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if err != nil {
+			g.scrapeErrs.Add(1)
+			continue
+		}
+		promtext.Sum(agg, samples)
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		// The per-replica seq gauge sums to nonsense; /v1/fleet carries it
+		// per replica instead.
+		if strings.HasPrefix(k, "rockd_") && !strings.HasPrefix(k, "rockd_model_seq") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		series := "rockgate_fleet_" + strings.TrimPrefix(k, "rockd_")
+		name, labels := series, ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		p.Sample(name, labels, agg[k])
+	}
+}

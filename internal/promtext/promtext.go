@@ -1,0 +1,180 @@
+// Package promtext reads and writes the Prometheus text exposition format
+// (version 0.0.4), just enough of it for this repo's serving tier: rockd
+// exposes its counters and fixed-bucket latency histogram through Writer,
+// and rockgate scrapes each replica's /metrics with Parse to aggregate
+// fleet-wide counters. Nothing here depends on the Prometheus client
+// libraries — the format is a line protocol and the subset we need (HELP,
+// TYPE, counter/gauge samples, histogram bucket/sum/count series) fits in a
+// few hundred lines.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Writer emits exposition text. Methods never fail individually; the first
+// underlying write error is latched and returned by Err, so callers can
+// build a whole page and check once.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error, if any.
+func (p *Writer) Err() error { return p.err }
+
+func (p *Writer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header writes the # HELP and # TYPE comment lines for a metric family.
+// typ is "counter", "gauge" or "histogram".
+func (p *Writer) Header(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample writes one sample line. labels is the pre-formatted label body
+// without braces (`backend="http://a:1"`), or "" for an unlabeled sample.
+func (p *Writer) Sample(name, labels string, v float64) {
+	if labels == "" {
+		p.printf("%s %s\n", name, formatValue(v))
+		return
+	}
+	p.printf("%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+// Counter writes a complete single-sample counter family.
+func (p *Writer) Counter(name, help string, v float64) {
+	p.Header(name, "counter", help)
+	p.Sample(name, "", v)
+}
+
+// Gauge writes a complete single-sample gauge family.
+func (p *Writer) Gauge(name, help string, v float64) {
+	p.Header(name, "gauge", help)
+	p.Sample(name, "", v)
+}
+
+// Histogram writes a complete histogram family from per-bucket counts.
+// bounds are the inclusive upper bounds of each bucket except the last,
+// which is the implicit +Inf catch-all: len(counts) == len(bounds)+1.
+// Bucket samples are emitted cumulatively, as the format requires.
+func (p *Writer) Histogram(name, help string, bounds []float64, counts []uint64, sum float64) {
+	p.Header(name, "histogram", help)
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		p.Sample(name+"_bucket", fmt.Sprintf("le=%q", formatValue(b)), float64(cum))
+	}
+	cum += counts[len(bounds)]
+	p.Sample(name+"_bucket", `le="+Inf"`, float64(cum))
+	p.Sample(name+"_sum", "", sum)
+	p.Sample(name+"_count", "", float64(cum))
+}
+
+// formatValue renders a float the way Prometheus does: integers without a
+// decimal point, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Label quotes one key="value" pair for Sample's labels argument, escaping
+// backslashes, quotes and newlines per the exposition format.
+func Label(key, value string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return key + `="` + r.Replace(value) + `"`
+}
+
+// Sample is one parsed sample line: the metric name, the raw label body
+// (without braces, "" when unlabeled) and the value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Parse reads exposition text and returns every sample line in order.
+// Comment (#) and blank lines are skipped; a malformed sample line is an
+// error. Parse accepts exactly what Writer emits, plus arbitrary label
+// bodies, so a scraper can consume other exporters too.
+func Parse(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", ln, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	// Name runs to the first '{' or space. Labels, when present, run to the
+	// matching '}' — label values may themselves contain spaces, so the
+	// value split happens only after the brace body is consumed.
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label body in %q", line)
+		}
+		s.Labels = rest[1:end]
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	// A trailing second field is an optional timestamp; ignored.
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// Sum folds parsed samples into a map keyed by name plus label body
+// (`name` or `name{labels}`), summing duplicates. Aggregating one scrape it
+// is a plain lookup table; merging scrapes from several replicas, it adds
+// counters and histogram buckets pointwise — which is exactly the correct
+// aggregation for both, since every replica shares the same bucket bounds.
+func Sum(into map[string]float64, samples []Sample) {
+	for _, s := range samples {
+		key := s.Name
+		if s.Labels != "" {
+			key += "{" + s.Labels + "}"
+		}
+		into[key] += s.Value
+	}
+}

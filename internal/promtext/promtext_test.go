@@ -1,0 +1,91 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWriterParserRoundTrip: everything Writer emits must come back out of
+// Parse with the same names, labels and values.
+func TestWriterParserRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Counter("rockd_requests_total", "Batches served.", 12345)
+	w.Gauge("rockd_model_seq", "Serving snapshot generation.", 7)
+	w.Header("rockd_backend_requests_total", "counter", "Per-backend batches.")
+	w.Sample("rockd_backend_requests_total", Label("backend", "http://a:1"), 3)
+	w.Sample("rockd_backend_requests_total", Label("backend", "http://b:2"), 4)
+	w.Histogram("rockd_request_latency_seconds", "Request latency.",
+		[]float64{0.001, 0.01, 0.1}, []uint64{5, 3, 1, 1}, 0.25)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parsing own output: %v\n%s", err, sb.String())
+	}
+	got := map[string]float64{}
+	Sum(got, samples)
+
+	want := map[string]float64{
+		"rockd_requests_total": 12345,
+		"rockd_model_seq":      7,
+		`rockd_backend_requests_total{backend="http://a:1"}`: 3,
+		`rockd_backend_requests_total{backend="http://b:2"}`: 4,
+		`rockd_request_latency_seconds_bucket{le="0.001"}`:   5,
+		`rockd_request_latency_seconds_bucket{le="0.01"}`:    8,
+		`rockd_request_latency_seconds_bucket{le="0.1"}`:     9,
+		`rockd_request_latency_seconds_bucket{le="+Inf"}`:    10,
+		"rockd_request_latency_seconds_sum":                  0.25,
+		"rockd_request_latency_seconds_count":                10,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d series, want %d:\n%s", len(got), len(want), sb.String())
+	}
+	for k, v := range want {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// TestSumMergesReplicas: summing two scrapes adds counters and histogram
+// buckets pointwise — the fleet aggregation the gateway performs.
+func TestSumMergesReplicas(t *testing.T) {
+	scrapeA := "a_total 3\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n"
+	scrapeB := "a_total 4\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n"
+	agg := map[string]float64{}
+	for _, scrape := range []string{scrapeA, scrapeB} {
+		samples, err := Parse(strings.NewReader(scrape))
+		if err != nil {
+			t.Fatal(err)
+		}
+		Sum(agg, samples)
+	}
+	for k, want := range map[string]float64{
+		"a_total": 7, `h_bucket{le="1"}`: 3, `h_bucket{le="+Inf"}`: 7, "h_count": 7,
+	} {
+		if agg[k] != want {
+			t.Errorf("%s = %v, want %v", k, agg[k], want)
+		}
+	}
+}
+
+func TestParseTolerancesAndErrors(t *testing.T) {
+	// Comments, blank lines, timestamps, spaces inside label values.
+	ok := "# HELP x y\n\nx{path=\"/a b\"} 1 1700000000\nx 2.5\n"
+	samples, err := Parse(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 || samples[0].Labels != `path="/a b"` || samples[1].Value != 2.5 {
+		t.Fatalf("parsed %+v", samples)
+	}
+	for _, bad := range []string{"nameonly", "x{le=\"1\" 3", "x notanumber"} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", bad)
+		}
+	}
+}

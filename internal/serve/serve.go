@@ -59,7 +59,7 @@ type Engine struct {
 	assignments atomic.Uint64
 	outliers    atomic.Uint64
 	reloads     atomic.Uint64
-	lat         histogram
+	lat         Histogram
 }
 
 // New starts an engine serving from a, with a worker pool of the given size
@@ -242,7 +242,7 @@ func (e *Engine) AssignAllContext(ctx context.Context, a *model.Assigner, ts []d
 func (e *Engine) finish(start time.Time, n int) {
 	e.requests.Add(1)
 	e.assignments.Add(uint64(n))
-	e.lat.observe(time.Since(start))
+	e.lat.Observe(time.Since(start))
 }
 
 // Metrics returns a point-in-time snapshot of the engine's counters.
@@ -253,11 +253,15 @@ func (e *Engine) Metrics() Metrics {
 		Assignments: e.assignments.Load(),
 		Outliers:    e.outliers.Load(),
 		Reloads:     e.reloads.Load(),
-		P50Millis:   ms(e.lat.quantile(0.50)),
-		P99Millis:   ms(e.lat.quantile(0.99)),
-		MeanMillis:  ms(e.lat.mean()),
+		P50Millis:   ms(e.lat.Quantile(0.50)),
+		P99Millis:   ms(e.lat.Quantile(0.99)),
+		MeanMillis:  ms(e.lat.Mean()),
 	}
 }
+
+// Latency returns a point-in-time snapshot of the engine's request-latency
+// histogram, for Prometheus exposition.
+func (e *Engine) Latency() HistogramSnapshot { return e.lat.Snapshot() }
 
 // Close stops the worker pool. No Assign/AssignAll calls may be in flight
 // or follow; rockd closes the engine only after the HTTP server has fully
