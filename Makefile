@@ -8,10 +8,11 @@
 #   make check    all of the above
 #   make bench    benchmark harness (short mode)
 #   make benchjoin  brute vs indexed neighbor-join sweep (full size)
+#   make benchtrain  out-of-core trainer memory-budget sweep (EXPERIMENTS.md)
 
 GO ?= go
 
-.PHONY: verify race vet faults chaos check bench benchjoin fuzz
+.PHONY: verify race vet faults chaos check bench benchjoin benchtrain fuzz
 
 verify:
 	$(GO) build ./...
@@ -49,6 +50,12 @@ bench:
 # sweep, across sample size, theta and basket size (EXPERIMENTS.md table).
 benchjoin:
 	$(GO) test -run '^$$' -bench 'Neighbors(Brute|Indexed)' -benchmem -timeout 30m .
+
+# The sharded trainer over the basket workload at 115k / 1.15M / 11.5M
+# transactions under a fixed per-shard memory budget (EXPERIMENTS.md
+# "training at scale" table). MULTS and BUDGET_MB override the sweep.
+benchtrain:
+	scripts/benchtrain.sh
 
 # Short fuzz passes over every decoder (text, binary, categorical, model
 # snapshot); lengthen with FUZZTIME=5m etc.

@@ -19,6 +19,13 @@
 //	rock -k 10 -theta 0.5 -sample 4000 -snapshot model.rockm txns.txt
 //	rockd -model model.rockm
 //
+// -snapshot-dir instead publishes the model as the next generation of a
+// versioned snapshot directory, the layout rockd -dir serves with live
+// reloads (and the one rocktrain publishes into):
+//
+//	rock -k 10 -theta 0.5 -sample 4000 -snapshot-dir models txns.txt
+//	rockd -dir models
+//
 // Output: one line per cluster listing its member record numbers (0-based),
 // then a line of outliers. With -sample, every record of the file is
 // assigned via the labeling phase.
@@ -32,6 +39,7 @@ import (
 	"os"
 
 	"rock"
+	"rock/internal/model"
 	"rock/internal/store"
 )
 
@@ -49,6 +57,9 @@ func main() {
 		minSize     = flag.Int("min-cluster-size", 0, "weeding support threshold")
 		seed        = flag.Int64("seed", 1, "seed for sampling and labeling")
 		snapshot    = flag.String("snapshot", "", "write the trained labeling model to this path (for rockd)")
+		snapDir     = flag.String("snapshot-dir", "", "publish the labeling model into this versioned snapshot directory (for rockd -dir)")
+		snapName    = flag.String("snapshot-name", "model", "snapshot base name within -snapshot-dir")
+		snapKeep    = flag.Int("snapshot-keep", 0, "generations to retain in -snapshot-dir (0 = default)")
 		quiet       = flag.Bool("quiet", false, "print only summary statistics")
 		components  = flag.Bool("components", false, "QROCK mode: report connected components of the neighbor graph instead of running the merge loop (transactions only)")
 		bestK       = flag.Bool("bestk", false, "ignore -k, merge fully with tracing and report the criterion-peak cluster count (transactions only)")
@@ -59,6 +70,16 @@ func main() {
 	}
 	path := flag.Arg(0)
 
+	wantModel := *snapshot != "" || *snapDir != ""
+	persist := func(lab *rock.Labeler) {
+		if *snapshot != "" {
+			saveSnapshot(lab, *snapshot)
+		}
+		if *snapDir != "" {
+			saveSnapshotDir(lab, *snapDir, *snapName, *snapKeep)
+		}
+	}
+
 	cfg := rock.Config{
 		K: *k, Theta: *theta,
 		MinNeighbors: *minNbrs, StopMultiple: *stopMult, MinClusterSize: *minSize,
@@ -66,8 +87,8 @@ func main() {
 
 	switch {
 	case *components:
-		if *snapshot != "" {
-			log.Fatal("-snapshot requires a clustering mode, not -components")
+		if wantModel {
+			log.Fatal("-snapshot/-snapshot-dir require a clustering mode, not -components")
 		}
 		txns, err := store.LoadText(path)
 		if err != nil {
@@ -82,8 +103,8 @@ func main() {
 			}
 		}
 	case *bestK:
-		if *snapshot != "" {
-			log.Fatal("-snapshot requires a clustering mode, not -bestk")
+		if wantModel {
+			log.Fatal("-snapshot/-snapshot-dir require a clustering mode, not -bestk")
 		}
 		txns, err := store.LoadText(path)
 		if err != nil {
@@ -116,7 +137,7 @@ func main() {
 			log.Fatal(err)
 		}
 		printResult(res, *quiet)
-		if *snapshot != "" {
+		if wantModel {
 			if *pairwise {
 				log.Fatal("-snapshot does not support -pairwise (the pairwise similarity is not transaction-based)")
 			}
@@ -126,7 +147,7 @@ func main() {
 				log.Fatal(err)
 			}
 			lab.SetSchema(schema)
-			saveSnapshot(lab, *snapshot)
+			persist(lab)
 		}
 	case *sampleSize > 0:
 		lr, err := rock.ClusterScanner(func() (store.Scanner, io.Closer, error) {
@@ -147,8 +168,8 @@ func main() {
 				printMembers(members)
 			}
 		}
-		if *snapshot != "" {
-			saveSnapshot(lr.Labeler, *snapshot)
+		if wantModel {
+			persist(lr.Labeler)
 		}
 	default:
 		txns, err := store.LoadText(path)
@@ -160,12 +181,12 @@ func main() {
 			log.Fatal(err)
 		}
 		printResult(res, *quiet)
-		if *snapshot != "" {
+		if wantModel {
 			lab, err := rock.NewLabeler(txns, res, cfg, rock.LabelerConfig{Seed: *seed})
 			if err != nil {
 				log.Fatal(err)
 			}
-			saveSnapshot(lab, *snapshot)
+			persist(lab)
 		}
 	}
 }
@@ -175,6 +196,26 @@ func saveSnapshot(lab *rock.Labeler, path string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("labeling model written to %s (serve it: rockd -model %s)\n", path, path)
+}
+
+func saveSnapshotDir(lab *rock.Labeler, dirPath, name string, keep int) {
+	snap, err := lab.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(dirPath, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	dir, err := model.OpenDir(store.OS, dirPath, name, keep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entry, err := dir.Save(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("labeling model published as generation %d: %s (serve it: rockd -dir %s)\n",
+		entry.Seq, entry.Path, dirPath)
 }
 
 func printResult(res *rock.Result, quiet bool) {

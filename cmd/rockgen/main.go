@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	rockgen -dataset basket   -out txns.txt            [-scale 1] [-seed 1]
+//	rockgen -dataset basket   -out txns.txt            [-scale 1] [-mult 1] [-seed 1]
 //	rockgen -dataset votes    -out votes.cat           [-seed 1]
 //	rockgen -dataset mushroom -out mushroom.cat        [-seed 1]
 //	rockgen -dataset funds    -out funds.cat           [-seed 1]
@@ -35,6 +35,7 @@ func main() {
 		out    = flag.String("out", "", "output path (required)")
 		seed   = flag.Int64("seed", 1, "generator seed")
 		scale  = flag.Int("scale", 1, "basket only: divide cluster sizes by this factor")
+		mult   = flag.Int("mult", 1, "basket only: multiply cluster sizes by this factor (large training corpora; 100 ≈ 11.5M txns)")
 		binary = flag.Bool("binary", false, "basket only: write the binary transaction format")
 	)
 	flag.Parse()
@@ -46,9 +47,15 @@ func main() {
 	var labels []int
 	switch *ds {
 	case "basket":
+		if *scale > 1 && *mult > 1 {
+			log.Fatal("-scale and -mult are mutually exclusive")
+		}
 		cfg := datagen.DefaultBasketConfig()
 		if *scale > 1 {
 			cfg = datagen.ScaledBasketConfig(*scale)
+		}
+		if *mult > 1 {
+			cfg = datagen.MultipliedBasketConfig(*mult)
 		}
 		d := datagen.Basket(cfg, rng)
 		var err error

@@ -1,0 +1,171 @@
+// Command rocktrain runs the sharded out-of-core training pipeline over a
+// transaction file and publishes the trained labeling model.
+//
+// Train 10M transactions under a 256 MiB per-shard budget into a versioned
+// snapshot directory, then roll the serving fleet onto it:
+//
+//	rocktrain -k 10 -theta 0.5 -mem-budget-mb 256 \
+//	    -snapshot-dir /srv/rock/models -reload http://gate:7746 txns.bin
+//
+// Or pin the shard count explicitly:
+//
+//	rocktrain -k 10 -theta 0.5 -shards 8 -snapshot-dir models txns.txt
+//
+// The input is the transaction text format by default, or the binary format
+// with -binary. The model lands as the next generation of -snapshot-dir
+// (rockd -dir serves such directories); each -reload URL then receives a
+// POST /v1/reload — a rockd replica reloads itself, a rockgate URL rolls the
+// whole fleet — so a cron entry running rocktrain is a complete
+// train-to-production loop with no human in the path.
+//
+// -metrics-addr serves live progress counters in Prometheus text format
+// while training runs (phase, transactions sharded, shards clustered,
+// labeled/outlier counts, heap peak).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"rock/internal/model"
+	"rock/internal/store"
+	"rock/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rocktrain: ")
+	var (
+		k           = flag.Int("k", 2, "target number of global clusters")
+		theta       = flag.Float64("theta", 0.5, "neighbor similarity threshold")
+		simName     = flag.String("sim", "jaccard", "similarity: jaccard, dice, overlap or cosine")
+		shards      = flag.Int("shards", 0, "shard count; 0 derives it from -mem-budget-mb")
+		budgetMB    = flag.Int("mem-budget-mb", 0, "per-shard in-core memory target in MiB (used when -shards is 0)")
+		minNbrs     = flag.Int("min-neighbors", 0, "per-shard: discard sampled points with fewer neighbors")
+		stopMult    = flag.Float64("stop-multiple", 0, "per-shard: pause at this multiple of k and weed small clusters")
+		minSize     = flag.Int("min-cluster-size", 0, "per-shard: weeding support threshold")
+		uMin        = flag.Int("u-min", 0, "smallest cluster size the sample must represent (0 = auto)")
+		numRep      = flag.Int("num-rep", 0, "representative points per shard cluster (0 = 10)")
+		maxLabel    = flag.Int("max-label", 0, "labeled points kept per global cluster (0 = 128)")
+		maxOutlier  = flag.Float64("max-outlier-rate", 0, "abort publish above this outlier fraction (0 = 0.5)")
+		workers     = flag.Int("workers", 0, "parallelism inside neighbor/link computation (0 = all CPUs)")
+		shardPar    = flag.Int("shard-parallel", 1, "shards processed concurrently (memory multiplies)")
+		seed        = flag.Int64("seed", 1, "seed for sharding, sampling and labeled subsets")
+		tmpDir      = flag.String("tmp", "", "directory for shard spill files (default: system temp)")
+		binary      = flag.Bool("binary", false, "input is the binary transaction format")
+		snapDir     = flag.String("snapshot-dir", "", "publish the model into this versioned snapshot directory")
+		snapName    = flag.String("snapshot-name", "model", "snapshot base name within -snapshot-dir")
+		snapKeep    = flag.Int("snapshot-keep", 0, "generations to retain in -snapshot-dir (0 = default)")
+		reload      = flag.String("reload", "", "comma-separated base URLs (rockd or rockgate) to POST /v1/reload after publishing")
+		metricsAddr = flag.String("metrics-addr", "", "serve live training counters on this address at /metrics")
+		quiet       = flag.Bool("quiet", false, "suppress per-phase progress lines")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: rocktrain [flags] <transaction file>")
+	}
+	if *reload != "" && *snapDir == "" {
+		log.Fatal("-reload requires -snapshot-dir (the fleet reloads from the published directory)")
+	}
+	path := flag.Arg(0)
+
+	opener := func() (store.Scanner, io.Closer, error) {
+		if *binary {
+			return store.OpenBinary(path)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return store.NewTextScanner(f), f, nil
+	}
+
+	ctr := &train.Counters{}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", ctr)
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+	}
+
+	cfg := train.Config{
+		K:              *k,
+		Theta:          *theta,
+		SimName:        *simName,
+		MinNeighbors:   *minNbrs,
+		StopMultiple:   *stopMult,
+		MinClusterSize: *minSize,
+		Workers:        *workers,
+		ShardParallel:  *shardPar,
+		Shards:         *shards,
+		MemBudget:      int64(*budgetMB) << 20,
+		UMin:           *uMin,
+		NumRep:         *numRep,
+		MaxLabel:       *maxLabel,
+		MaxOutlierRate: *maxOutlier,
+		Seed:           *seed,
+		TmpDir:         *tmpDir,
+		Counters:       ctr,
+	}
+	if !*quiet {
+		cfg.Log = log.New(os.Stderr, "rocktrain: ", 0)
+	}
+
+	start := time.Now()
+	res, err := train.Train(opener, cfg)
+	if err != nil {
+		if res != nil {
+			fmt.Printf("training failed after %s: outlier rate %.4f over %d transactions\n",
+				time.Since(start).Round(time.Millisecond), res.OutlierRate, res.Total)
+		}
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d transactions: %d shards (sample %d/shard), %d shard clusters -> %d global, "+
+		"%d labeled, %d outliers (rate %.4f), heap peak %.1f MiB, %s\n",
+		res.Total, res.Shards, res.SampleTarget, res.ShardClusters, res.Clusters,
+		res.Labeled, res.Outliers, res.OutlierRate,
+		float64(res.HeapPeak)/(1<<20), time.Since(start).Round(time.Millisecond))
+	for phase, d := range res.PhaseDurations {
+		fmt.Printf("  phase %-8s %s\n", phase, d.Round(time.Millisecond))
+	}
+
+	if *snapDir == "" {
+		fmt.Println("no -snapshot-dir: model discarded after training (dry run)")
+		return
+	}
+	if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	dir, err := model.OpenDir(store.OS, *snapDir, *snapName, *snapKeep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entry, err := train.Publish(dir, res.Snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctr.SnapshotSeq.Store(int64(entry.Seq))
+	fmt.Printf("published generation %d: %s\n", entry.Seq, entry.Path)
+
+	for _, base := range strings.Split(*reload, ",") {
+		base = strings.TrimSpace(base)
+		if base == "" {
+			continue
+		}
+		seq, err := train.PostReload(&http.Client{Timeout: 2 * time.Minute}, base)
+		if err != nil {
+			log.Fatalf("reload %s: %v", base, err)
+		}
+		ctr.ReloadPosted.Add(1)
+		fmt.Printf("reloaded %s -> generation %d\n", base, seq)
+	}
+}

@@ -173,35 +173,19 @@ func merge(points [][]float64, a, b *cluster, cfg Config) *cluster {
 	}
 
 	// Well-scattered points: first the member farthest from the centroid,
-	// then iteratively the member farthest from the chosen set.
-	numRep := cfg.NumRep
-	if numRep > len(c.members) {
-		numRep = len(c.members)
-	}
-	chosen := make([]int, 0, numRep)
-	minDistToChosen := make([]float64, len(c.members))
-	for i := range minDistToChosen {
-		minDistToChosen[i] = math.Inf(1)
-	}
-	for r := 0; r < numRep; r++ {
-		best, bestD := -1, -1.0
-		for mi, p := range c.members {
-			var d float64
-			if r == 0 {
-				d = sqDist(points[p], c.centroid)
-			} else {
-				d = minDistToChosen[mi]
-			}
-			if d > bestD {
-				best, bestD = mi, d
-			}
+	// then iteratively the member farthest from the chosen set (Scatter).
+	first, firstD := 0, -1.0
+	for mi, p := range c.members {
+		if d := sqDist(points[p], c.centroid); d > firstD {
+			first, firstD = mi, d
 		}
-		chosen = append(chosen, c.members[best])
-		for mi, p := range c.members {
-			if d := sqDist(points[p], points[c.members[best]]); d < minDistToChosen[mi] {
-				minDistToChosen[mi] = d
-			}
-		}
+	}
+	scattered := Scatter(len(c.members), cfg.NumRep, first, func(i, j int) float64 {
+		return sqDist(points[c.members[i]], points[c.members[j]])
+	})
+	chosen := make([]int, len(scattered))
+	for i, mi := range scattered {
+		chosen[i] = c.members[mi]
 	}
 	// Shrink toward the centroid.
 	c.reps = make([][]float64, len(chosen))

@@ -1,0 +1,43 @@
+package cure
+
+// Scatter selects up to count well-scattered candidates from n by CURE's
+// farthest-point heuristic (Guha, Rastogi & Shim, SIGMOD 1998, §3.1): the
+// selection starts from first and repeatedly adds the candidate whose
+// minimum distance to the already-chosen set is largest. Indices are in
+// [0, n); dist must be symmetric. The returned indices are in selection
+// order (first element is first).
+//
+// The heuristic is metric-agnostic on purpose: cure's own merge step runs
+// it under squared Euclidean distance over numeric points, and the sharded
+// trainer (internal/train) runs it under 1 - similarity over categorical
+// transactions to summarize shard clusters with representative points.
+func Scatter(n, count, first int, dist func(i, j int) float64) []int {
+	if n <= 0 || count <= 0 || first < 0 || first >= n {
+		return nil
+	}
+	if count > n {
+		count = n
+	}
+	chosen := make([]int, 1, count)
+	chosen[0] = first
+	// minDist[i] is the distance from candidate i to the chosen set.
+	minDist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		minDist[i] = dist(i, first)
+	}
+	for len(chosen) < count {
+		best, bestD := -1, -1.0
+		for i := 0; i < n; i++ {
+			if minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		chosen = append(chosen, best)
+		for i := 0; i < n; i++ {
+			if d := dist(i, best); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return chosen
+}

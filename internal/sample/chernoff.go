@@ -15,6 +15,36 @@ import "math"
 // fraction of each cluster the sample must contain (0 < f <= 1) and delta
 // the per-cluster failure probability.
 func MinSize(n, uMin int, f, delta float64) int {
+	return minSize(n, uMin, f, delta)
+}
+
+// ShardMinSize computes the per-shard Chernoff sample size for a corpus of n
+// points partitioned uniformly at random into the given number of shards.
+// Under a random partition, a cluster u with |u| >= uMin points lands about
+// |u|/shards points in every shard, so the per-shard bound is MinSize applied
+// to the shard-local quantities: n/shards points, smallest interesting
+// cluster uMin/shards (floored at 1 — a cluster near uMin may be spread so
+// thin that only single points reach some shards), and failure probability
+// delta/shards, the union bound that makes the guarantee hold simultaneously
+// across all shards: with probability at least 1 - delta per cluster, every
+// shard's sample captures at least f of the cluster's shard-local points.
+// shards <= 1 is exactly MinSize.
+func ShardMinSize(n, shards, uMin int, f, delta float64) int {
+	if shards <= 1 {
+		return minSize(n, uMin, f, delta)
+	}
+	if n <= 0 || shards > n {
+		return 0
+	}
+	ns := (n + shards - 1) / shards
+	us := uMin / shards
+	if us < 1 {
+		us = 1
+	}
+	return minSize(ns, us, f, delta/float64(shards))
+}
+
+func minSize(n, uMin int, f, delta float64) int {
 	if n <= 0 || uMin <= 0 || f <= 0 || delta <= 0 || delta >= 1 {
 		return 0
 	}

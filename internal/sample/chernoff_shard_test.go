@@ -1,0 +1,130 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestShardMinSizeOneShardMatchesMinSize(t *testing.T) {
+	for _, shards := range []int{-1, 0, 1} {
+		if got, want := ShardMinSize(100000, shards, 1000, 0.1, 0.01), MinSize(100000, 1000, 0.1, 0.01); got != want {
+			t.Errorf("ShardMinSize(shards=%d) = %d, want MinSize = %d", shards, got, want)
+		}
+	}
+}
+
+func TestShardMinSizeDegenerate(t *testing.T) {
+	if got := ShardMinSize(0, 4, 10, 0.1, 0.01); got != 0 {
+		t.Errorf("n=0: got %d, want 0", got)
+	}
+	if got := ShardMinSize(10, 20, 5, 0.1, 0.01); got != 0 {
+		t.Errorf("shards > n: got %d, want 0", got)
+	}
+	// uMin smaller than the shard count floors the shard-local minimum
+	// cluster at 1 instead of 0 (which MinSize would reject).
+	if got := ShardMinSize(10000, 16, 5, 0.1, 0.01); got <= 0 {
+		t.Errorf("uMin < shards: got %d, want positive", got)
+	}
+}
+
+// TestShardMinSizeNoFreeLunch: sharding must not make the aggregate sample
+// cheaper than the single-pass Chernoff bound — the union bound over shards
+// can only add points.
+func TestShardMinSizeNoFreeLunch(t *testing.T) {
+	n, uMin := 1_000_000, 20_000
+	single := MinSize(n, uMin, 0.05, 0.01)
+	for _, k := range []int{2, 4, 8, 16, 64} {
+		total := k * ShardMinSize(n, k, uMin, 0.05, 0.01)
+		if total < single {
+			t.Errorf("K=%d: aggregate sample %d < single-pass bound %d", k, total, single)
+		}
+	}
+}
+
+// TestShardMinSizeRepresentationProperty simulates the pipeline's random
+// partition and per-shard uniform sampling, and checks the paper's
+// cluster-representation guarantee at shard granularity: for every cluster u
+// with |u| >= uMin, with probability at least 1-delta, EVERY shard's sample
+// contains at least f·|u ∩ shard| of the cluster's shard-local points. The
+// observed per-cluster violation rate over many seeded trials must stay
+// within statistical range of delta.
+func TestShardMinSizeRepresentationProperty(t *testing.T) {
+	const (
+		f      = 0.10
+		delta  = 0.05
+		trials = 60
+	)
+	// Cluster layout, including a cluster exactly at uMin (the tiny-cluster
+	// edge case) and an outlier tail that belongs to no cluster.
+	clusterSizes := []int{8000, 5000, 2500, 1200}
+	uMin := 1200
+	n := 1000 // outliers
+	for _, s := range clusterSizes {
+		n += s
+	}
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		s := ShardMinSize(n, shards, uMin, f, delta)
+		if s <= 0 {
+			t.Fatalf("K=%d: non-positive sample size %d", shards, s)
+		}
+		rng := rand.New(rand.NewSource(int64(7 + shards)))
+		violations := 0 // cluster-trials where some shard under-captured
+		for trial := 0; trial < trials; trial++ {
+			// Random partition: shard of each point, grouped per shard.
+			// Points [0, n) are laid out cluster by cluster.
+			shardPoints := make([][]int, shards)
+			for p := 0; p < n; p++ {
+				sh := rng.Intn(shards)
+				shardPoints[sh] = append(shardPoints[sh], p)
+			}
+			// clusterOf[p] = cluster index or -1.
+			clusterOf := make([]int, n)
+			for p := range clusterOf {
+				clusterOf[p] = -1
+			}
+			base := 0
+			for ci, size := range clusterSizes {
+				for p := base; p < base+size; p++ {
+					clusterOf[p] = ci
+				}
+				base += size
+			}
+			bad := make([]bool, len(clusterSizes))
+			for sh := 0; sh < shards; sh++ {
+				pts := shardPoints[sh]
+				inShard := make([]int, len(clusterSizes))
+				inSample := make([]int, len(clusterSizes))
+				for _, p := range pts {
+					if c := clusterOf[p]; c >= 0 {
+						inShard[c]++
+					}
+				}
+				for _, ix := range Indices(len(pts), s, rng) {
+					if c := clusterOf[pts[ix]]; c >= 0 {
+						inSample[c]++
+					}
+				}
+				for ci := range clusterSizes {
+					if float64(inSample[ci]) < f*float64(inShard[ci]) {
+						bad[ci] = true
+					}
+				}
+			}
+			for _, b := range bad {
+				if b {
+					violations++
+				}
+			}
+			shardPoints = nil
+		}
+		clusterTrials := trials * len(clusterSizes)
+		// Allowed failures: delta per cluster-trial plus generous slack for
+		// a finite, seeded run (3x the bound; the bound itself is loose).
+		maxViolations := int(3 * delta * float64(clusterTrials))
+		if violations > maxViolations {
+			t.Errorf("K=%d (s=%d): %d/%d cluster-trials under-captured, budget %d",
+				shards, s, violations, clusterTrials, maxViolations)
+		}
+		t.Logf("K=%d: per-shard sample %d, violations %d/%d", shards, s, violations, clusterTrials)
+	}
+}

@@ -1,0 +1,119 @@
+package train
+
+import (
+	"net/http"
+	"runtime"
+	"sync/atomic"
+
+	"rock/internal/promtext"
+)
+
+// Phases of the training pipeline, in execution order. The counter page
+// exposes the current one as a one-hot gauge so an operator watching
+// /metrics can see where a long run is.
+const (
+	PhaseCount   = "count"
+	PhaseShard   = "shard"
+	PhaseCluster = "cluster"
+	PhaseMerge   = "merge"
+	PhaseLabel   = "label"
+	PhaseDone    = "done"
+)
+
+var phaseOrder = []string{PhaseCount, PhaseShard, PhaseCluster, PhaseMerge, PhaseLabel, PhaseDone}
+
+// Counters is the trainer's live progress instrumentation. All fields are
+// updated atomically while Train runs, so a metrics endpoint (or a test) can
+// read a consistent-enough view at any moment without stalling the pipeline.
+// The zero value is ready to use; a nil *Counters disables instrumentation.
+type Counters struct {
+	phase        atomic.Int64 // index into phaseOrder
+	TxnsTotal    atomic.Int64 // transactions seen by the shard pass
+	Shards       atomic.Int64 // number of shards in this run
+	ShardsDone   atomic.Int64 // shards fully clustered and summarized
+	Sampled      atomic.Int64 // points drawn into per-shard samples
+	Summaries    atomic.Int64 // shard clusters summarized with representatives
+	Clusters     atomic.Int64 // global clusters after the cross-shard merge
+	Labeled      atomic.Int64 // points labeled by the final pass
+	Outliers     atomic.Int64 // points the final pass declared outliers
+	HeapPeak     atomic.Int64 // max observed runtime heap, bytes
+	SnapshotSeq  atomic.Int64 // model.Dir sequence of the published snapshot
+	ReloadPosted atomic.Int64 // successful fleet reload POSTs
+}
+
+// setPhase records the current phase (no-op on nil).
+func (c *Counters) setPhase(name string) {
+	if c == nil {
+		return
+	}
+	for i, p := range phaseOrder {
+		if p == name {
+			c.phase.Store(int64(i))
+			return
+		}
+	}
+}
+
+// Phase returns the current phase name.
+func (c *Counters) Phase() string {
+	if c == nil {
+		return ""
+	}
+	i := c.phase.Load()
+	if i < 0 || int(i) >= len(phaseOrder) {
+		return ""
+	}
+	return phaseOrder[i]
+}
+
+// observeHeap samples the runtime heap and raises HeapPeak if needed.
+// Called at phase boundaries — cheap enough there, and phase boundaries are
+// exactly where the pipeline's memory shape changes.
+func (c *Counters) observeHeap() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		cur := c.HeapPeak.Load()
+		if int64(ms.HeapAlloc) <= cur {
+			return
+		}
+		if c.HeapPeak.CompareAndSwap(cur, int64(ms.HeapAlloc)) {
+			return
+		}
+	}
+}
+
+// WriteMetrics renders the counters in Prometheus text exposition format.
+func (c *Counters) WriteMetrics(w *promtext.Writer) {
+	cur := c.Phase()
+	w.Header("rocktrain_phase", "gauge", "Current pipeline phase (one-hot).")
+	for _, p := range phaseOrder {
+		v := 0.0
+		if p == cur {
+			v = 1
+		}
+		w.Sample("rocktrain_phase", promtext.Label("phase", p), v)
+	}
+	w.Counter("rocktrain_txns_total", "Transactions partitioned into shards.", float64(c.TxnsTotal.Load()))
+	w.Gauge("rocktrain_shards", "Shards in this training run.", float64(c.Shards.Load()))
+	w.Counter("rocktrain_shards_done_total", "Shards clustered and summarized.", float64(c.ShardsDone.Load()))
+	w.Counter("rocktrain_sampled_total", "Points drawn into per-shard samples.", float64(c.Sampled.Load()))
+	w.Counter("rocktrain_summaries_total", "Shard clusters summarized with representatives.", float64(c.Summaries.Load()))
+	w.Gauge("rocktrain_clusters", "Global clusters after the cross-shard merge.", float64(c.Clusters.Load()))
+	w.Counter("rocktrain_labeled_total", "Points labeled by the final pass.", float64(c.Labeled.Load()))
+	w.Counter("rocktrain_outliers_total", "Points declared outliers by the final pass.", float64(c.Outliers.Load()))
+	w.Gauge("rocktrain_heap_peak_bytes", "Max observed runtime heap during training.", float64(c.HeapPeak.Load()))
+	w.Gauge("rocktrain_snapshot_seq", "model.Dir sequence of the published snapshot (0 until published).", float64(c.SnapshotSeq.Load()))
+	w.Counter("rocktrain_reloads_posted_total", "Successful fleet reload POSTs.", float64(c.ReloadPosted.Load()))
+}
+
+// ServeHTTP makes Counters a /metrics handler for cmd/rocktrain's
+// -metrics-addr endpoint.
+func (c *Counters) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := promtext.NewWriter(w)
+	c.WriteMetrics(pw)
+}

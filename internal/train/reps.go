@@ -1,0 +1,105 @@
+package train
+
+import (
+	"math/rand"
+
+	"rock/internal/cure"
+	"rock/internal/dataset"
+	"rock/internal/sim"
+)
+
+// medoidCap bounds the O(m²) medoid search inside a shard cluster. Clusters
+// larger than this have their medoid estimated on a random subset — the
+// medoid only seeds the scatter, so an approximate one is fine.
+const medoidCap = 512
+
+// summary condenses one shard cluster into the small object the cross-shard
+// merge works with: CURE-style well-scattered representative points (under
+// dist = 1 - similarity, the categorical analogue of the paper's numeric
+// scatter), plus a labeled subset for the final snapshot.
+type summary struct {
+	shard int
+	size  int // members in the shard cluster (sample points)
+	// reps are the representative transactions, scattered over the cluster.
+	reps []dataset.Transaction
+	// labeled are the original stream positions and transactions of the
+	// cluster's labeled subset.
+	labeledPos  []int
+	labeledTxns []dataset.Transaction
+	// samplePos are the original stream positions of every member, kept so
+	// the labeling pass can short-circuit sampled points to their cluster.
+	samplePos []int
+}
+
+// summarize builds a summary for one shard cluster. members index into txns
+// (the shard's sample); pos maps sample index to original stream position.
+func summarize(shard int, members []int, txns []dataset.Transaction, pos []int,
+	simF sim.TxnFunc, numRep int, labelFrac float64, minLabel, maxLabel int, rng *rand.Rand) summary {
+
+	s := summary{shard: shard, size: len(members)}
+	s.samplePos = make([]int, len(members))
+	for i, m := range members {
+		s.samplePos[i] = pos[m]
+	}
+
+	// Medoid: the member with the greatest total similarity to the others —
+	// the categorical stand-in for "farthest from nothing", anchoring the
+	// scatter at the cluster's densest point. Estimated on a subset when the
+	// cluster is large.
+	cand := members
+	if len(cand) > medoidCap {
+		idx := rng.Perm(len(members))[:medoidCap]
+		cand = make([]int, medoidCap)
+		for i, ix := range idx {
+			cand[i] = members[ix]
+		}
+	}
+	medoid, best := 0, -1.0
+	for i, a := range cand {
+		total := 0.0
+		for _, b := range cand {
+			if a != b {
+				total += simF(txns[a], txns[b])
+			}
+		}
+		if total > best {
+			medoid, best = i, total
+		}
+	}
+	// Map the medoid back to an index into members for Scatter.
+	first := 0
+	for i, m := range members {
+		if m == cand[medoid] {
+			first = i
+			break
+		}
+	}
+
+	// CURE's farthest-point heuristic under 1 - sim: the first rep is the
+	// medoid, each further rep the member least similar to the chosen set.
+	scattered := cure.Scatter(len(members), numRep, first, func(i, j int) float64 {
+		return 1 - simF(txns[members[i]], txns[members[j]])
+	})
+	s.reps = make([]dataset.Transaction, len(scattered))
+	for i, mi := range scattered {
+		s.reps[i] = txns[members[mi]]
+	}
+
+	// Labeled subset: a uniform fraction of the cluster, floored and capped.
+	k := int(labelFrac * float64(len(members)))
+	if k < minLabel {
+		k = minLabel
+	}
+	if maxLabel > 0 && k > maxLabel {
+		k = maxLabel
+	}
+	if k > len(members) {
+		k = len(members)
+	}
+	for _, ix := range rng.Perm(len(members))[:k] {
+		m := members[ix]
+		s.labeledPos = append(s.labeledPos, pos[m])
+		s.labeledTxns = append(s.labeledTxns, txns[m])
+	}
+	return s
+}

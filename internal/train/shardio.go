@@ -1,0 +1,147 @@
+package train
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rock/internal/dataset"
+)
+
+// Shard spill format: a magic header, then one record per transaction until
+// EOF. A record is the transaction's original stream position (delta-encoded
+// uvarint — positions within a shard are strictly increasing), a uvarint
+// item count, and delta-encoded uvarint item ids (the same encoding as
+// internal/store's binary transaction block). There is no count header:
+// shards are written streamingly, one pass, without knowing their size up
+// front; a clean EOF at a record boundary ends the shard.
+var shardMagic = [8]byte{'R', 'O', 'C', 'K', 'S', 'H', 'R', 'D'}
+
+// shardWriter appends positioned transactions to one shard spill file.
+type shardWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	prevPos int
+	count   int
+	buf     [binary.MaxVarintLen64]byte
+}
+
+func newShardWriter(path string) (*shardWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &shardWriter{f: f, bw: bufio.NewWriterSize(f, 1<<18), prevPos: -1}
+	if _, err := w.bw.Write(shardMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *shardWriter) put(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.bw.Write(w.buf[:n])
+	return err
+}
+
+// append writes one record. pos must be strictly greater than the previous
+// record's position.
+func (w *shardWriter) append(pos int, t dataset.Transaction) error {
+	if err := w.put(uint64(pos - w.prevPos)); err != nil {
+		return err
+	}
+	w.prevPos = pos
+	if err := w.put(uint64(len(t))); err != nil {
+		return err
+	}
+	prev := dataset.Item(0)
+	for _, it := range t {
+		if err := w.put(uint64(it - prev)); err != nil {
+			return err
+		}
+		prev = it
+	}
+	w.count++
+	return nil
+}
+
+func (w *shardWriter) close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// shardScanner streams (position, transaction) records back from a spill
+// file.
+type shardScanner struct {
+	f       *os.File
+	br      *bufio.Reader
+	prevPos int
+}
+
+func openShard(path string) (*shardScanner, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<18)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("train: reading shard header: %w", err)
+	}
+	if magic != shardMagic {
+		f.Close()
+		return nil, errors.New("train: not a shard spill file")
+	}
+	return &shardScanner{f: f, br: br, prevPos: -1}, nil
+}
+
+// next returns the next record, or io.EOF after the last one.
+func (s *shardScanner) next() (int, dataset.Transaction, error) {
+	d, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("train: reading shard position: %w", err)
+	}
+	pos := s.prevPos + int(d)
+	s.prevPos = pos
+	n, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("train: reading shard record length: %w", err)
+	}
+	// Cap the preallocation so a corrupt length cannot become an arbitrary
+	// allocation (same defense as store.BinaryScanner).
+	const maxPrealloc = 1 << 16
+	capHint := n
+	if capHint > maxPrealloc {
+		capHint = maxPrealloc
+	}
+	t := make(dataset.Transaction, 0, capHint)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		dd, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return 0, nil, fmt.Errorf("train: reading shard item: %w", err)
+		}
+		prev += dd
+		t = append(t, dataset.Item(prev))
+	}
+	return pos, t, nil
+}
+
+func (s *shardScanner) close() error { return s.f.Close() }
+
+// shardPath names shard i's spill file under dir.
+func shardPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.bin", i))
+}

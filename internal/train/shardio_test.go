@@ -1,0 +1,88 @@
+package train
+
+import (
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rock/internal/dataset"
+)
+
+func TestShardFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var positions []int
+	var txns []dataset.Transaction
+	pos := 0
+	for i := 0; i < 500; i++ {
+		pos += 1 + rng.Intn(9)
+		positions = append(positions, pos)
+		n := rng.Intn(20)
+		t := dataset.Transaction{}
+		for j := 0; j < n; j++ {
+			t = append(t, dataset.Item(rng.Intn(1000)))
+		}
+		t.Normalize()
+		txns = append(txns, t)
+	}
+
+	path := filepath.Join(t.TempDir(), "shard.bin")
+	w, err := newShardWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range txns {
+		if err := w.append(positions[i], txns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.count != len(txns) {
+		t.Fatalf("writer count %d, want %d", w.count, len(txns))
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := openShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.close()
+	for i := range txns {
+		p, txn, err := sc.next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if p != positions[i] {
+			t.Fatalf("record %d: position %d, want %d", i, p, positions[i])
+		}
+		if !reflect.DeepEqual(txn, txns[i]) {
+			t.Fatalf("record %d: transaction %v, want %v", i, txn, txns[i])
+		}
+	}
+	if _, _, err := sc.next(); err != io.EOF {
+		t.Fatalf("after last record: %v, want io.EOF", err)
+	}
+}
+
+func TestOpenShardRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bin")
+	w, err := newShardWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	if _, err := openShard(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("opening a missing file succeeded")
+	}
+	// A text file is not a shard.
+	other := filepath.Join(t.TempDir(), "text.bin")
+	if err := os.WriteFile(other, []byte("not a shard spill file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openShard(other); err == nil {
+		t.Error("opening a non-shard file succeeded")
+	}
+}

@@ -1,0 +1,761 @@
+// Package train is the out-of-core training pipeline: ROCK's sample-cluster-
+// label structure (Sections 4.6 and Figure 2 of the paper) scaled past memory
+// by sharding. The input stream is partitioned uniformly at random into K
+// disk-backed shards; each shard is Chernoff-sampled (internal/sample's
+// per-shard bound), clustered in core through the inverted-index join and the
+// link algorithm (internal/simjoin, internal/rockcore), and summarized by
+// CURE-style well-scattered representative points adapted to categorical
+// sets (internal/cure's scatter under 1 - similarity). The shard clusters are
+// then merged globally by link goodness between representatives, a labeled
+// subset per global cluster becomes a model.Snapshot, and a final streaming
+// pass labels every out-of-sample point with the paper's labeling rule —
+// guarded by an outlier-rate threshold so a degenerate model is never
+// published. Peak memory is set by one shard's sample plus the pooled
+// representatives, not by the corpus.
+package train
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"rock/internal/dataset"
+	"rock/internal/label"
+	"rock/internal/model"
+	"rock/internal/rockcore"
+	"rock/internal/sample"
+	"rock/internal/sim"
+	"rock/internal/simjoin"
+	"rock/internal/store"
+)
+
+// Opener opens one fresh pass over the input stream. The trainer calls it
+// once per pass (counting, sharding); each call must yield the transactions
+// in the same order. closer may be nil.
+type Opener func() (sc store.Scanner, closer io.Closer, err error)
+
+// SliceOpener adapts an in-memory corpus to an Opener (tests, small runs).
+func SliceOpener(txns []dataset.Transaction) Opener {
+	return func() (store.Scanner, io.Closer, error) {
+		return &sliceScanner{txns: txns}, nil, nil
+	}
+}
+
+type sliceScanner struct {
+	txns []dataset.Transaction
+	i    int
+}
+
+func (s *sliceScanner) Next() (dataset.Transaction, error) {
+	if s.i >= len(s.txns) {
+		return nil, io.EOF
+	}
+	t := s.txns[s.i]
+	s.i++
+	return t, nil
+}
+
+// Config controls a training run. The zero value of every optional field
+// selects a documented default; K and Theta are required.
+type Config struct {
+	// K is the target number of global clusters.
+	K int
+	// Theta is the neighbor similarity threshold (Section 3.1).
+	Theta float64
+	// SimName names the transaction similarity ("jaccard", "dice",
+	// "overlap", "cosine"); empty selects "jaccard". The name is persisted
+	// in the snapshot, so only named similarities can train.
+	SimName string
+	// MinNeighbors, StopMultiple and MinClusterSize are the per-shard
+	// outlier knobs, passed through to rockcore (Section 4.6).
+	MinNeighbors   int
+	StopMultiple   float64
+	MinClusterSize int
+	// Workers bounds parallelism inside the neighbor/link computations.
+	Workers int
+	// ShardParallel bounds how many shards are in flight at once (sampling +
+	// clustering, and later labeling). Default 1: peak memory is then one
+	// shard's working set. Raising it trades memory for wall time.
+	ShardParallel int
+	// DenseLimit passes through to the link table selection.
+	DenseLimit int
+
+	// Shards fixes the shard count. Zero derives it from MemBudget.
+	Shards int
+	// MemBudget is the per-shard in-core memory target in bytes, used only
+	// when Shards is zero: the trainer counts the stream and picks the
+	// smallest shard count whose Chernoff sample fits the budget at
+	// SampleBytes per sampled point.
+	MemBudget int64
+	// SampleBytes is the budget heuristic: estimated in-core bytes per
+	// sampled point (transaction + neighbor lists + link-table share).
+	// Default 16KiB, deliberately conservative.
+	SampleBytes int
+
+	// UMin is the smallest cluster size the sample must represent (the
+	// Chernoff bound's u_min). Default max(K·MinLabel, total/100).
+	UMin int
+	// SampleFrac is the fraction f of each cluster the sample must capture
+	// (default 0.05); Delta the per-cluster failure probability (default
+	// 0.01). See sample.ShardMinSize.
+	SampleFrac float64
+	Delta      float64
+
+	// NumRep is the number of representative points per shard cluster
+	// (default 10, CURE's c).
+	NumRep int
+	// LabelFrac, MinLabel and MaxLabel shape the labeled subsets: a
+	// LabelFrac fraction of each shard cluster (default 0.25), floored at
+	// MinLabel (default 5); each *global* cluster's union is then capped at
+	// MaxLabel points (default 128) so the labeling pass over the full
+	// corpus stays O(total · K · MaxLabel) similarity evaluations.
+	LabelFrac float64
+	MinLabel  int
+	MaxLabel  int
+
+	// MaxOutlierRate aborts before publishing when the final pass declares
+	// more than this fraction of all points outliers — the guard that keeps
+	// a mis-trained model (theta off, sample unlucky) from reaching the
+	// fleet. Default 0.5; set negative to disable.
+	MaxOutlierRate float64
+
+	// Seed drives every random draw (sharding, sampling, labeled subsets).
+	Seed int64
+	// TmpDir hosts the shard spill files (default os.TempDir()). The
+	// trainer creates and removes a private subdirectory.
+	TmpDir string
+	// KeepAssignments retains the full per-point assignment slice in the
+	// Result — one int per input point, so only for corpora that fit.
+	KeepAssignments bool
+
+	// Counters, when non-nil, receives live progress (see Counters).
+	Counters *Counters
+	// Log, when non-nil, receives per-phase progress lines.
+	Log *log.Logger
+}
+
+func (c *Config) validate() error {
+	if c.K <= 0 {
+		return errors.New("train: K must be positive")
+	}
+	if c.Theta < 0 || c.Theta > 1 {
+		return fmt.Errorf("train: theta %v out of [0,1]", c.Theta)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("train: negative shard count %d", c.Shards)
+	}
+	if c.Shards == 0 && c.MemBudget <= 0 {
+		return errors.New("train: either Shards or MemBudget must be set")
+	}
+	if c.SampleFrac < 0 || c.SampleFrac > 1 {
+		return fmt.Errorf("train: sample fraction %v out of [0,1]", c.SampleFrac)
+	}
+	if c.Delta < 0 || c.Delta >= 1 {
+		return fmt.Errorf("train: delta %v out of [0,1)", c.Delta)
+	}
+	if c.LabelFrac < 0 || c.LabelFrac > 1 {
+		return fmt.Errorf("train: label fraction %v out of [0,1]", c.LabelFrac)
+	}
+	if _, ok := sim.TxnByName(c.simName()); !ok {
+		return fmt.Errorf("train: unknown similarity %q", c.SimName)
+	}
+	return nil
+}
+
+func (c *Config) simName() string {
+	if c.SimName == "" {
+		return "jaccard"
+	}
+	return c.SimName
+}
+
+func (c *Config) sampleFrac() float64 {
+	if c.SampleFrac == 0 {
+		return 0.05
+	}
+	return c.SampleFrac
+}
+
+func (c *Config) delta() float64 {
+	if c.Delta == 0 {
+		return 0.01
+	}
+	return c.Delta
+}
+
+func (c *Config) numRep() int {
+	if c.NumRep <= 0 {
+		return 10
+	}
+	return c.NumRep
+}
+
+func (c *Config) labelFrac() float64 {
+	if c.LabelFrac == 0 {
+		return 0.25
+	}
+	return c.LabelFrac
+}
+
+func (c *Config) minLabel() int {
+	if c.MinLabel <= 0 {
+		return 5
+	}
+	return c.MinLabel
+}
+
+func (c *Config) maxLabel() int {
+	if c.MaxLabel <= 0 {
+		return 128
+	}
+	return c.MaxLabel
+}
+
+func (c *Config) maxOutlierRate() float64 {
+	if c.MaxOutlierRate == 0 {
+		return 0.5
+	}
+	return c.MaxOutlierRate
+}
+
+func (c *Config) sampleBytes() int {
+	if c.SampleBytes <= 0 {
+		return 16 << 10
+	}
+	return c.SampleBytes
+}
+
+func (c *Config) shardParallel() int {
+	if c.ShardParallel <= 0 {
+		return 1
+	}
+	return c.ShardParallel
+}
+
+func (c *Config) uMin(total int) int {
+	if c.UMin > 0 {
+		return c.UMin
+	}
+	u := total / 100
+	if m := c.K * c.minLabel(); u < m {
+		u = m
+	}
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log.Printf(format, args...)
+	}
+}
+
+// maxDerivedShards caps the budget-derived shard count: past this the
+// per-shard fixed costs (files, scans) dominate any memory win.
+const maxDerivedShards = 1024
+
+// ErrOutlierRate is wrapped into Train's error when the trained model fails
+// the outlier-rate guard; errors.Is(err, ErrOutlierRate) detects it.
+var ErrOutlierRate = errors.New("outlier rate above MaxOutlierRate")
+
+// Result is the outcome of a training run.
+type Result struct {
+	// Snapshot is the trained, validated model.
+	Snapshot *model.Snapshot
+	// Total is the number of input transactions; Shards how many shards
+	// they were spread over; SampleTarget the per-shard Chernoff sample
+	// size; Sampled the points actually drawn across all shards.
+	Total, Shards, SampleTarget, Sampled int
+	// ShardClusters counts the per-shard clusters that were summarized;
+	// Clusters the global clusters after the merge.
+	ShardClusters, Clusters int
+	// Labeled and Outliers partition the input: every point is either
+	// assigned to a cluster or declared an outlier by the final pass.
+	Labeled, Outliers int
+	// OutlierRate is Outliers/Total.
+	OutlierRate float64
+	// Assignments, when Config.KeepAssignments, maps input position to
+	// global cluster index (label.Outlier for outliers).
+	Assignments []int
+	// PhaseDurations records wall time per pipeline phase.
+	PhaseDurations map[string]time.Duration
+	// HeapPeak is the max heap observed at phase boundaries, bytes.
+	HeapPeak int64
+}
+
+// Train runs the full sharded pipeline over the stream open yields.
+func Train(open Opener, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	simF, _ := sim.TxnByName(cfg.simName())
+	fTheta := rockcore.DefaultF(cfg.Theta)
+	ctr := cfg.Counters
+	if ctr == nil {
+		ctr = &Counters{} // run instrumentation unconditionally; cheap
+	}
+	res := &Result{PhaseDurations: map[string]time.Duration{}}
+	phaseStart := time.Now()
+	endPhase := func(name string) {
+		res.PhaseDurations[name] = time.Since(phaseStart)
+		phaseStart = time.Now()
+		ctr.observeHeap()
+	}
+
+	// Phase 0 (only when deriving the shard count): count the stream, then
+	// pick the smallest shard count whose per-shard Chernoff sample fits
+	// the memory budget.
+	shards := cfg.Shards
+	if shards == 0 {
+		ctr.setPhase(PhaseCount)
+		n, err := countStream(open)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, errors.New("train: empty input")
+		}
+		shards = shardsForBudget(n, cfg.uMin(n), cfg.sampleFrac(), cfg.delta(), cfg.MemBudget, cfg.sampleBytes())
+		cfg.logf("count: %d transactions, budget %d bytes -> %d shards", n, cfg.MemBudget, shards)
+		endPhase(PhaseCount)
+	}
+	ctr.Shards.Store(int64(shards))
+
+	// Phase 1: partition the stream into disk-backed shards, uniformly at
+	// random, remembering each transaction's original position.
+	ctr.setPhase(PhaseShard)
+	tmp, err := os.MkdirTemp(cfg.TmpDir, "rocktrain-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	counts, total, err := shardStream(open, tmp, shards, cfg.Seed, ctr)
+	if err != nil {
+		return nil, err
+	}
+	if total == 0 {
+		return nil, errors.New("train: empty input")
+	}
+	res.Total = total
+	res.Shards = shards
+	cfg.logf("shard: %d transactions into %d shards", total, shards)
+	endPhase(PhaseShard)
+
+	// Phase 2: per shard — Chernoff sample, in-core cluster, summarize.
+	ctr.setPhase(PhaseCluster)
+	uMin := cfg.uMin(total)
+	target := sample.ShardMinSize(total, shards, uMin, cfg.sampleFrac(), cfg.delta())
+	if target <= 0 {
+		// More shards than points, or degenerate parameters: sample whole
+		// shards.
+		target = total
+	}
+	res.SampleTarget = target
+	var (
+		mu   sync.Mutex
+		sums []summary
+	)
+	err = forEachShard(shards, cfg.shardParallel(), func(s int) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + 1 + int64(s)))
+		pos, txns, err := sampleShard(shardPath(tmp, s), counts[s], target, rng)
+		if err != nil {
+			return err
+		}
+		ctr.Sampled.Add(int64(len(txns)))
+		cres, err := rockcore.ClusterSource(simjoin.NewSource(txns, simF), rockcore.Config{
+			K:              cfg.K,
+			Theta:          cfg.Theta,
+			MinNeighbors:   cfg.MinNeighbors,
+			StopMultiple:   cfg.StopMultiple,
+			MinClusterSize: cfg.MinClusterSize,
+			DenseLimit:     cfg.DenseLimit,
+			Workers:        cfg.Workers,
+		})
+		if err != nil {
+			return fmt.Errorf("train: clustering shard %d: %w", s, err)
+		}
+		local := make([]summary, 0, len(cres.Clusters))
+		for _, members := range cres.Clusters {
+			local = append(local, summarize(s, members, txns, pos, simF,
+				cfg.numRep(), cfg.labelFrac(), cfg.minLabel(), 0, rng))
+		}
+		mu.Lock()
+		sums = append(sums, local...)
+		mu.Unlock()
+		ctr.ShardsDone.Add(1)
+		ctr.Summaries.Add(int64(len(local)))
+		cfg.logf("cluster: shard %d: %d sampled, %d clusters, %d outliers",
+			s, len(txns), len(cres.Clusters), len(cres.Outliers))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Sampled = int(ctr.Sampled.Load())
+	res.ShardClusters = len(sums)
+	if len(sums) == 0 {
+		return nil, errors.New("train: no shard produced any cluster; every sampled point was an outlier")
+	}
+	// Deterministic summary order regardless of shard completion order.
+	sort.Slice(sums, func(i, j int) bool {
+		if sums[i].shard != sums[j].shard {
+			return sums[i].shard < sums[j].shard
+		}
+		return sums[i].samplePos[0] < sums[j].samplePos[0]
+	})
+	endPhase(PhaseCluster)
+
+	// Phase 3: merge shard clusters globally by link goodness between their
+	// representative points (hierarchically past mergeFan summaries).
+	ctr.setPhase(PhaseMerge)
+	mergeRng := rand.New(rand.NewSource(cfg.Seed - 2))
+	groups := mergeAll(sums, simF, cfg.Theta, fTheta, cfg.K, cfg.DenseLimit, cfg.Workers,
+		cfg.numRep(), mergeRng)
+	res.Clusters = len(groups)
+	ctr.Clusters.Store(int64(len(groups)))
+	cfg.logf("merge: %d shard clusters -> %d global clusters", len(sums), len(groups))
+
+	// Build the snapshot: per global cluster, the union of its summaries'
+	// labeled subsets, capped at MaxLabel.
+	snap, sampledTo, err := buildSnapshot(sums, groups, cfg, fTheta)
+	if err != nil {
+		return nil, err
+	}
+	res.Snapshot = snap
+	endPhase(PhaseMerge)
+
+	// Phase 4: label every point, shard by shard. Sampled points that
+	// survived clustering keep their cluster; everything else goes through
+	// the labeling rule against the snapshot's labeled sets.
+	ctr.setPhase(PhaseLabel)
+	assigner, err := model.Compile(snap)
+	if err != nil {
+		return nil, fmt.Errorf("train: compiling snapshot: %w", err)
+	}
+	var assignments []int
+	if cfg.KeepAssignments {
+		assignments = make([]int, total)
+	}
+	var labeled, outliers int64
+	var lmu sync.Mutex
+	err = forEachShard(shards, cfg.shardParallel(), func(s int) error {
+		sc, err := openShard(shardPath(tmp, s))
+		if err != nil {
+			return err
+		}
+		defer sc.close()
+		var lab, out int64
+		for {
+			pos, t, err := sc.next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			c, ok := sampledTo[pos]
+			if !ok {
+				c, _ = assigner.Assign(t)
+			}
+			if c == label.Outlier {
+				out++
+			} else {
+				lab++
+			}
+			if assignments != nil {
+				assignments[pos] = c
+			}
+		}
+		ctr.Labeled.Add(lab)
+		ctr.Outliers.Add(out)
+		lmu.Lock()
+		labeled += lab
+		outliers += out
+		lmu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Labeled = int(labeled)
+	res.Outliers = int(outliers)
+	res.OutlierRate = float64(outliers) / float64(total)
+	res.Assignments = assignments
+	cfg.logf("label: %d labeled, %d outliers (rate %.4f)", labeled, outliers, res.OutlierRate)
+	endPhase(PhaseLabel)
+	ctr.setPhase(PhaseDone)
+	res.HeapPeak = ctr.HeapPeak.Load()
+
+	if max := cfg.maxOutlierRate(); max >= 0 && res.OutlierRate > max {
+		return res, fmt.Errorf("train: %w: %.4f > %.4f; not publishing", ErrOutlierRate, res.OutlierRate, max)
+	}
+	return res, nil
+}
+
+// countStream counts the transactions one pass yields.
+func countStream(open Opener) (int, error) {
+	sc, closer, err := open()
+	if err != nil {
+		return 0, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	n := 0
+	for {
+		_, err := sc.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		n++
+	}
+}
+
+// shardsForBudget picks the smallest shard count whose per-shard Chernoff
+// sample fits the byte budget, assuming bytesPerPoint of in-core cost per
+// sampled point.
+func shardsForBudget(n, uMin int, f, delta float64, budget int64, bytesPerPoint int) int {
+	for k := 1; k <= maxDerivedShards; k *= 2 {
+		s := sample.ShardMinSize(n, k, uMin, f, delta)
+		if s > 0 && int64(s)*int64(bytesPerPoint) <= budget {
+			return k
+		}
+		if k >= n {
+			break
+		}
+	}
+	return maxDerivedShards
+}
+
+// shardStream spills the stream into shard files under dir, returning the
+// per-shard counts and the total.
+func shardStream(open Opener, dir string, shards int, seed int64, ctr *Counters) ([]int, int, error) {
+	sc, closer, err := open()
+	if err != nil {
+		return nil, 0, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	writers := make([]*shardWriter, shards)
+	for i := range writers {
+		w, err := newShardWriter(shardPath(dir, i))
+		if err != nil {
+			for _, prev := range writers[:i] {
+				prev.close()
+			}
+			return nil, 0, err
+		}
+		writers[i] = w
+	}
+	closeAll := func() error {
+		var first error
+		for _, w := range writers {
+			if err := w.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pos := 0
+	for {
+		t, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			closeAll()
+			return nil, 0, err
+		}
+		if err := writers[rng.Intn(shards)].append(pos, t); err != nil {
+			closeAll()
+			return nil, 0, err
+		}
+		pos++
+		ctr.TxnsTotal.Add(1)
+	}
+	counts := make([]int, shards)
+	for i, w := range writers {
+		counts[i] = w.count
+	}
+	if err := closeAll(); err != nil {
+		return nil, 0, err
+	}
+	return counts, pos, nil
+}
+
+// sampleShard draws a uniform sample of min(target, count) records from one
+// shard file: the record indices are drawn up front (the shard's count is
+// known from the spill pass), so one sequential scan collects exactly the
+// sample — no reservoir churn, memory exactly the sample size.
+func sampleShard(path string, count, target int, rng *rand.Rand) ([]int, []dataset.Transaction, error) {
+	if target > count {
+		target = count
+	}
+	want := sample.Indices(count, target, rng)
+	sort.Ints(want)
+	sc, err := openShard(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sc.close()
+	pos := make([]int, 0, target)
+	txns := make([]dataset.Transaction, 0, target)
+	wi, ri := 0, 0
+	for wi < len(want) {
+		p, t, err := sc.next()
+		if err == io.EOF {
+			return nil, nil, fmt.Errorf("train: shard %s ended at record %d, expected %d", path, ri, count)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if ri == want[wi] {
+			pos = append(pos, p)
+			txns = append(txns, t)
+			wi++
+		}
+		ri++
+	}
+	return pos, txns, nil
+}
+
+// buildSnapshot assembles the model from the merged summaries: per global
+// cluster the union of its summaries' labeled subsets (subsampled down to
+// MaxLabel when several shards contribute), with the labeling norm
+// (|L_i|+1)^f(theta) over the final set size. It also returns the sampled
+// fast-path: original position -> global cluster, for every sample point of
+// every surviving summary.
+func buildSnapshot(sums []summary, groups [][]int, cfg Config, fTheta float64) (*model.Snapshot, map[int]int, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed - 1))
+	sampledTo := make(map[int]int)
+	type labeledPoint struct {
+		pos     int
+		txn     dataset.Transaction
+		cluster int
+	}
+	var points []labeledPoint
+	for g, members := range groups {
+		var lp []labeledPoint
+		for _, si := range members {
+			s := &sums[si]
+			for _, p := range s.samplePos {
+				sampledTo[p] = g
+			}
+			for i, p := range s.labeledPos {
+				lp = append(lp, labeledPoint{pos: p, txn: s.labeledTxns[i], cluster: g})
+			}
+		}
+		if max := cfg.maxLabel(); len(lp) > max {
+			idx := sample.Indices(len(lp), max, rng)
+			sub := make([]labeledPoint, len(idx))
+			for i, ix := range idx {
+				sub[i] = lp[ix]
+			}
+			lp = sub
+		}
+		points = append(points, lp...)
+	}
+	// Snapshot transactions ordered by original position (stable and
+	// deterministic); positions are unique because the shards partition the
+	// stream.
+	sort.Slice(points, func(i, j int) bool { return points[i].pos < points[j].pos })
+	snap := &model.Snapshot{
+		Theta:   cfg.Theta,
+		FTheta:  fTheta,
+		SimName: cfg.simName(),
+	}
+	setPoints := make([][]int, len(groups))
+	for i, p := range points {
+		snap.Txns = append(snap.Txns, p.txn)
+		setPoints[p.cluster] = append(setPoints[p.cluster], i)
+	}
+	for g, pts := range setPoints {
+		if len(pts) == 0 {
+			return nil, nil, fmt.Errorf("train: global cluster %d has no labeled points", g)
+		}
+		snap.Sets = append(snap.Sets, model.Set{
+			Cluster: g,
+			Norm:    rockcore.ExpectedNeighbors(len(pts), fTheta),
+			Points:  pts,
+		})
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("train: building snapshot: %w", err)
+	}
+	return snap, sampledTo, nil
+}
+
+// forEachShard runs fn(shard) over every shard with at most parallel in
+// flight, returning the first error.
+func forEachShard(shards, parallel int, fn func(s int) error) error {
+	if parallel > shards {
+		parallel = shards
+	}
+	sem := make(chan struct{}, parallel)
+	errCh := make(chan error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(s); err != nil {
+				errCh <- err
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// Publish saves the snapshot as the next generation of the model directory.
+func Publish(dir *model.Dir, snap *model.Snapshot) (model.Entry, error) {
+	return dir.Save(snap)
+}
+
+// PostReload asks a serving process to pick up the newest model generation:
+// POST {base}/v1/reload with an empty JSON body, which both rockd (loads its
+// Dir's latest snapshot) and rockgate (rolling-reloads the fleet) accept.
+// Returns the model sequence the server reports, when it reports one.
+func PostReload(client *http.Client, base string) (uint64, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(base+"/v1/reload", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("train: reload %s: %s: %s", base, resp.Status, bytes.TrimSpace(body))
+	}
+	var parsed struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		return 0, nil // a 200 with an exotic body is still a success
+	}
+	return parsed.Seq, nil
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Memory-budget sweep for the sharded out-of-core trainer. Generates the
+# paper's market-basket workload at several multiples, trains each corpus
+# under a fixed per-shard memory budget with cmd/rocktrain, and prints the
+# EXPERIMENTS.md markdown table: corpus size vs shard count, peak RSS and
+# wall time. Peak RSS is the kernel's VmHWM for the rocktrain process,
+# polled while it runs (the container has no /usr/bin/time -v).
+#
+#   make benchtrain                        # multiples 1, 10, 100 at 64 MiB
+#   MULTS="100" BUDGET_MB=256 scripts/benchtrain.sh
+#
+# Corpora are cached in $WORK (default /tmp/rocktrain-bench) so reruns
+# skip generation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-bin}
+WORK=${WORK:-/tmp/rocktrain-bench}
+BUDGET_MB=${BUDGET_MB:-64}
+MULTS=${MULTS:-"1 10 100"}
+mkdir -p "$WORK" "$BIN"
+go build -o "$BIN" ./cmd/rockgen ./cmd/rocktrain
+
+echo "| corpus (txns) | budget | shards | sample/shard | global clusters | outlier rate | peak RSS | wall time |"
+echo "|--------------:|-------:|-------:|-------------:|----------------:|-------------:|---------:|----------:|"
+for m in $MULTS; do
+    corpus="$WORK/basket-x$m.bin"
+    if [ ! -f "$corpus" ]; then
+        "$BIN/rockgen" -dataset basket -mult "$m" -binary -seed 42 -out "$corpus" >/dev/null
+    fi
+    out="$WORK/train-x$m-${BUDGET_MB}mb.txt"
+    start=$(date +%s)
+    "$BIN/rocktrain" -k 10 -theta 0.5 -min-neighbors 2 -stop-multiple 3 -min-cluster-size 5 \
+        -binary -mem-budget-mb "$BUDGET_MB" -seed 7 -quiet -snapshot-dir "$WORK/models-x$m" \
+        "$corpus" >"$out" &
+    pid=$!
+    peak_kb=0
+    while kill -0 "$pid" 2>/dev/null; do
+        v=$(awk '/^VmHWM/{print $2}' "/proc/$pid/status" 2>/dev/null || true)
+        [ -n "${v:-}" ] && peak_kb=$v
+        sleep 0.2
+    done
+    wait "$pid"
+    wall=$(($(date +%s) - start))
+    # "trained N transactions: S shards (sample P/shard), A shard clusters
+    #  -> C global, L labeled, O outliers (rate R), ..."
+    read -r txns shards sample clusters rate < <(awk -F'[ ,()/]+' '/^trained/{
+        for (i = 1; i <= NF; i++) {
+            if ($i == "transactions:") txns = $(i-1)
+            if ($i == "shards")        shards = $(i-1)
+            if ($i == "sample")        sample = $(i+1)
+            if ($i == "global")        clusters = $(i-1)
+            if ($i == "rate")          rate = $(i+1)
+        }
+        print txns, shards, sample, clusters, rate
+    }' "$out")
+    printf '| %s | %s MiB | %s | %s | %s | %s | %s MiB | %ss |\n' \
+        "$txns" "$BUDGET_MB" "$shards" "$sample" "$clusters" "$rate" \
+        "$((peak_kb / 1024))" "$wall"
+done
