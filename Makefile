@@ -5,6 +5,8 @@
 #   make vet      static checks
 #   make faults   fault-injection + chaos suite under the race detector
 #   make chaos    multi-replica fleet chaos drills under the race detector
+#   make trainfaults  trainer crash/resume drills (journal crash sweep,
+#                     SIGKILL-and-resume, reload retries) under -race
 #   make check    all of the above
 #   make bench    benchmark harness (short mode)
 #   make benchjoin  brute vs indexed neighbor-join sweep (full size)
@@ -12,7 +14,7 @@
 
 GO ?= go
 
-.PHONY: verify race vet faults chaos check bench benchjoin benchtrain fuzz
+.PHONY: verify race vet faults chaos trainfaults check bench benchjoin benchtrain fuzz
 
 verify:
 	$(GO) build ./...
@@ -41,7 +43,16 @@ chaos:
 	$(GO) test -race ./internal/daemon -run 'Chaos'
 	$(GO) test -race ./internal/gate -run 'Chaos|Smoke'
 
-check: verify race vet faults chaos
+# Trainer crash-safety: the journal power-cut sweep (both rename-journal
+# orderings), cancel-at-every-checkpoint and SIGKILL-at-checkpoint resume
+# drills (resumed model must be ARI-identical with no re-clustering),
+# quarantine of corrupt shards/summaries, shard-scanner corruption sweeps,
+# and the reload retry/backoff policy. ROCKTRAIN_E2E_DIVISOR sizes the
+# drill corpus (lower = bigger).
+trainfaults:
+	$(GO) test -race ./internal/train -run 'Journal|Resume|Kill|Watchdog|PreCancelled|Shard|PostReload|RetryAfter|RunPublish'
+
+check: verify race vet faults chaos trainfaults
 
 bench:
 	$(GO) test -short -bench=. -benchmem ./...

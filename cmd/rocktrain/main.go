@@ -18,19 +18,30 @@
 // whole fleet — so a cron entry running rocktrain is a complete
 // train-to-production loop with no human in the path.
 //
+// With -run-dir the run is crash-safe: spill shards and a stage-checkpoint
+// journal live in that directory, SIGTERM/SIGINT stop the run at the next
+// checkpoint, and re-running the same command with the same -run-dir resumes
+// at the first incomplete stage — including the publish/reload tail — instead
+// of starting over. -stage-timeout arms a per-stage watchdog on top, so a
+// wedged stage turns into an exit-and-resume instead of a silent hang.
+//
 // -metrics-addr serves live progress counters in Prometheus text format
 // while training runs (phase, transactions sharded, shards clustered,
-// labeled/outlier counts, heap peak).
+// labeled/outlier counts, checkpoint/resume counters, heap peak).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rock/internal/model"
@@ -42,29 +53,33 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rocktrain: ")
 	var (
-		k           = flag.Int("k", 2, "target number of global clusters")
-		theta       = flag.Float64("theta", 0.5, "neighbor similarity threshold")
-		simName     = flag.String("sim", "jaccard", "similarity: jaccard, dice, overlap or cosine")
-		shards      = flag.Int("shards", 0, "shard count; 0 derives it from -mem-budget-mb")
-		budgetMB    = flag.Int("mem-budget-mb", 0, "per-shard in-core memory target in MiB (used when -shards is 0)")
-		minNbrs     = flag.Int("min-neighbors", 0, "per-shard: discard sampled points with fewer neighbors")
-		stopMult    = flag.Float64("stop-multiple", 0, "per-shard: pause at this multiple of k and weed small clusters")
-		minSize     = flag.Int("min-cluster-size", 0, "per-shard: weeding support threshold")
-		uMin        = flag.Int("u-min", 0, "smallest cluster size the sample must represent (0 = auto)")
-		numRep      = flag.Int("num-rep", 0, "representative points per shard cluster (0 = 10)")
-		maxLabel    = flag.Int("max-label", 0, "labeled points kept per global cluster (0 = 128)")
-		maxOutlier  = flag.Float64("max-outlier-rate", 0, "abort publish above this outlier fraction (0 = 0.5)")
-		workers     = flag.Int("workers", 0, "parallelism inside neighbor/link computation (0 = all CPUs)")
-		shardPar    = flag.Int("shard-parallel", 1, "shards processed concurrently (memory multiplies)")
-		seed        = flag.Int64("seed", 1, "seed for sharding, sampling and labeled subsets")
-		tmpDir      = flag.String("tmp", "", "directory for shard spill files (default: system temp)")
-		binary      = flag.Bool("binary", false, "input is the binary transaction format")
-		snapDir     = flag.String("snapshot-dir", "", "publish the model into this versioned snapshot directory")
-		snapName    = flag.String("snapshot-name", "model", "snapshot base name within -snapshot-dir")
-		snapKeep    = flag.Int("snapshot-keep", 0, "generations to retain in -snapshot-dir (0 = default)")
-		reload      = flag.String("reload", "", "comma-separated base URLs (rockd or rockgate) to POST /v1/reload after publishing")
-		metricsAddr = flag.String("metrics-addr", "", "serve live training counters on this address at /metrics")
-		quiet       = flag.Bool("quiet", false, "suppress per-phase progress lines")
+		k            = flag.Int("k", 2, "target number of global clusters")
+		theta        = flag.Float64("theta", 0.5, "neighbor similarity threshold")
+		simName      = flag.String("sim", "jaccard", "similarity: jaccard, dice, overlap or cosine")
+		shards       = flag.Int("shards", 0, "shard count; 0 derives it from -mem-budget-mb")
+		budgetMB     = flag.Int("mem-budget-mb", 0, "per-shard in-core memory target in MiB (used when -shards is 0)")
+		minNbrs      = flag.Int("min-neighbors", 0, "per-shard: discard sampled points with fewer neighbors")
+		stopMult     = flag.Float64("stop-multiple", 0, "per-shard: pause at this multiple of k and weed small clusters")
+		minSize      = flag.Int("min-cluster-size", 0, "per-shard: weeding support threshold")
+		uMin         = flag.Int("u-min", 0, "smallest cluster size the sample must represent (0 = auto)")
+		numRep       = flag.Int("num-rep", 0, "representative points per shard cluster (0 = 10)")
+		maxLabel     = flag.Int("max-label", 0, "labeled points kept per global cluster (0 = 128)")
+		maxOutlier   = flag.Float64("max-outlier-rate", 0, "abort publish above this outlier fraction (0 = 0.5)")
+		workers      = flag.Int("workers", 0, "parallelism inside neighbor/link computation (0 = all CPUs)")
+		shardPar     = flag.Int("shard-parallel", 1, "shards processed concurrently (memory multiplies)")
+		seed         = flag.Int64("seed", 1, "seed for sharding, sampling and labeled subsets")
+		tmpDir       = flag.String("tmp", "", "directory for shard spill files when -run-dir is unset (default: system temp)")
+		runDir       = flag.String("run-dir", "", "durable run directory: spill + stage journal live here and a rerun resumes where this one stopped")
+		stageTimeout = flag.Duration("stage-timeout", 0, "per-stage watchdog: fail a stage that runs longer (0 = no watchdog)")
+		binary       = flag.Bool("binary", false, "input is the binary transaction format")
+		snapDir      = flag.String("snapshot-dir", "", "publish the model into this versioned snapshot directory")
+		snapName     = flag.String("snapshot-name", "model", "snapshot base name within -snapshot-dir")
+		snapKeep     = flag.Int("snapshot-keep", 0, "generations to retain in -snapshot-dir (0 = default)")
+		reload       = flag.String("reload", "", "comma-separated base URLs (rockd or rockgate) to POST /v1/reload after publishing")
+		reloadTries  = flag.Int("reload-attempts", 0, "reload attempts per URL before giving up (0 = default)")
+		reloadTime   = flag.Duration("reload-timeout", 0, "deadline per reload attempt (0 = default)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live training counters on this address at /metrics")
+		quiet        = flag.Bool("quiet", false, "suppress per-phase progress lines")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -97,6 +112,12 @@ func main() {
 		}()
 	}
 
+	// SIGTERM/SIGINT cancel the run context: the pipeline stops at the next
+	// cooperative point with everything already checkpointed (when -run-dir
+	// is set), and the same command resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
 	cfg := train.Config{
 		K:              *k,
 		Theta:          *theta,
@@ -114,6 +135,8 @@ func main() {
 		MaxOutlierRate: *maxOutlier,
 		Seed:           *seed,
 		TmpDir:         *tmpDir,
+		RunDir:         *runDir,
+		StageTimeout:   *stageTimeout,
 		Counters:       ctr,
 	}
 	if !*quiet {
@@ -121,11 +144,15 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := train.Train(opener, cfg)
+	res, err := train.TrainContext(ctx, opener, cfg)
 	if err != nil {
 		if res != nil {
 			fmt.Printf("training failed after %s: outlier rate %.4f over %d transactions\n",
 				time.Since(start).Round(time.Millisecond), res.OutlierRate, res.Total)
+		}
+		if *runDir != "" && (errors.Is(err, context.Canceled) || errors.Is(err, train.ErrStageTimeout)) {
+			log.Printf("%v", err)
+			log.Fatalf("run interrupted; completed stages are journaled — rerun with -run-dir %s to resume", *runDir)
 		}
 		log.Fatal(err)
 	}
@@ -149,23 +176,49 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	entry, err := train.Publish(dir, res.Snapshot)
+	// res.Run journals the publish/reload tail when -run-dir is set: a crash
+	// after publishing but before every fleet reload lands re-runs only the
+	// reloads that never succeeded, and never publishes twice.
+	entry, skipped, err := res.Run.Publish(dir, res.Snapshot)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ctr.SnapshotSeq.Store(int64(entry.Seq))
-	fmt.Printf("published generation %d: %s\n", entry.Seq, entry.Path)
+	if skipped {
+		fmt.Printf("already published as generation %d: %s\n", entry.Seq, entry.Path)
+	} else {
+		fmt.Printf("published generation %d: %s\n", entry.Seq, entry.Path)
+	}
 
+	ropt := train.ReloadOptions{
+		Attempts: *reloadTries,
+		Timeout:  *reloadTime,
+		Counters: ctr,
+		OnRetry: func(err error, delay time.Duration) {
+			if !*quiet {
+				log.Printf("reload retry in %s: %v", delay.Round(time.Millisecond), err)
+			}
+		},
+	}
+	client := &http.Client{}
 	for _, base := range strings.Split(*reload, ",") {
 		base = strings.TrimSpace(base)
 		if base == "" {
 			continue
 		}
-		seq, err := train.PostReload(&http.Client{Timeout: 2 * time.Minute}, base)
+		seq, skipped, err := res.Run.PostReload(ctx, client, base, ropt)
 		if err != nil {
+			if *runDir != "" {
+				log.Printf("reload %s: %v", base, err)
+				log.Fatalf("publish is journaled; rerun with -run-dir %s to retry only the failed reloads", *runDir)
+			}
 			log.Fatalf("reload %s: %v", base, err)
 		}
 		ctr.ReloadPosted.Add(1)
-		fmt.Printf("reloaded %s -> generation %d\n", base, seq)
+		if skipped {
+			fmt.Printf("already reloaded %s -> generation %d\n", base, seq)
+		} else {
+			fmt.Printf("reloaded %s -> generation %d\n", base, seq)
+		}
 	}
 }

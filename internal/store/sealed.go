@@ -1,0 +1,86 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Sealed files are the small durable metadata artifacts of this repo — the
+// training run journal, and any future manifest that must survive a crash
+// bit-for-bit or not at all. The framing repeats the model snapshot's
+// format-v2 idiom: a caller-chosen magic, a one-byte format version, the raw
+// body, and a little-endian CRC32 (IEEE) trailer over the body. Writes go
+// through AtomicWriteFile, so a reader (or a post-crash reboot) observes
+// either the previous sealed file or the complete new one; the trailer then
+// catches what atomicity cannot — bitrot, a torn copy, a rename whose data
+// never hit the journal.
+
+// sealedTrailerLen is the length of the CRC32 trailer.
+const sealedTrailerLen = 4
+
+// WriteSealed atomically writes body to path under the given magic and
+// format version.
+func WriteSealed(fsys FS, path string, magic []byte, version byte, body []byte) error {
+	return AtomicWriteFile(fsys, path, func(w io.Writer) error {
+		if _, err := w.Write(magic); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{version}); err != nil {
+			return err
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+		var trailer [sealedTrailerLen]byte
+		binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(body))
+		_, err := w.Write(trailer[:])
+		return err
+	})
+}
+
+// ReadSealed reads a sealed file, validating magic, version and the CRC32
+// trailer, and returns the format version and body. Versions above
+// maxVersion are rejected so an old binary fails loudly on a future format
+// instead of misparsing it.
+func ReadSealed(fsys FS, path string, magic []byte, maxVersion byte) (byte, []byte, error) {
+	raw, err := ReadFileFS(fsys, path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(raw) < len(magic)+1+sealedTrailerLen {
+		return 0, nil, fmt.Errorf("store: %s: sealed file truncated (%d bytes)", path, len(raw))
+	}
+	if !bytes.Equal(raw[:len(magic)], magic) {
+		return 0, nil, fmt.Errorf("store: %s: bad magic %q", path, raw[:len(magic)])
+	}
+	version := raw[len(magic)]
+	if version == 0 || version > maxVersion {
+		return 0, nil, fmt.Errorf("store: %s: sealed format version %d, this build reads 1..%d", path, version, maxVersion)
+	}
+	body := raw[len(magic)+1 : len(raw)-sealedTrailerLen]
+	want := binary.LittleEndian.Uint32(raw[len(raw)-sealedTrailerLen:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return 0, nil, fmt.Errorf("store: %s: sealed file corrupt: CRC32 %08x, trailer says %08x", path, got, want)
+	}
+	return version, body, nil
+}
+
+// ChecksumFile streams name through CRC32 (IEEE), returning the checksum and
+// byte count. Used to verify large artifacts (spill shards) against the
+// checksum a journal recorded when they were written.
+func ChecksumFile(fsys FS, name string) (uint32, int64, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	crc := crc32.NewIEEE()
+	n, err := io.Copy(crc, f)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: checksumming %s: %w", name, err)
+	}
+	return crc.Sum32(), n, nil
+}

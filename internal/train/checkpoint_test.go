@@ -1,0 +1,495 @@
+package train
+
+// Crash-safety drills for the resumable-run machinery: the journal must
+// survive a power cut at every filesystem operation under both rename-journal
+// orderings, and a run interrupted at any checkpoint must resume to a model
+// identical to an uninterrupted one — without redoing finished work.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rock/internal/datagen"
+	"rock/internal/dataset"
+	"rock/internal/store"
+)
+
+// drillData builds the drill corpus, sized by ROCKTRAIN_E2E_DIVISOR (see
+// killDrillDivisor) so the CI train-resume job can run the same drills on a
+// bigger corpus.
+func drillData() *datagen.BasketData {
+	rng := rand.New(rand.NewSource(1))
+	return datagen.Basket(datagen.ScaledBasketConfig(killDrillDivisor()), rng)
+}
+
+func drillCfg(d *datagen.BasketData, runDir string) Config {
+	return Config{
+		K:               d.NumClusters(),
+		Theta:           0.5,
+		Shards:          2,
+		MinNeighbors:    2,
+		StopMultiple:    3,
+		MinClusterSize:  5,
+		Seed:            7,
+		RunDir:          runDir,
+		KeepAssignments: true,
+	}
+}
+
+// drillJournalScript is the stage sequence of a 2-shard run, expressed as
+// journal updates — what Train would checkpoint, without the compute.
+func drillJournalScript(r *Run) []func() error {
+	return []func() error{
+		func() error {
+			return r.update(func(j *Journal) { j.Counted = 100; j.Shards = 2 })
+		},
+		func() error {
+			return r.update(func(j *Journal) {
+				j.Total = 100
+				j.Spill = []SpillInfo{{Records: 52, Bytes: 900, CRC: 0xAAAA}, {Records: 48, Bytes: 850, CRC: 0xBBBB}}
+			})
+		},
+		func() error {
+			return r.update(func(j *Journal) {
+				j.Clustered = make([]*ClusterInfo, 2)
+				j.Clustered[0] = &ClusterInfo{Sampled: 52, Summaries: 3, Bytes: 400, CRC: 0x1111}
+			})
+		},
+		func() error {
+			return r.update(func(j *Journal) {
+				j.Clustered[1] = &ClusterInfo{Sampled: 48, Summaries: 2, Bytes: 300, CRC: 0x2222}
+			})
+		},
+		func() error {
+			return r.update(func(j *Journal) { j.MergeGroups = [][]int{{0, 3}, {1, 2, 4}} })
+		},
+		func() error {
+			return r.update(func(j *Journal) { j.SnapshotDone = true })
+		},
+		func() error {
+			return r.update(func(j *Journal) {
+				j.Labeled = make([]*LabelInfo, 2)
+				j.Labeled[0] = &LabelInfo{Labeled: 50, Outliers: 2}
+			})
+		},
+		func() error {
+			return r.update(func(j *Journal) { j.Labeled[1] = &LabelInfo{Labeled: 45, Outliers: 3} })
+		},
+		func() error {
+			return r.update(func(j *Journal) { j.PublishSeq = 4 })
+		},
+		func() error {
+			return r.update(func(j *Journal) { j.Reloaded = map[string]uint64{"http://gate": 4} })
+		},
+	}
+}
+
+// TestJournalCrashSweep cuts power at every mutating filesystem operation of
+// the journal checkpoint sequence, under both legal rename-durability
+// orderings, and requires that the recovered journal is always exactly the
+// state after some completed update — never a torn file, never a state that
+// was not yet checkpointed, never a stage counted twice. It then finishes
+// the remaining updates on the recovered state and requires the final
+// journal to match the fault-free run.
+func TestJournalCrashSweep(t *testing.T) {
+	cfg := Config{K: 2, Theta: 0.5, Shards: 2, Seed: 7, RunDir: "run"}
+
+	// The fault-free reference: the journal state after each update.
+	var states []Journal
+	{
+		fs := store.NewFaultFS()
+		r, err := OpenRun(fs, "run", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, r.Journal()) // state 0: fresh
+		for _, step := range drillJournalScript(r) {
+			if err := step(); err != nil {
+				t.Fatal(err)
+			}
+			states = append(states, r.Journal())
+		}
+	}
+	final := states[len(states)-1]
+
+	matchState := func(t *testing.T, j Journal) int {
+		t.Helper()
+		for i := range states {
+			if reflect.DeepEqual(j, states[i]) {
+				return i
+			}
+		}
+		t.Fatalf("recovered journal matches no checkpointed state: %+v", j)
+		return -1
+	}
+
+	for failAfter := 0; ; failAfter++ {
+		fs := store.NewFaultFS()
+		fs.SetFailAfter(failAfter)
+		r, err := OpenRun(fs, "run", cfg)
+		if err != nil {
+			t.Fatalf("failAfter=%d: open: %v", failAfter, err)
+		}
+		var stepErr error
+		for _, step := range drillJournalScript(r) {
+			if stepErr = step(); stepErr != nil {
+				break
+			}
+		}
+		if stepErr != nil && !errors.Is(stepErr, store.ErrInjected) {
+			t.Fatalf("failAfter=%d: unexpected error %v", failAfter, stepErr)
+		}
+		for _, renamesDurable := range []bool{false, true} {
+			crashed := fs.Crash(renamesDurable)
+			j, err := LoadJournal(crashed, "run")
+			var got Journal
+			switch {
+			case err == nil:
+				got = *j
+			case errors.Is(err, ErrNoJournal):
+				got = states[0] // nothing durable yet: a fresh run
+			default:
+				t.Fatalf("failAfter=%d renamesDurable=%v: recovered journal unreadable: %v",
+					failAfter, renamesDurable, err)
+			}
+			i := matchState(t, got)
+
+			// Resume on the crashed filesystem: replay from the recovered
+			// state; the completed prefix must not be applied twice.
+			r2, err := OpenRun(crashed, "run", cfg)
+			if err != nil {
+				t.Fatalf("failAfter=%d renamesDurable=%v: reopen: %v", failAfter, renamesDurable, err)
+			}
+			for _, step := range drillJournalScript(r2)[i:] {
+				if err := step(); err != nil {
+					t.Fatalf("failAfter=%d renamesDurable=%v: resume step: %v", failAfter, renamesDurable, err)
+				}
+			}
+			if !reflect.DeepEqual(r2.Journal(), final) {
+				t.Fatalf("failAfter=%d renamesDurable=%v: resumed journal diverged:\n got %+v\nwant %+v",
+					failAfter, renamesDurable, r2.Journal(), final)
+			}
+		}
+		if stepErr == nil {
+			break // the whole script ran without hitting the fault
+		}
+	}
+}
+
+// TestJournalConfigSigMismatch: a run directory refuses a resume under a
+// different result-shaping config, but tolerates parallelism-only changes.
+func TestJournalConfigSigMismatch(t *testing.T) {
+	fs := store.NewFaultFS()
+	cfg := Config{K: 2, Theta: 0.5, Shards: 2, Seed: 7}
+	r, err := OpenRun(fs, "run", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.update(func(j *Journal) { j.Shards = 2 }); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed = 8
+	if _, err := OpenRun(fs, "run", other); err == nil || !strings.Contains(err.Error(), "different config") {
+		t.Fatalf("seed change accepted: %v", err)
+	}
+	same := cfg
+	same.Workers = 16
+	same.ShardParallel = 4
+	same.KeepAssignments = true
+	if _, err := OpenRun(fs, "run", same); err != nil {
+		t.Fatalf("parallelism change refused: %v", err)
+	}
+}
+
+// checkpointEvents runs a full durable training run and returns its result
+// plus the ordered checkpoint events.
+func checkpointEvents(t *testing.T, d *datagen.BasketData, runDir string) (*Result, []string) {
+	t.Helper()
+	cfg := drillCfg(d, runDir)
+	var events []string
+	cfg.hookCheckpoint = func(stage string, shard int) {
+		events = append(events, stage)
+	}
+	res, err := TrainContext(context.Background(), SliceOpener(d.Txns), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, events
+}
+
+// TestResumeAtEveryCheckpoint cancels a durable run right after each
+// checkpoint in turn, then resumes it, and requires the resumed model to be
+// assignment-identical (ARI 1.0) to the uninterrupted baseline — with the
+// already-clustered shards loaded from checkpoint, not recomputed.
+func TestResumeAtEveryCheckpoint(t *testing.T) {
+	d := drillData()
+	baseline, events := checkpointEvents(t, d, filepath.Join(t.TempDir(), "baseline"))
+	if len(events) < 5 {
+		t.Fatalf("only %d checkpoint events recorded: %v", len(events), events)
+	}
+	for target := 1; target <= len(events); target++ {
+		runDir := filepath.Join(t.TempDir(), "run")
+		cfg := drillCfg(d, runDir)
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		cfg.hookCheckpoint = func(stage string, shard int) {
+			if n++; n == target {
+				cancel()
+			}
+		}
+		res, err := TrainContext(ctx, SliceOpener(d.Txns), cfg)
+		cancel()
+		if err == nil {
+			// The cancellation landed after the last cooperative check; the
+			// run completed — still must match the baseline.
+			if !reflect.DeepEqual(res.Assignments, baseline.Assignments) {
+				t.Fatalf("target=%d (%s): uninterrupted-after-cancel run diverged", target, events[target-1])
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("target=%d (%s): interrupt error %v, want context.Canceled", target, events[target-1], err)
+		}
+
+		j, jerr := LoadJournal(store.OS, runDir)
+		if jerr != nil && !errors.Is(jerr, ErrNoJournal) {
+			t.Fatalf("target=%d: journal unreadable after interrupt: %v", target, jerr)
+		}
+		clusteredThen := 0
+		if jerr == nil {
+			clusteredThen = countClustered(j.Clustered)
+		}
+
+		ctr := &Counters{}
+		rcfg := drillCfg(d, runDir)
+		rcfg.Counters = ctr
+		resumed, err := TrainContext(context.Background(), SliceOpener(d.Txns), rcfg)
+		if err != nil {
+			t.Fatalf("target=%d (%s): resume failed: %v", target, events[target-1], err)
+		}
+		if !reflect.DeepEqual(resumed.Assignments, baseline.Assignments) {
+			t.Errorf("target=%d (%s): resumed assignments differ from the uninterrupted run", target, events[target-1])
+		}
+		if resumed.Clusters != baseline.Clusters || resumed.Outliers != baseline.Outliers {
+			t.Errorf("target=%d: resumed %d clusters/%d outliers, baseline %d/%d",
+				target, resumed.Clusters, resumed.Outliers, baseline.Clusters, baseline.Outliers)
+		}
+		if got := ctr.Resumes.Load(); got != 1 {
+			t.Errorf("target=%d: rocktrain_resume_total = %d, want 1", target, got)
+		}
+		if got := ctr.ShardsResumed.Load(); got != int64(clusteredThen) {
+			t.Errorf("target=%d: %d shards resumed from checkpoint, journal had %d clustered",
+				target, got, clusteredThen)
+		}
+		if ctr.CheckpointWrites.Load() == 0 {
+			t.Errorf("target=%d: resume wrote no checkpoints", target)
+		}
+	}
+}
+
+// TestResumeCompletedRunIsANoop: rerunning a finished run directory recomputes
+// nothing but the (KeepAssignments-forced) labeling pass and reproduces the
+// result exactly.
+func TestResumeCompletedRunIsANoop(t *testing.T) {
+	d := drillData()
+	runDir := filepath.Join(t.TempDir(), "run")
+	baseline, _ := checkpointEvents(t, d, runDir)
+
+	ctr := &Counters{}
+	cfg := drillCfg(d, runDir)
+	cfg.Counters = ctr
+	res, err := TrainContext(context.Background(), SliceOpener(d.Txns), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Assignments, baseline.Assignments) {
+		t.Error("rerun of a completed run directory changed the assignments")
+	}
+	if got := ctr.ShardsResumed.Load(); got != 2 {
+		t.Errorf("shards resumed = %d, want 2 (no re-clustering)", got)
+	}
+	if got := ctr.Resumes.Load(); got != 1 {
+		t.Errorf("resumes = %d, want 1", got)
+	}
+	if got := ctr.ShardsQuarantined.Load(); got != 0 {
+		t.Errorf("quarantined %d artifacts on a clean rerun", got)
+	}
+}
+
+// corruptFile flips one byte in the middle of a file on the real filesystem.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeQuarantinesCorruptSpill: a bit-rotted shard spill file is
+// detected by its journaled checksum, renamed to .corrupt, and respilled
+// deterministically — and the run still reproduces the baseline.
+func TestResumeQuarantinesCorruptSpill(t *testing.T) {
+	d := drillData()
+	runDir := filepath.Join(t.TempDir(), "run")
+	baseline, _ := checkpointEvents(t, d, runDir)
+
+	corruptFile(t, shardPath(runDir, 1))
+	// Drop the downstream per-shard artifacts' journal entries? No: the
+	// journal stays; clustering checkpoints are still valid (they were
+	// derived before the rot), so only the spill is re-derived.
+	ctr := &Counters{}
+	cfg := drillCfg(d, runDir)
+	cfg.Counters = ctr
+	res, err := TrainContext(context.Background(), SliceOpener(d.Txns), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Assignments, baseline.Assignments) {
+		t.Error("resumed run with respilled shard diverged from baseline")
+	}
+	if got := ctr.ShardsQuarantined.Load(); got != 1 {
+		t.Errorf("quarantined = %d, want 1", got)
+	}
+	if ctr.StageRetries.Load() == 0 {
+		t.Error("stage retry counter never bumped")
+	}
+	if _, err := os.Stat(shardPath(runDir, 1) + ".corrupt"); err != nil {
+		t.Errorf("quarantined shard not preserved: %v", err)
+	}
+	// The respilled shard must verify cleanly now.
+	j, err := LoadJournal(store.OS, runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crc, n, err := store.ChecksumFile(store.OS, shardPath(runDir, 1))
+	if err != nil || crc != j.Spill[1].CRC || n != j.Spill[1].Bytes {
+		t.Errorf("respilled shard does not match the journal: crc %08x/%08x bytes %d/%d err %v",
+			crc, j.Spill[1].CRC, n, j.Spill[1].Bytes, err)
+	}
+}
+
+// TestResumeQuarantinesCorruptSummaries: a rotted per-shard clustering
+// checkpoint is quarantined and the shard re-clustered, reproducing the
+// baseline exactly.
+func TestResumeQuarantinesCorruptSummaries(t *testing.T) {
+	d := drillData()
+	runDir := filepath.Join(t.TempDir(), "run")
+	baseline, _ := checkpointEvents(t, d, runDir)
+
+	corruptFile(t, sumsPath(runDir, 0))
+	ctr := &Counters{}
+	cfg := drillCfg(d, runDir)
+	cfg.Counters = ctr
+	res, err := TrainContext(context.Background(), SliceOpener(d.Txns), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Assignments, baseline.Assignments) {
+		t.Error("resumed run with re-clustered shard diverged from baseline")
+	}
+	if got := ctr.ShardsQuarantined.Load(); got != 1 {
+		t.Errorf("quarantined = %d, want 1", got)
+	}
+	if got := ctr.ShardsResumed.Load(); got != 1 {
+		t.Errorf("shards resumed = %d, want 1 (the intact one)", got)
+	}
+	if _, err := os.Stat(sumsPath(runDir, 0) + ".corrupt"); err != nil {
+		t.Errorf("quarantined summaries not preserved: %v", err)
+	}
+}
+
+// TestResumeCorruptJournalIsLoud: a damaged journal must abort with an
+// instruction, never silently restart the run.
+func TestResumeCorruptJournalIsLoud(t *testing.T) {
+	d := drillData()
+	runDir := filepath.Join(t.TempDir(), "run")
+	checkpointEvents(t, d, runDir)
+
+	path := filepath.Join(runDir, journalFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = TrainContext(context.Background(), SliceOpener(d.Txns), drillCfg(d, runDir))
+	if err == nil || !strings.Contains(err.Error(), "journal") {
+		t.Fatalf("truncated journal: %v", err)
+	}
+}
+
+// TestResumeRejectsChangedInput: resuming a run over a different input
+// stream must fail verification, not silently mix corpora.
+func TestResumeRejectsChangedInput(t *testing.T) {
+	d := drillData()
+	runDir := filepath.Join(t.TempDir(), "run")
+	checkpointEvents(t, d, runDir)
+
+	// Corrupt a spill shard so the resume has to respill from the (changed)
+	// source; the respill must not match the journal.
+	corruptFile(t, shardPath(runDir, 0))
+	changed := append([]dataset.Transaction{{1, 2, 3}}, d.Txns...)
+	_, err := TrainContext(context.Background(), SliceOpener(changed), drillCfg(d, runDir))
+	if err == nil || !strings.Contains(err.Error(), "input stream changed") {
+		t.Fatalf("changed input accepted: %v", err)
+	}
+}
+
+// slowScanner delays every record, so a stage reliably outlives a short
+// watchdog without depending on corpus size.
+type slowScanner struct {
+	txns  []dataset.Transaction
+	i     int
+	delay time.Duration
+}
+
+func (s *slowScanner) Next() (dataset.Transaction, error) {
+	time.Sleep(s.delay)
+	if s.i >= len(s.txns) {
+		return nil, io.EOF
+	}
+	t := s.txns[s.i]
+	s.i++
+	return t, nil
+}
+
+// TestStageWatchdogTimesOut: a wedged stage fails with ErrStageTimeout
+// instead of hanging forever.
+func TestStageWatchdogTimesOut(t *testing.T) {
+	d := drillData()
+	cfg := drillCfg(d, filepath.Join(t.TempDir(), "run"))
+	cfg.StageTimeout = 20 * time.Millisecond
+	slow := Opener(func() (store.Scanner, io.Closer, error) {
+		return &slowScanner{txns: d.Txns[:100], delay: 5 * time.Millisecond}, nil, nil
+	})
+	_, err := TrainContext(context.Background(), slow, cfg)
+	if !errors.Is(err, ErrStageTimeout) {
+		t.Fatalf("error %v, want ErrStageTimeout", err)
+	}
+}
+
+// TestTrainContextPreCancelled: a cancelled context stops the run before any
+// work.
+func TestTrainContextPreCancelled(t *testing.T) {
+	d := drillData()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := TrainContext(ctx, SliceOpener(d.Txns), drillCfg(d, t.TempDir()))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,161 @@
+package train
+
+// The kill-and-resume drill: a real training process is SIGKILLed — not
+// cancelled, not SIGTERMed, kill -9 — while frozen at a checkpoint boundary,
+// and a fresh process resumes the same run directory. The resumed model must
+// be assignment-identical (ARI 1.0) to an uninterrupted run, and the shards
+// that were clustered before the kill must be loaded from checkpoint, not
+// recomputed. The child is this test binary re-exec'ed into the helper test,
+// which freezes (and drops a marker file) right after the target checkpoint
+// so the kill lands at a deterministic journal state.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"rock/internal/store"
+)
+
+// killDrillDivisor scales the drill corpus: ~2.3k transactions by default so
+// `go test ./...` stays quick; the CI train-resume job lowers the divisor
+// for a bigger corpus.
+func killDrillDivisor() int {
+	if v := os.Getenv("ROCKTRAIN_E2E_DIVISOR"); v != "" {
+		if d, err := strconv.Atoi(v); err == nil && d >= 1 {
+			return d
+		}
+	}
+	return 50
+}
+
+// TestKillDrillHelperProcess is the child side of TestKillAndResumeDrill: it
+// runs a durable training run and freezes forever right after the N-th
+// checkpoint, writing a marker file so the parent knows the journal is at
+// the target state. The parent then SIGKILLs it. Skipped unless re-exec'ed
+// with the drill environment.
+func TestKillDrillHelperProcess(t *testing.T) {
+	runDir := os.Getenv("ROCKTRAIN_KILL_RUNDIR")
+	if runDir == "" {
+		t.Skip("subprocess helper for TestKillAndResumeDrill")
+	}
+	after, err := strconv.Atoi(os.Getenv("ROCKTRAIN_KILL_AFTER"))
+	if err != nil || after < 1 {
+		t.Fatalf("bad ROCKTRAIN_KILL_AFTER: %v", err)
+	}
+	d := drillData()
+	cfg := drillCfg(d, runDir)
+	var mu sync.Mutex
+	n := 0
+	cfg.hookCheckpoint = func(stage string, shard int) {
+		mu.Lock()
+		n++
+		hit := n == after
+		mu.Unlock()
+		if hit {
+			os.WriteFile(filepath.Join(runDir, "frozen"), []byte(stage), 0o644)
+			for {
+				time.Sleep(time.Hour) // hold the checkpoint state until SIGKILL
+			}
+		}
+	}
+	TrainContext(context.Background(), SliceOpener(d.Txns), cfg)
+	t.Fatalf("run completed without reaching checkpoint %d", after)
+}
+
+func TestKillAndResumeDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drill")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := drillData()
+	baseline, events := checkpointEvents(t, d, filepath.Join(t.TempDir(), "baseline"))
+	if len(events) < 3 {
+		t.Fatalf("only %d checkpoints: %v", len(events), events)
+	}
+	// Early, middle and late kill points cover spill-only, partially
+	// clustered, and post-merge journal states.
+	targets := map[int]bool{1: true, len(events)/2 + 1: true, len(events): true}
+	for target := range targets {
+		t.Run(fmt.Sprintf("checkpoint%02d_%s", target, events[target-1]), func(t *testing.T) {
+			runDir := filepath.Join(t.TempDir(), "run")
+			if err := os.MkdirAll(runDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			cmd := exec.Command(exe, "-test.run=TestKillDrillHelperProcess$")
+			cmd.Stdout = &out
+			cmd.Stderr = &out
+			cmd.Env = append(os.Environ(),
+				"ROCKTRAIN_KILL_RUNDIR="+runDir,
+				"ROCKTRAIN_KILL_AFTER="+strconv.Itoa(target))
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			marker := filepath.Join(runDir, "frozen")
+			deadline := time.Now().Add(2 * time.Minute)
+			for {
+				if _, err := os.Stat(marker); err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					cmd.Process.Kill()
+					cmd.Wait()
+					t.Fatalf("child never reached checkpoint %d:\n%s", target, out.String())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup, no flush
+				t.Fatal(err)
+			}
+			cmd.Wait()
+
+			// The journal must be readable at exactly the killed state.
+			j, err := LoadJournal(store.OS, runDir)
+			if err != nil && !errors.Is(err, ErrNoJournal) {
+				t.Fatalf("journal unreadable after SIGKILL: %v", err)
+			}
+			clusteredThen := 0
+			if err == nil {
+				clusteredThen = countClustered(j.Clustered)
+			}
+
+			ctr := &Counters{}
+			cfg := drillCfg(d, runDir)
+			cfg.Counters = ctr
+			resumed, err := TrainContext(context.Background(), SliceOpener(d.Txns), cfg)
+			if err != nil {
+				t.Fatalf("resume after SIGKILL failed: %v", err)
+			}
+			if !reflect.DeepEqual(resumed.Assignments, baseline.Assignments) {
+				t.Error("resumed assignments differ from the uninterrupted run (ARI < 1)")
+			}
+			if resumed.Clusters != baseline.Clusters || resumed.Outliers != baseline.Outliers {
+				t.Errorf("resumed %d clusters/%d outliers, baseline %d/%d",
+					resumed.Clusters, resumed.Outliers, baseline.Clusters, baseline.Outliers)
+			}
+			if got := ctr.Resumes.Load(); got != 1 {
+				t.Errorf("rocktrain_resume_total = %d, want 1", got)
+			}
+			if got := ctr.ShardsResumed.Load(); got != int64(clusteredThen) {
+				t.Errorf("shards resumed from checkpoint = %d, journal had %d clustered (re-clustering happened)",
+					got, clusteredThen)
+			}
+			if ctr.CheckpointWrites.Load() == 0 {
+				t.Error("resume made no checkpoint writes")
+			}
+		})
+	}
+}

@@ -18,6 +18,10 @@ const (
 	PhaseMerge   = "merge"
 	PhaseLabel   = "label"
 	PhaseDone    = "done"
+	// PhaseSnapshot is not a pipeline phase (the snapshot is built inside
+	// the merge phase) but names the snapshot checkpoint for the journal
+	// hook and log lines.
+	PhaseSnapshot = "snapshot"
 )
 
 var phaseOrder = []string{PhaseCount, PhaseShard, PhaseCluster, PhaseMerge, PhaseLabel, PhaseDone}
@@ -39,6 +43,26 @@ type Counters struct {
 	HeapPeak     atomic.Int64 // max observed runtime heap, bytes
 	SnapshotSeq  atomic.Int64 // model.Dir sequence of the published snapshot
 	ReloadPosted atomic.Int64 // successful fleet reload POSTs
+
+	// Resumable-run instrumentation (Config.RunDir). CheckpointWrites counts
+	// durable journal writes; Resumes is 1 when this run picked up an
+	// existing journal; ShardsResumed counts shard clusterings loaded from
+	// checkpoint instead of recomputed (the drill's "no re-clustering"
+	// witness); ShardsQuarantined counts corrupt artifacts renamed aside;
+	// StageRetries counts stages (or per-shard stage units) re-run because a
+	// checkpointed artifact failed verification, plus reload re-POSTs.
+	CheckpointWrites  atomic.Int64
+	Resumes           atomic.Int64
+	ShardsResumed     atomic.Int64
+	ShardsQuarantined atomic.Int64
+	StageRetries      atomic.Int64
+}
+
+// stageRetry bumps StageRetries, nil-safely.
+func (c *Counters) stageRetry() {
+	if c != nil {
+		c.StageRetries.Add(1)
+	}
 }
 
 // setPhase records the current phase (no-op on nil).
@@ -108,6 +132,11 @@ func (c *Counters) WriteMetrics(w *promtext.Writer) {
 	w.Gauge("rocktrain_heap_peak_bytes", "Max observed runtime heap during training.", float64(c.HeapPeak.Load()))
 	w.Gauge("rocktrain_snapshot_seq", "model.Dir sequence of the published snapshot (0 until published).", float64(c.SnapshotSeq.Load()))
 	w.Counter("rocktrain_reloads_posted_total", "Successful fleet reload POSTs.", float64(c.ReloadPosted.Load()))
+	w.Counter("rocktrain_checkpoint_writes_total", "Durable run-journal checkpoint writes.", float64(c.CheckpointWrites.Load()))
+	w.Counter("rocktrain_resume_total", "Runs resumed from an existing journal.", float64(c.Resumes.Load()))
+	w.Counter("rocktrain_shards_resumed_total", "Shard clusterings loaded from checkpoint instead of recomputed.", float64(c.ShardsResumed.Load()))
+	w.Counter("rocktrain_shards_quarantined_total", "Corrupt run-directory artifacts quarantined at resume.", float64(c.ShardsQuarantined.Load()))
+	w.Counter("rocktrain_stage_retries_total", "Stages re-run after failed artifact verification, plus reload retries.", float64(c.StageRetries.Load()))
 }
 
 // ServeHTTP makes Counters a /metrics handler for cmd/rocktrain's

@@ -1,0 +1,297 @@
+package train
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rock/internal/dataset"
+	"rock/internal/model"
+	"rock/internal/store"
+)
+
+// scriptedReloadServer answers each /v1/reload POST from a script of
+// (status, body, retryAfter) steps, repeating the last step when the script
+// runs out.
+type reloadStep struct {
+	status     int
+	body       string
+	retryAfter string
+}
+
+func scriptedReloadServer(t *testing.T, steps []reloadStep) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/reload" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		i := int(calls.Add(1)) - 1
+		if i >= len(steps) {
+			i = len(steps) - 1
+		}
+		if steps[i].retryAfter != "" {
+			w.Header().Set("Retry-After", steps[i].retryAfter)
+		}
+		w.WriteHeader(steps[i].status)
+		w.Write([]byte(steps[i].body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func fastReload() ReloadOptions {
+	return ReloadOptions{Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+}
+
+func TestPostReloadRetriesTransientFailures(t *testing.T) {
+	srv, calls := scriptedReloadServer(t, []reloadStep{
+		{status: 429, body: "shedding", retryAfter: "0"},
+		{status: 500, body: "boom"},
+		{status: 200, body: `{"seq":7}`},
+	})
+	ctr := &Counters{}
+	opt := fastReload()
+	opt.Counters = ctr
+	seq, err := PostReloadRetry(context.Background(), srv.Client(), srv.URL, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 7 {
+		t.Errorf("seq = %d, want 7", seq)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("%d requests, want 3", got)
+	}
+	if got := ctr.StageRetries.Load(); got != 2 {
+		t.Errorf("rocktrain_stage_retries_total = %d, want 2", got)
+	}
+}
+
+func TestPostReloadPermanentErrorShortCircuits(t *testing.T) {
+	srv, calls := scriptedReloadServer(t, []reloadStep{{status: 404, body: "no such route"}})
+	_, err := PostReloadRetry(context.Background(), srv.Client(), srv.URL, fastReload())
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("error %v, want the 404 surfaced", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d requests, want 1 (no retry on a permanent 4xx)", got)
+	}
+}
+
+func TestPostReloadGivesUpAfterAttempts(t *testing.T) {
+	srv, calls := scriptedReloadServer(t, []reloadStep{{status: 503, body: "down"}})
+	opt := fastReload()
+	opt.Attempts = 3
+	_, err := PostReloadRetry(context.Background(), srv.Client(), srv.URL, opt)
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error %v, want attempts exhaustion", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("%d requests, want 3", got)
+	}
+}
+
+func TestPostReloadHonorsRetryAfter(t *testing.T) {
+	srv, _ := scriptedReloadServer(t, []reloadStep{
+		{status: 429, body: "shedding", retryAfter: "1"},
+		{status: 200, body: `{"seq":1}`},
+	})
+	opt := fastReload() // 1ms backoff: any observed 1s delay came from the header
+	var delay time.Duration
+	opt.OnRetry = func(err error, d time.Duration) { delay = d }
+	start := time.Now()
+	if _, err := PostReloadRetry(context.Background(), srv.Client(), srv.URL, opt); err != nil {
+		t.Fatal(err)
+	}
+	if delay < time.Second {
+		t.Errorf("scheduled delay %v, want >= 1s from Retry-After", delay)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("elapsed %v, want the Retry-After wait actually observed", elapsed)
+	}
+}
+
+func TestPostReloadContextCancelDuringBackoff(t *testing.T) {
+	srv, _ := scriptedReloadServer(t, []reloadStep{
+		{status: 503, body: "down", retryAfter: "30"},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := PostReloadRetry(ctx, srv.Client(), srv.URL, fastReload())
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; the 30s Retry-After wait was not interrupted", elapsed)
+	}
+}
+
+func TestPostReloadAttemptDeadline(t *testing.T) {
+	// A server that never answers: the per-attempt timeout must fire. The
+	// stop channel releases the parked handlers at cleanup so srv.Close does
+	// not wait forever on them.
+	stop := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	}))
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { close(stop) })
+	opt := fastReload()
+	opt.Attempts = 2
+	opt.Timeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err := PostReloadRetry(context.Background(), srv.Client(), srv.URL, opt)
+	if err == nil {
+		t.Fatal("hung server reloaded successfully")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("two 50ms attempts took %v", elapsed)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0}, {"3", 3 * time.Second}, {"0", 0}, {"-1", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0}, {"soon", 0},
+	} {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// drillSnapshot builds a minimal valid snapshot for publish-tail tests.
+func drillSnapshot(t *testing.T) *model.Snapshot {
+	t.Helper()
+	s := &model.Snapshot{
+		Theta:   0.5,
+		FTheta:  (1 - 0.5) / (1 + 0.5),
+		SimName: "jaccard",
+		Txns:    []dataset.Transaction{{1, 2}, {2, 3}},
+		Sets:    []model.Set{{Cluster: 0, Norm: 2, Points: []int{0, 1}}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRunPublishJournaled: the publish tail is exactly-once across resumes —
+// a journaled publish is skipped while its generation exists, and
+// republished if the directory lost it.
+func TestRunPublishJournaled(t *testing.T) {
+	fs := store.NewFaultFS()
+	run, err := OpenRun(fs, "run", Config{K: 2, Theta: 0.5, Shards: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := model.OpenDir(fs, "models", "model", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := drillSnapshot(t)
+	e1, skipped, err := run.Publish(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped {
+		t.Error("first publish reported skipped")
+	}
+	// Resume: same journal, generation still there -> skip, same seq.
+	e2, skipped, err := run.Publish(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !skipped || e2.Seq != e1.Seq {
+		t.Errorf("re-publish: skipped=%v seq=%d, want skipped with seq %d", skipped, e2.Seq, e1.Seq)
+	}
+	ents, err := dir.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("%d generations after resume, want 1 (no double publish)", len(ents))
+	}
+	// The directory lost the generation (pruned, wiped): republish.
+	ctr := &Counters{}
+	run.ctr = ctr
+	if err := fs.Remove(e1.Path); err != nil {
+		t.Fatal(err)
+	}
+	e3, skipped, err := run.Publish(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped {
+		t.Error("republish after loss reported skipped")
+	}
+	ents, err = dir.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range ents {
+		found = found || e.Seq == e3.Seq
+	}
+	if !found {
+		t.Errorf("republished generation %d not in the directory", e3.Seq)
+	}
+	if ctr.StageRetries.Load() == 0 {
+		t.Error("republish did not count as a stage retry")
+	}
+}
+
+// TestRunPostReloadJournaled: each base URL is reloaded exactly once across
+// resumes; a crash between two -reload URLs re-POSTs only the missing one.
+func TestRunPostReloadJournaled(t *testing.T) {
+	srvA, callsA := scriptedReloadServer(t, []reloadStep{{status: 200, body: `{"seq":3}`}})
+	srvB, callsB := scriptedReloadServer(t, []reloadStep{
+		{status: 503, body: "down"},
+		{status: 200, body: `{"seq":3}`},
+	})
+	fs := store.NewFaultFS()
+	cfg := Config{K: 2, Theta: 0.5, Shards: 1, Seed: 7}
+	run, err := OpenRun(fs, "run", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastReload()
+	seq, skipped, err := run.PostReload(context.Background(), srvA.Client(), srvA.URL, opt)
+	if err != nil || skipped || seq != 3 {
+		t.Fatalf("first reload: seq=%d skipped=%v err=%v", seq, skipped, err)
+	}
+	// "Crash": reopen the run from the durable journal and reload both URLs
+	// again — A must be skipped with no request, B retried to success.
+	run2, err := OpenRun(fs, "run", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := callsA.Load()
+	seq, skipped, err = run2.PostReload(context.Background(), srvA.Client(), srvA.URL, opt)
+	if err != nil || !skipped || seq != 3 {
+		t.Fatalf("resumed reload of A: seq=%d skipped=%v err=%v", seq, skipped, err)
+	}
+	if callsA.Load() != before {
+		t.Error("skipped reload still hit the server")
+	}
+	seq, skipped, err = run2.PostReload(context.Background(), srvB.Client(), srvB.URL, opt)
+	if err != nil || skipped || seq != 3 {
+		t.Fatalf("reload of B: seq=%d skipped=%v err=%v", seq, skipped, err)
+	}
+	if got := callsB.Load(); got != 2 {
+		t.Errorf("B saw %d requests, want 2 (one failed, one retried)", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -12,14 +13,30 @@ import (
 	"rock/internal/dataset"
 )
 
-// Shard spill format: a magic header, then one record per transaction until
-// EOF. A record is the transaction's original stream position (delta-encoded
-// uvarint — positions within a shard are strictly increasing), a uvarint
-// item count, and delta-encoded uvarint item ids (the same encoding as
-// internal/store's binary transaction block). There is no count header:
-// shards are written streamingly, one pass, without knowing their size up
-// front; a clean EOF at a record boundary ends the shard.
+// Shard spill format: a magic header, then one record per transaction, then
+// an end-of-records sentinel and a CRC32 trailer. A record is the
+// transaction's original stream position (delta-encoded uvarint — positions
+// within a shard are strictly increasing), a uvarint item count, and
+// delta-encoded uvarint item ids (the same encoding as internal/store's
+// binary transaction block). There is no count header: shards are written
+// streamingly, one pass, without knowing their size up front. The first
+// uvarint of a record is a position delta and therefore never zero, so a
+// zero marks the end of the records; the 4 bytes after it are the
+// little-endian CRC32 (IEEE) of every record byte (after the magic, before
+// the sentinel). A shard that ends without the sentinel+trailer was
+// truncated — by a crash mid-spill or a torn copy — and the scanner says so
+// with the shard path and byte offset rather than silently training on a
+// prefix.
 var shardMagic = [8]byte{'R', 'O', 'C', 'K', 'S', 'H', 'R', 'D'}
+
+// shardTrailerLen is the length of the CRC32 trailer after the sentinel.
+const shardTrailerLen = 4
+
+// ErrShardCorrupt is wrapped into every scanner error caused by a damaged
+// spill file (truncation, bitrot, garbage); errors.Is(err, ErrShardCorrupt)
+// distinguishes "the shard is bad" from I/O failure, which is what the
+// resume path keys quarantining on.
+var ErrShardCorrupt = errors.New("shard spill file corrupt")
 
 // shardWriter appends positioned transactions to one shard spill file.
 type shardWriter struct {
@@ -28,6 +45,9 @@ type shardWriter struct {
 	prevPos int
 	count   int
 	buf     [binary.MaxVarintLen64]byte
+	recCRC  uint32 // CRC32 of record bytes: after the magic, before the sentinel
+	fileCRC uint32 // CRC32 of every byte of the file, for the run journal
+	bytes   int64
 }
 
 func newShardWriter(path string) (*shardWriter, error) {
@@ -36,17 +56,30 @@ func newShardWriter(path string) (*shardWriter, error) {
 		return nil, err
 	}
 	w := &shardWriter{f: f, bw: bufio.NewWriterSize(f, 1<<18), prevPos: -1}
-	if _, err := w.bw.Write(shardMagic[:]); err != nil {
+	if err := w.write(shardMagic[:], false); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return w, nil
 }
 
+// write appends p, maintaining the file checksum and — for record bytes —
+// the trailer checksum.
+func (w *shardWriter) write(p []byte, record bool) error {
+	if _, err := w.bw.Write(p); err != nil {
+		return err
+	}
+	w.fileCRC = crc32.Update(w.fileCRC, crc32.IEEETable, p)
+	if record {
+		w.recCRC = crc32.Update(w.recCRC, crc32.IEEETable, p)
+	}
+	w.bytes += int64(len(p))
+	return nil
+}
+
 func (w *shardWriter) put(v uint64) error {
 	n := binary.PutUvarint(w.buf[:], v)
-	_, err := w.bw.Write(w.buf[:n])
-	return err
+	return w.write(w.buf[:n], true)
 }
 
 // append writes one record. pos must be strictly greater than the previous
@@ -70,20 +103,64 @@ func (w *shardWriter) append(pos int, t dataset.Transaction) error {
 	return nil
 }
 
+// close seals the shard — sentinel, CRC trailer, flush, fsync — so a shard
+// that closed cleanly is both complete on disk and verifiable forever after.
 func (w *shardWriter) close() error {
+	n := binary.PutUvarint(w.buf[:], 0)
+	if err := w.write(w.buf[:n], false); err != nil {
+		w.f.Close()
+		return err
+	}
+	var trailer [shardTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], w.recCRC)
+	if err := w.write(trailer[:], false); err != nil {
+		w.f.Close()
+		return err
+	}
 	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	// Spill shards feed resumable runs: their bytes must be durable before
+	// the journal records them as complete.
+	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return err
 	}
 	return w.f.Close()
 }
 
+// crcByteReader feeds binary.ReadUvarint from a bufio.Reader while tracking
+// the absolute byte offset (for error messages that name where a shard went
+// bad) and a running CRC32 of everything consumed (for trailer
+// verification).
+type crcByteReader struct {
+	br  *bufio.Reader
+	off int64
+	crc uint32
+	one [1]byte
+}
+
+func (r *crcByteReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	r.off++
+	r.one[0] = b
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, r.one[:1])
+	return b, nil
+}
+
 // shardScanner streams (position, transaction) records back from a spill
-// file.
+// file, verifying the CRC trailer when the records end.
 type shardScanner struct {
 	f       *os.File
-	br      *bufio.Reader
+	r       *crcByteReader
+	path    string
 	prevPos int
+	rec     int
+	done    bool
 }
 
 func openShard(path string) (*shardScanner, error) {
@@ -95,29 +172,63 @@ func openShard(path string) (*shardScanner, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("train: reading shard header: %w", err)
+		return nil, fmt.Errorf("train: shard %s: reading header: %w: %w", path, ErrShardCorrupt, err)
 	}
 	if magic != shardMagic {
 		f.Close()
-		return nil, errors.New("train: not a shard spill file")
+		return nil, fmt.Errorf("train: shard %s: not a shard spill file: %w", path, ErrShardCorrupt)
 	}
-	return &shardScanner{f: f, br: br, prevPos: -1}, nil
+	return &shardScanner{f: f, r: &crcByteReader{br: br, off: int64(len(magic))}, path: path, prevPos: -1}, nil
 }
 
-// next returns the next record, or io.EOF after the last one.
+// corrupt builds the precise error every damaged shard reports: which shard,
+// which record, at what byte offset, doing what.
+func (s *shardScanner) corrupt(what string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("train: shard %s: truncated at offset %d (record %d, %s): %w",
+			s.path, s.r.off, s.rec, what, ErrShardCorrupt)
+	}
+	return fmt.Errorf("train: shard %s: offset %d (record %d, %s): %w: %w",
+		s.path, s.r.off, s.rec, what, ErrShardCorrupt, err)
+}
+
+// next returns the next record, or io.EOF after the last one. io.EOF is
+// returned only after the sentinel and a matching CRC trailer; a shard that
+// simply stops has been truncated and yields an ErrShardCorrupt error
+// naming the offset.
 func (s *shardScanner) next() (int, dataset.Transaction, error) {
-	d, err := binary.ReadUvarint(s.br)
+	if s.done {
+		return 0, nil, io.EOF
+	}
+	// The trailer CRC covers record bytes only: remember the running sum
+	// before this read, so the sentinel byte itself is excluded when it —
+	// rather than a record — is what follows.
+	crcBefore := s.r.crc
+	d, err := binary.ReadUvarint(s.r)
 	if err != nil {
-		if errors.Is(err, io.EOF) {
-			return 0, nil, io.EOF
+		return 0, nil, s.corrupt("position delta", err)
+	}
+	if d == 0 { // end-of-records sentinel: verify the trailer
+		var trailer [shardTrailerLen]byte
+		if _, err := io.ReadFull(s.r.br, trailer[:]); err != nil {
+			return 0, nil, s.corrupt("CRC trailer", err)
 		}
-		return 0, nil, fmt.Errorf("train: reading shard position: %w", err)
+		want := binary.LittleEndian.Uint32(trailer[:])
+		if crcBefore != want {
+			return 0, nil, fmt.Errorf("train: shard %s: %d records: CRC32 %08x, trailer says %08x: %w",
+				s.path, s.rec, crcBefore, want, ErrShardCorrupt)
+		}
+		if _, err := s.r.br.ReadByte(); err != io.EOF {
+			return 0, nil, fmt.Errorf("train: shard %s: trailing bytes after CRC trailer: %w", s.path, ErrShardCorrupt)
+		}
+		s.done = true
+		return 0, nil, io.EOF
 	}
 	pos := s.prevPos + int(d)
 	s.prevPos = pos
-	n, err := binary.ReadUvarint(s.br)
+	n, err := binary.ReadUvarint(s.r)
 	if err != nil {
-		return 0, nil, fmt.Errorf("train: reading shard record length: %w", err)
+		return 0, nil, s.corrupt("item count", err)
 	}
 	// Cap the preallocation so a corrupt length cannot become an arbitrary
 	// allocation (same defense as store.BinaryScanner).
@@ -129,13 +240,14 @@ func (s *shardScanner) next() (int, dataset.Transaction, error) {
 	t := make(dataset.Transaction, 0, capHint)
 	prev := uint64(0)
 	for i := uint64(0); i < n; i++ {
-		dd, err := binary.ReadUvarint(s.br)
+		dd, err := binary.ReadUvarint(s.r)
 		if err != nil {
-			return 0, nil, fmt.Errorf("train: reading shard item: %w", err)
+			return 0, nil, s.corrupt("item delta", err)
 		}
 		prev += dd
 		t = append(t, dataset.Item(prev))
 	}
+	s.rec++
 	return pos, t, nil
 }
 

@@ -1,17 +1,20 @@
 package train
 
 import (
+	"errors"
 	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"rock/internal/dataset"
 )
 
-func TestShardFileRoundTrip(t *testing.T) {
+func writeTestShard(t *testing.T, dir string) (string, []int, []dataset.Transaction) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(3))
 	var positions []int
 	var txns []dataset.Transaction
@@ -20,15 +23,14 @@ func TestShardFileRoundTrip(t *testing.T) {
 		pos += 1 + rng.Intn(9)
 		positions = append(positions, pos)
 		n := rng.Intn(20)
-		t := dataset.Transaction{}
+		tx := dataset.Transaction{}
 		for j := 0; j < n; j++ {
-			t = append(t, dataset.Item(rng.Intn(1000)))
+			tx = append(tx, dataset.Item(rng.Intn(1000)))
 		}
-		t.Normalize()
-		txns = append(txns, t)
+		tx.Normalize()
+		txns = append(txns, tx)
 	}
-
-	path := filepath.Join(t.TempDir(), "shard.bin")
+	path := filepath.Join(dir, "shard.bin")
 	w, err := newShardWriter(path)
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +46,11 @@ func TestShardFileRoundTrip(t *testing.T) {
 	if err := w.close(); err != nil {
 		t.Fatal(err)
 	}
+	return path, positions, txns
+}
 
+func TestShardFileRoundTrip(t *testing.T) {
+	path, positions, txns := writeTestShard(t, t.TempDir())
 	sc, err := openShard(path)
 	if err != nil {
 		t.Fatal(err)
@@ -63,26 +69,205 @@ func TestShardFileRoundTrip(t *testing.T) {
 		}
 	}
 	if _, _, err := sc.next(); err != io.EOF {
-		t.Fatalf("after last record: %v, want io.EOF", err)
+		t.Fatalf("after last record: %v, want io.EOF (trailer verified)", err)
+	}
+	// EOF must be sticky.
+	if _, _, err := sc.next(); err != io.EOF {
+		t.Fatalf("second read past end: %v, want io.EOF", err)
+	}
+}
+
+// scanAll drains a shard file, returning the record count and terminal error.
+func scanAll(path string) (int, error) {
+	sc, err := openShard(path)
+	if err != nil {
+		return 0, err
+	}
+	defer sc.close()
+	n := 0
+	for {
+		_, _, err := sc.next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// TestShardScannerTruncation chops the shard at every byte length and
+// requires either a clean full read (only at the true length) or an
+// ErrShardCorrupt error naming the shard and an offset — never a silent
+// prefix read, never a panic.
+func TestShardScannerTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path, _, txns := writeTestShard(t, dir)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.bin")
+	for n := 0; n < len(whole); n++ {
+		if err := os.WriteFile(trunc, whole[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := scanAll(trunc)
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes read %d records cleanly", n, len(whole), got)
+		}
+		if !errors.Is(err, ErrShardCorrupt) {
+			t.Fatalf("truncation to %d: error %v does not wrap ErrShardCorrupt", n, err)
+		}
+	}
+	// The untruncated file still reads in full.
+	if got, err := scanAll(path); err != nil || got != len(txns) {
+		t.Fatalf("full file: %d records, err %v", got, err)
+	}
+}
+
+// TestShardScannerBitrot flips bits through the record region and requires
+// that every read either errors (usually the CRC trailer, sometimes a varint
+// gone bad) or — never — returns the original data unchanged.
+func TestShardScannerBitrot(t *testing.T) {
+	dir := t.TempDir()
+	path, positions, txns := writeTestShard(t, dir)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := filepath.Join(dir, "rot.bin")
+	for i := len(shardMagic); i < len(whole); i += 7 {
+		mut := append([]byte(nil), whole...)
+		mut[i] ^= 0x10
+		if err := os.WriteFile(rot, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := openShard(rot)
+		if err != nil {
+			continue // header flip: rejected at open, fine
+		}
+		clean := true
+		for j := 0; ; j++ {
+			p, txn, err := sc.next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				clean = false
+				if !errors.Is(err, ErrShardCorrupt) {
+					t.Fatalf("flip at %d: error %v does not wrap ErrShardCorrupt", i, err)
+				}
+				if !strings.Contains(err.Error(), "rot.bin") {
+					t.Fatalf("flip at %d: error %q does not name the shard", i, err)
+				}
+				break
+			}
+			if j < len(txns) && (p != positions[j] || !reflect.DeepEqual(txn, txns[j])) {
+				clean = false // data changed: the CRC trailer must catch it below
+			}
+		}
+		sc.close()
+		if clean {
+			t.Fatalf("flip at byte %d read back clean with original data intact", i)
+		}
+	}
+}
+
+func TestShardTrailerMismatchNamesOffset(t *testing.T) {
+	dir := t.TempDir()
+	path, _, _ := writeTestShard(t, dir)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the trailer itself: the data is fine, the seal is wrong.
+	whole[len(whole)-1] ^= 0xFF
+	bad := filepath.Join(dir, "badtrailer.bin")
+	if err := os.WriteFile(bad, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = scanAll(bad)
+	if !errors.Is(err, ErrShardCorrupt) || !strings.Contains(err.Error(), "trailer") {
+		t.Fatalf("corrupt trailer: %v", err)
 	}
 }
 
 func TestOpenShardRejectsGarbage(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "bad.bin")
-	w, err := newShardWriter(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	w.close()
 	if _, err := openShard(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
 		t.Error("opening a missing file succeeded")
 	}
-	// A text file is not a shard.
 	other := filepath.Join(t.TempDir(), "text.bin")
 	if err := os.WriteFile(other, []byte("not a shard spill file at all"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openShard(other); err == nil {
-		t.Error("opening a non-shard file succeeded")
+	if _, err := openShard(other); err == nil || !errors.Is(err, ErrShardCorrupt) {
+		t.Errorf("opening a non-shard file: %v", err)
 	}
+	// Trailing garbage after a valid trailer is corruption, not slack.
+	dir := t.TempDir()
+	path, _, _ := writeTestShard(t, dir)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xAB})
+	f.Close()
+	if _, err := scanAll(path); err == nil || !errors.Is(err, ErrShardCorrupt) {
+		t.Errorf("trailing garbage: %v", err)
+	}
+}
+
+// FuzzShardScanner throws arbitrary bytes at the spill scanner: it must
+// never panic and never loop forever, only parse or reject. The seed corpus
+// covers a valid shard plus the classic corruptions (truncation, bitrot,
+// zeroed trailer, garbage).
+func FuzzShardScanner(f *testing.F) {
+	dir := f.TempDir()
+	w, err := newShardWriter(filepath.Join(dir, "seed.bin"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.append(0, dataset.Transaction{1, 5, 9})
+	w.append(4, dataset.Transaction{2})
+	w.append(5, dataset.Transaction{})
+	if err := w.close(); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, "seed.bin"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])          // truncated inside the trailer
+	f.Add(valid[:len(valid)/2])          // truncated mid-record
+	f.Add(append([]byte(nil), valid[:8]...)) // header only
+	rot := append([]byte(nil), valid...)
+	rot[10] ^= 0x80
+	f.Add(rot)
+	zero := append([]byte(nil), valid...)
+	for i := len(zero) - shardTrailerLen; i < len(zero); i++ {
+		zero[i] = 0
+	}
+	f.Add(zero)
+	f.Add([]byte("ROCKSHRD"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.bin")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := openShard(path)
+		if err != nil {
+			return
+		}
+		defer sc.close()
+		for i := 0; i < 1<<20; i++ {
+			if _, _, err := sc.next(); err != nil {
+				return
+			}
+		}
+	})
 }
