@@ -11,10 +11,11 @@
 #   make bench    benchmark harness (short mode)
 #   make benchjoin  brute vs indexed neighbor-join sweep (full size)
 #   make benchtrain  out-of-core trainer memory-budget sweep (EXPERIMENTS.md)
+#   make benchassign  assign hot path: scan vs compiled × codec sweep + 3x guard
 
 GO ?= go
 
-.PHONY: verify race vet faults chaos trainfaults check bench benchjoin benchtrain fuzz
+.PHONY: verify race vet faults chaos trainfaults check bench benchjoin benchtrain benchassign fuzz
 
 verify:
 	$(GO) build ./...
@@ -68,11 +69,23 @@ benchjoin:
 benchtrain:
 	scripts/benchtrain.sh
 
+# The assign hot path (EXPERIMENTS.md "serving hot path" table): the
+# compiled posting-list assigner vs the scan reference across model shapes
+# (sets × labeled size), the JSON vs binary codec (± answer cache) at the
+# daemon handler, and the coarse regression guard — compiled must beat scan
+# by at least 3× on the reference model or the target fails.
+benchassign:
+	$(GO) test -run '^$$' -bench 'Assign(Scan|Compiled)' -benchmem ./internal/model
+	$(GO) test -run '^$$' -bench 'HandleAssign' -benchmem ./internal/daemon
+	ROCK_ASSIGN_GUARD=1 $(GO) test ./internal/model -run TestCompiledSpeedupGuard -v
+
 # Short fuzz passes over every decoder (text, binary, categorical, model
-# snapshot); lengthen with FUZZTIME=5m etc.
+# snapshot, assign wire format); lengthen with FUZZTIME=5m etc.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/store -fuzz=FuzzTextScanner -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/store -fuzz=FuzzBinaryScanner -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/store -fuzz=FuzzCategorical -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/model -fuzz=FuzzRead -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire -fuzz=FuzzDecodeResponse -fuzztime=$(FUZZTIME)

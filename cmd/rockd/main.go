@@ -62,6 +62,7 @@ func main() {
 		injectLat   = flag.Duration("inject-latency", 0, "fault injection: extra service time per assign request (testing/benchmarking routing tiers)")
 		injectTail  = flag.Duration("inject-tail", 0, "fault injection: extra straggler latency applied every -inject-tail-every requests")
 		injectEvery = flag.Int("inject-tail-every", 0, "fault injection: apply -inject-tail to every Nth assign request (0 = off)")
+		cacheCap    = flag.Int("cache", 0, "answer-cache capacity in entries (0 = disabled); invalidated wholesale on every reload")
 	)
 	flag.Parse()
 	if (*modelPath == "") == (*dirPath == "") {
@@ -124,6 +125,10 @@ func main() {
 		}
 	}
 
+	if *cacheCap > 0 {
+		engine.EnableCache(*cacheCap)
+		logger.Printf("answer cache enabled: %d entries", *cacheCap)
+	}
 	handler := daemon.New(engine, logger, cfg)
 	srv := &http.Server{
 		Addr:              *addr,

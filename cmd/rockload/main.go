@@ -19,6 +19,18 @@
 // that first attempted it, so per-target error tallies stay meaningful.
 //
 //	rockload -targets http://replica1:7745,http://replica2:7745 -c 16 -d 30s
+//
+// -codec selects the request codec: json (the default) or binary (the
+// length-prefixed varint wire format of internal/wire, negotiated by
+// Content-Type). A comma list spreads workers round-robin across codecs and
+// the report adds a per-codec breakdown, so one run compares both formats
+// against the same server under the same concurrency:
+//
+//	rockload -addr http://localhost:7745 -c 16 -codec json,binary -warmup 2s
+//
+// -warmup excludes samples taken in the first span of the run from every
+// tally (throughput, latency, shed/retry counts), so connection setup, cold
+// caches and JIT-warm paths do not skew the steady-state numbers.
 package main
 
 import (
@@ -37,7 +49,9 @@ import (
 	"time"
 
 	"rock/internal/dataset"
+	"rock/internal/serve"
 	"rock/internal/store"
+	"rock/internal/wire"
 )
 
 type assignRequest struct {
@@ -87,40 +101,63 @@ const (
 	attemptFatal
 )
 
-// tryOnce posts one batch and classifies the result. retryAfter is the
-// server-requested delay (zero unless the response carried Retry-After).
-func tryOnce(client *http.Client, url string, body []byte, res *workerResult) (out assignResponse, outcome attemptOutcome, retryAfter time.Duration, lat time.Duration) {
+// tryOnce posts one batch and classifies the result, returning the batch's
+// assignment and outlier counts on success. contentType selects the codec
+// the response is parsed with. retryAfter is the server-requested delay
+// (zero unless the response carried Retry-After). counted gates the
+// shed tally so warmup attempts stay out of the stats.
+func tryOnce(client *http.Client, url string, body []byte, contentType string, res *workerResult, counted bool) (assigned, outliers int, outcome attemptOutcome, retryAfter time.Duration, lat time.Duration) {
 	t0 := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
 	lat = time.Since(t0)
 	if err != nil {
 		// Connection refused/reset or client-side timeout: the daemon may
 		// be restarting — retryable.
-		return out, attemptRetryable, 0, lat
+		return 0, 0, attemptRetryable, 0, lat
 	}
 	payload, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		return out, attemptRetryable, 0, lat
+		return 0, 0, attemptRetryable, 0, lat
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		if err := json.Unmarshal(payload, &out); err != nil {
-			return out, attemptFatal, 0, lat
+		if contentType == wire.ContentType {
+			var asg []serve.Assignment
+			if asg, err = wire.DecodeResponse(payload, nil); err != nil {
+				return 0, 0, attemptFatal, 0, lat
+			}
+			for _, a := range asg {
+				if a.Cluster < 0 {
+					outliers++
+				}
+			}
+			return len(asg), outliers, attemptOK, 0, lat
 		}
-		return out, attemptOK, 0, lat
+		var out assignResponse
+		if err := json.Unmarshal(payload, &out); err != nil {
+			return 0, 0, attemptFatal, 0, lat
+		}
+		for _, a := range out.Assignments {
+			if a.Cluster < 0 {
+				outliers++
+			}
+		}
+		return len(out.Assignments), outliers, attemptOK, 0, lat
 	case resp.StatusCode == http.StatusTooManyRequests:
-		res.shed++
+		if counted {
+			res.shed++
+		}
 		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
 			retryAfter = time.Duration(s) * time.Second
 		}
-		return out, attemptRetryable, retryAfter, lat
+		return 0, 0, attemptRetryable, retryAfter, lat
 	case resp.StatusCode >= 500:
-		return out, attemptRetryable, 0, lat
+		return 0, 0, attemptRetryable, 0, lat
 	default:
 		// 4xx other than 429: the request itself is wrong; retrying cannot
 		// help.
-		return out, attemptFatal, 0, lat
+		return 0, 0, attemptFatal, 0, lat
 	}
 }
 
@@ -151,6 +188,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-attempt request timeout")
 		retries  = flag.Int("retries", 5, "max attempts per batch on 429/5xx/connection errors")
 		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+		codec    = flag.String("codec", "json", "comma-separated request codecs (json, binary); workers spread round-robin")
+		warmup   = flag.Duration("warmup", 0, "exclude samples from the first span of the run from all stats")
 	)
 	flag.Parse()
 	if *workers < 1 || *batch < 1 {
@@ -173,6 +212,25 @@ func main() {
 	}
 	if *workers < len(urls) {
 		log.Fatalf("-c %d is fewer than the %d targets; every target needs at least one worker", *workers, len(urls))
+	}
+	var codecs []string
+	for _, c := range strings.Split(*codec, ",") {
+		switch c = strings.TrimSpace(c); c {
+		case "json", "binary":
+			codecs = append(codecs, c)
+		case "":
+		default:
+			log.Fatalf("-codec %q: unknown codec (json, binary)", c)
+		}
+	}
+	if len(codecs) == 0 {
+		log.Fatal("-codec holds no codecs")
+	}
+	if *workers < len(codecs) {
+		log.Fatalf("-c %d is fewer than the %d codecs; every codec needs at least one worker", *workers, len(codecs))
+	}
+	if *warmup >= *duration {
+		log.Fatalf("-warmup %s must be shorter than -d %s", *warmup, *duration)
 	}
 
 	// Probe pool: a file of real transactions, or uniform random ones.
@@ -200,10 +258,11 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: *timeout}
-	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	warmUntil := start.Add(*warmup)
 	results := make([]workerResult, *workers)
 	var wg sync.WaitGroup
-	start := time.Now()
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -211,34 +270,48 @@ func main() {
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			res := &results[w]
 			target := urls[w%len(urls)]
+			cdc := codecs[w%len(codecs)]
 			for time.Now().Before(deadline) {
-				req := assignRequest{Transactions: make([][]int64, *batch)}
-				for i := range req.Transactions {
-					t := pool[rng.Intn(len(pool))]
-					ids := make([]int64, len(t))
-					for j, it := range t {
-						ids[j] = int64(it)
+				txns := make([]dataset.Transaction, *batch)
+				for i := range txns {
+					txns[i] = pool[rng.Intn(len(pool))]
+				}
+				var body []byte
+				contentType := "application/json"
+				if cdc == "binary" {
+					body = wire.AppendRequest(nil, txns)
+					contentType = wire.ContentType
+				} else {
+					req := assignRequest{Transactions: make([][]int64, len(txns))}
+					for i, t := range txns {
+						ids := make([]int64, len(t))
+						for j, it := range t {
+							ids[j] = int64(it)
+						}
+						req.Transactions[i] = ids
 					}
-					req.Transactions[i] = ids
+					var err error
+					if body, err = json.Marshal(req); err != nil {
+						log.Fatal(err)
+					}
 				}
-				body, err := json.Marshal(req)
-				if err != nil {
-					log.Fatal(err)
+				// A batch issued during warmup still runs (it is the warmup)
+				// but leaves no trace in the tallies.
+				counted := !time.Now().Before(warmUntil)
+				if counted {
+					res.requests++
 				}
-				res.requests++
 				delivered := false
 				for attempt := 0; attempt < *retries; attempt++ {
-					if attempt > 0 {
+					if attempt > 0 && counted {
 						res.retries++
 					}
-					ar, outcome, retryAfter, lat := tryOnce(client, target+"/v1/assign", body, res)
+					assigned, outliers, outcome, retryAfter, lat := tryOnce(client, target+"/v1/assign", body, contentType, res, counted)
 					if outcome == attemptOK {
-						res.latencies = append(res.latencies, lat)
-						res.assigned += len(ar.Assignments)
-						for _, a := range ar.Assignments {
-							if a.Cluster < 0 {
-								res.outliers++
-							}
+						if counted {
+							res.latencies = append(res.latencies, lat)
+							res.assigned += assigned
+							res.outliers += outliers
 						}
 						delivered = true
 						break
@@ -252,20 +325,25 @@ func main() {
 					}
 					time.Sleep(sleep)
 				}
-				if !delivered {
+				if !delivered && counted {
 					res.errors++
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) - *warmup
 
 	var total workerResult
 	perTarget := make([]workerResult, len(urls))
+	perCodec := make([]workerResult, len(codecs))
 	for w, r := range results {
 		total.merge(r)
 		perTarget[w%len(urls)].merge(r)
+		perCodec[w%len(codecs)].merge(r)
+	}
+	if *warmup > 0 {
+		fmt.Printf("warmup: first %s excluded from all stats\n", *warmup)
 	}
 	fmt.Printf("%d batches (%d dropped), %d assignments (%d outliers) in %.1fs\n",
 		total.requests, total.errors, total.assigned, total.outliers, elapsed.Seconds())
@@ -279,6 +357,20 @@ func main() {
 		fmt.Printf("latency: min %s  p50 %s  p90 %s  p99 %s  max %s\n",
 			round(total.quantile(0)), round(total.quantile(0.50)), round(total.quantile(0.90)),
 			round(total.quantile(0.99)), round(total.quantile(1)))
+	}
+	if len(codecs) > 1 {
+		fmt.Println("per-codec:")
+		for i, c := range codecs {
+			r := &perCodec[i]
+			line := fmt.Sprintf("  %-8s %6d batches (%d dropped)  %7.1f req/s  %9.1f txn/s  shed %d  retries %d",
+				c, r.requests, r.errors, float64(r.requests)/elapsed.Seconds(),
+				float64(r.assigned)/elapsed.Seconds(), r.shed, r.retries)
+			if len(r.latencies) > 0 {
+				sort.Slice(r.latencies, func(a, b int) bool { return r.latencies[a] < r.latencies[b] })
+				line += fmt.Sprintf("  p50 %s  p99 %s", round(r.quantile(0.50)), round(r.quantile(0.99)))
+			}
+			fmt.Println(line)
+		}
 	}
 	if len(urls) > 1 {
 		fmt.Println("per-target:")

@@ -16,10 +16,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +30,7 @@ import (
 	"rock/internal/model"
 	"rock/internal/promtext"
 	"rock/internal/serve"
+	"rock/internal/wire"
 )
 
 // ModelSeqHeader is the response header naming the snapshot generation
@@ -90,9 +93,9 @@ func infoOf(a *model.Assigner, seq uint64) ModelInfo {
 
 // Readiness is the body of GET /readyz.
 type Readiness struct {
-	Ready       bool   `json:"ready"`
-	ModelLoaded bool   `json:"model_loaded"`
-	Draining    bool   `json:"draining"`
+	Ready       bool `json:"ready"`
+	ModelLoaded bool `json:"model_loaded"`
+	Draining    bool `json:"draining"`
 	// Seq is the serving snapshot generation (0 for file-loaded models or
 	// when no model is loaded).
 	Seq uint64 `json:"seq"`
@@ -187,6 +190,20 @@ type Server struct {
 	// reloadMu serializes snapshot loads (not swaps — swaps are lock-free
 	// and assignment traffic never takes this lock).
 	reloadMu sync.Mutex
+	// scratch pools per-request buffers for the binary assign path: body,
+	// decoded transactions/items, assignments and the encoded response all
+	// reuse their previous capacity, so a warmed-up binary request performs
+	// zero steady-state allocations end to end.
+	scratch sync.Pool
+}
+
+// assignScratch is the reusable buffer set of one binary assign request.
+type assignScratch struct {
+	body  []byte
+	txns  []dataset.Transaction
+	items []dataset.Item
+	out   []serve.Assignment
+	resp  []byte
 }
 
 // New wraps engine in the rockd HTTP API. The engine may be idle (no model
@@ -201,6 +218,7 @@ func New(engine *serve.Engine, logger *log.Logger, cfg Config) *Server {
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.MaxInflight),
 	}
+	s.scratch.New = func() any { return &assignScratch{body: make([]byte, 0, 4<<10)} }
 	s.cur.Store(&version{a: engine.Model(), seq: cfg.InitialSeq})
 	s.mux.HandleFunc("POST /v1/assign", s.handleAssign)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
@@ -273,6 +291,13 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "no model loaded yet; POST /v1/reload first")
 		return
 	}
+	// Content-Type negotiation: the binary codec gets the zero-allocation
+	// pooled path, everything else falls through to JSON. Error responses
+	// stay JSON in both cases.
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, wire.ContentType) {
+		s.handleAssignBinary(w, r, v)
+		return
+	}
 	var req AssignRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -322,6 +347,71 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(ModelSeqHeader, strconv.FormatUint(v.seq, 10))
 	s.writeJSON(w, http.StatusOK, AssignResponse{Assignments: out})
+}
+
+// handleAssignBinary is the binary-codec arm of POST /v1/assign
+// (Content-Type: application/x-rock-assign, transactions only — records
+// stay JSON). Every buffer the request touches comes from the scratch pool,
+// so the decode → assign → encode loop allocates nothing once warm. The
+// caller has already taken an admission slot and checked the model.
+func (s *Server) handleAssignBinary(w http.ResponseWriter, r *http.Request, v *version) {
+	sc := s.scratch.Get().(*assignScratch)
+	defer s.scratch.Put(sc)
+	var err error
+	if sc.body, err = readAll(r.Body, sc.body[:0]); err != nil {
+		s.writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	if sc.txns, sc.items, err = wire.DecodeRequest(sc.body, sc.txns, sc.items); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// The wire format carries raw transactions; normalize in place exactly
+	// as the JSON path does (the arena tolerates the shrink).
+	for i := range sc.txns {
+		sc.txns[i].Normalize()
+	}
+	if cap(sc.out) < len(sc.txns) {
+		sc.out = make([]serve.Assignment, len(sc.txns))
+	} else {
+		sc.out = sc.out[:len(sc.txns)]
+	}
+	s.injectServiceTime()
+	if err := s.engine.AssignAllContextInto(r.Context(), v.a, sc.txns, sc.out); err != nil {
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		s.writeError(w, status, "request abandoned: %v", err)
+		return
+	}
+	sc.resp = wire.AppendResponse(sc.resp[:0], sc.out)
+	w.Header().Set(ModelSeqHeader, strconv.FormatUint(v.seq, 10))
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(sc.resp)))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(sc.resp); err != nil {
+		s.logger.Printf("writing response: %v", err)
+	}
+}
+
+// readAll reads r to EOF into buf, reusing and growing its capacity, so a
+// pooled buffer makes steady-state body reads allocation-free (io.ReadAll
+// always allocates a fresh slice).
+func readAll(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 // injectServiceTime applies the configured fault-injection sleeps while the
@@ -459,6 +549,10 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	p.Counter("rockd_assignments_total", "Individual transactions assigned.", float64(m.Assignments))
 	p.Counter("rockd_outliers_total", "Assignments that landed in no cluster.", float64(m.Outliers))
 	p.Counter("rockd_reloads_total", "Model hot-swaps.", float64(m.Reloads))
+	p.Counter("rockd_cache_hits_total", "Answer-cache hits on the assign path.", float64(m.CacheHits))
+	p.Counter("rockd_cache_misses_total", "Answer-cache misses on the assign path.", float64(m.CacheMisses))
+	p.Counter("rockd_cache_evictions_total", "Answers displaced by the cache's CLOCK sweep.", float64(m.CacheEvictions))
+	p.Gauge("rockd_cache_entries", "Currently cached answers.", float64(m.CacheEntries))
 	p.Counter("rockd_shed_total", "Assign requests shed with 429 at the admission gate.", float64(m.Shed))
 	p.Counter("rockd_panics_total", "Handler panics converted to 500s.", float64(m.Panics))
 	p.Gauge("rockd_model_seq", "Serving snapshot generation (0 = file-loaded or none).", float64(m.Seq))

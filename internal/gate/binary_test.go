@@ -1,0 +1,144 @@
+package gate_test
+
+// The gateway must proxy the binary assign codec transparently: it already
+// relays request and response bodies verbatim, so the only codec-sensitive
+// part is forwarding the client's Content-Type to the chosen replica and
+// relaying the replica's back (internal/gate/proxy.go). This test runs real
+// replicas behind a real gateway and checks binary answers match JSON ones
+// byte-for-values, with the negotiated Content-Type intact end to end.
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"rock/internal/dataset"
+	"rock/internal/gate"
+	"rock/internal/model"
+	"rock/internal/store"
+	"rock/internal/wire"
+)
+
+func TestGatewayProxiesBinaryCodec(t *testing.T) {
+	dirPath := t.TempDir()
+	seedDir, err := model.OpenDir(store.OS, dirPath, "model", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seedDir.Save(fleetSnapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	replicas := []*replica{
+		startReplica(t, dirPath, ""),
+		startReplica(t, dirPath, ""),
+	}
+	g := gate.New(gate.Config{
+		Backends:      []string{replicas[0].url(), replicas[1].url()},
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+	}, log.New(io.Discard, "", 0))
+	defer g.Close()
+	gl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsrv := &http.Server{Handler: g}
+	go gsrv.Serve(gl)
+	defer gsrv.Close()
+	gurl := "http://" + gl.Addr().String()
+
+	waitUntil(t, 2*time.Second, "fleet live", func() bool {
+		fr := fleetView(t, gurl)
+		live := 0
+		for _, r := range fr.Replicas {
+			if r.State == "live" {
+				live++
+			}
+		}
+		return live == len(replicas)
+	})
+
+	// One probe per schema value: {0}..{5}, half in each cluster.
+	probes := make([]dataset.Transaction, 6)
+	for k := range probes {
+		probes[k] = dataset.NewTransaction(dataset.Item(k))
+	}
+
+	// Reference answers through the JSON path.
+	jsonBody := []byte(`{"transactions":[[0],[1],[2],[3],[4],[5]]}`)
+	resp, err := http.Post(gurl+"/v1/assign", "application/json", bytes.NewReader(jsonBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPayload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json assign through gateway: %d (%s)", resp.StatusCode, jsonPayload)
+	}
+	var jr struct {
+		Assignments []struct {
+			Cluster int     `json:"cluster"`
+			Score   float64 `json:"score"`
+		} `json:"assignments"`
+	}
+	if err := json.Unmarshal(jsonPayload, &jr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same probes through the binary codec, several times so both replicas
+	// get exercised by the balancer.
+	binBody := wire.AppendRequest(nil, probes)
+	for round := 0; round < 10; round++ {
+		resp, err := http.Post(gurl+"/v1/assign", wire.ContentType, bytes.NewReader(binBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		ct := resp.Header.Get("Content-Type")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: binary assign through gateway: %d (%s)", round, resp.StatusCode, payload)
+		}
+		if ct != wire.ContentType {
+			t.Fatalf("round %d: response Content-Type %q, want %q", round, ct, wire.ContentType)
+		}
+		out, err := wire.DecodeResponse(payload, nil)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(out) != len(jr.Assignments) {
+			t.Fatalf("round %d: %d assignments, want %d", round, len(out), len(jr.Assignments))
+		}
+		for i := range out {
+			if out[i].Cluster != jr.Assignments[i].Cluster || out[i].Score != jr.Assignments[i].Score {
+				t.Fatalf("round %d probe %d: binary %+v, json %+v", round, i, out[i], jr.Assignments[i])
+			}
+		}
+	}
+
+	// A corrupt binary body must come back as the replica's JSON 400,
+	// relayed with its JSON Content-Type — not mangled into the binary type.
+	resp, err = http.Post(gurl+"/v1/assign", wire.ContentType, bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPayload, _ := io.ReadAll(resp.Body)
+	errCT := resp.Header.Get("Content-Type")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt binary body through gateway: %d (%s)", resp.StatusCode, errPayload)
+	}
+	if errCT == wire.ContentType {
+		t.Fatalf("error response relayed with binary Content-Type: %s", errPayload)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(errPayload, &e); err != nil || e["error"] == "" {
+		t.Fatalf("error payload %q is not a JSON error", errPayload)
+	}
+}

@@ -70,7 +70,14 @@ func (g *Gateway) handleAssign(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ReqTimeout)
 	defer cancel()
 
-	res := g.proxyAssign(ctx, body)
+	// Forward the client's codec choice: replicas negotiate the binary wire
+	// format by Content-Type, and the gateway relays bodies verbatim in both
+	// directions, so proxying is codec-transparent.
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		ct = "application/json"
+	}
+	res := g.proxyAssign(ctx, body, ct)
 	switch {
 	case res.err != nil:
 		g.failed.Add(1)
@@ -107,7 +114,7 @@ func (g *Gateway) handleAssign(w http.ResponseWriter, r *http.Request) {
 // proxyAssign races attempts against the fleet until one yields a
 // non-retryable outcome or backends/budget run out. The returned attempt
 // has b == nil when no backend was routable at all.
-func (g *Gateway) proxyAssign(ctx context.Context, body []byte) attempt {
+func (g *Gateway) proxyAssign(ctx context.Context, body []byte, contentType string) attempt {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel() // the winner's return cancels every straggler
 
@@ -124,7 +131,7 @@ func (g *Gateway) proxyAssign(ctx context.Context, body []byte) attempt {
 			g.hedged.Add(1)
 			b.hedges.Add(1)
 		}
-		go g.attemptOn(actx, b, body, hedge, results)
+		go g.attemptOn(actx, b, body, contentType, hedge, results)
 		return true
 	}
 
@@ -183,7 +190,7 @@ func (g *Gateway) proxyAssign(ctx context.Context, body []byte) attempt {
 // attemptOn runs one try against one backend, classifying the outcome and
 // feeding the balancer's signals: in-flight accounting, latency
 // observation, seq tracking from the response header, Retry-After backoff.
-func (g *Gateway) attemptOn(ctx context.Context, b *Backend, body []byte, hedge bool, results chan<- attempt) {
+func (g *Gateway) attemptOn(ctx context.Context, b *Backend, body []byte, contentType string, hedge bool, results chan<- attempt) {
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
 	b.requests.Add(1)
@@ -193,7 +200,7 @@ func (g *Gateway) attemptOn(ctx context.Context, b *Backend, body []byte, hedge 
 		results <- attempt{b: b, hedge: hedge, err: err}
 		return
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	start := time.Now()
 	resp, err := g.client.Do(req)
 	if err != nil {

@@ -92,8 +92,14 @@ const Outlier = -1
 
 // Assign labels one point: it returns the cluster whose labeled set contains
 // the most neighbors of the point after dividing by (|L_i| + 1)^f(theta),
-// or Outlier when the point has no neighbors in any set. Ties break toward
-// the lower cluster index, keeping the phase deterministic.
+// or Outlier when the point has no neighbors in any set.
+//
+// Ties keep the FIRST best-scoring set in iteration order (the comparison is
+// strictly score > best), so the winner on a tie depends on the order of
+// sets. BuildSets emits sets in increasing cluster order and model.Compile
+// rejects snapshots whose sets are not cluster-sorted, so in practice — and
+// as the serving layer guarantees — ties break toward the lower cluster
+// index, keeping the phase deterministic.
 func Assign(sets []Set, isNeighbor NeighborFunc) int {
 	c, _ := AssignScore(sets, isNeighbor)
 	return c
@@ -101,7 +107,8 @@ func Assign(sets []Set, isNeighbor NeighborFunc) int {
 
 // AssignScore is Assign plus the winning normalized neighbor count — the
 // quantity the serving layer reports as the assignment's confidence score.
-// The score is 0 for outliers.
+// The score is 0 for outliers. See Assign for the tie rule: first best in
+// set order, which is the lowest cluster index when sets are cluster-sorted.
 func AssignScore(sets []Set, isNeighbor NeighborFunc) (int, float64) {
 	best, bestScore := Outlier, 0.0
 	for si := range sets {

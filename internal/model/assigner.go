@@ -22,13 +22,31 @@ type Assigner struct {
 	sim     sim.TxnFunc
 	theta   float64
 	encoder *dataset.Encoder
+	// idx is the posting-list index for the built-in count-based measures;
+	// nil when the model's similarity (or its transactions) cannot use it,
+	// in which case every Assign takes the scan path.
+	idx *compiled
 }
 
 // Compile turns a snapshot into a servable Assigner, resolving the
-// similarity name against the registered similarities.
+// similarity name against the registered similarities and building the
+// posting-list index for the built-in set measures.
+//
+// Compile requires the snapshot's sets to be sorted by cluster index. The
+// labeling rule keeps the first best-scoring set on ties (label.AssignScore),
+// so the documented tie break — toward the lower cluster index — holds only
+// when iteration order follows cluster order. Every snapshot builder in this
+// repo emits cluster-sorted sets; refusing unsorted ones here keeps the
+// compiled and scan paths from ever diverging on ties.
 func Compile(s *Snapshot) (*Assigner, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	for i := 1; i < len(s.Sets); i++ {
+		if s.Sets[i].Cluster < s.Sets[i-1].Cluster {
+			return nil, fmt.Errorf("model: sets not sorted by cluster (set %d labels cluster %d after %d); tie breaks would depend on set order",
+				i, s.Sets[i].Cluster, s.Sets[i-1].Cluster)
+		}
 	}
 	f, ok := sim.TxnByName(s.SimName)
 	if !ok {
@@ -44,16 +62,34 @@ func Compile(s *Snapshot) (*Assigner, error) {
 	if s.Schema != nil {
 		a.encoder = dataset.NewEncoder(s.Schema)
 	}
+	a.idx = newCompiled(s)
 	return a, nil
 }
 
 // Assign labels one transaction, returning the cluster index and the
-// normalized neighbor-count score (label.Outlier and 0 for outliers).
+// normalized neighbor-count score (label.Outlier and 0 for outliers). When
+// the model compiled a posting-list index and t is normalized, the answer
+// comes from posting-list intersection; otherwise from the reference scan.
+// Both paths return bit-identical (cluster, score).
 func (a *Assigner) Assign(t dataset.Transaction) (int, float64) {
+	if a.idx != nil && t.IsNormalized() {
+		return a.idx.assign(a.sets, t)
+	}
+	return a.AssignScan(t)
+}
+
+// AssignScan is the reference labeling path: a merge-intersect similarity
+// call against every labeled transaction of every set, exactly Section 4.6
+// as written. It is the fallback for custom similarities and the oracle the
+// compiled path is property-tested against.
+func (a *Assigner) AssignScan(t dataset.Transaction) (int, float64) {
 	return label.AssignScore(a.sets, func(q int) bool {
 		return a.sim(t, a.snap.Txns[q]) >= a.theta
 	})
 }
+
+// Compiled reports whether the posting-list index is active for this model.
+func (a *Assigner) Compiled() bool { return a.idx != nil }
 
 // EncodeRecord converts a categorical record (one value string per
 // attribute, "?" for missing) into a transaction using the model's schema.

@@ -1,0 +1,8 @@
+//go:build race
+
+package model
+
+// raceEnabled reports whether the race detector is compiled in. sync.Pool
+// deliberately randomizes Get/Put under the detector, so the zero-alloc
+// gates on pool-backed paths cannot hold there.
+const raceEnabled = true

@@ -113,6 +113,17 @@ type Metrics struct {
 	Outliers uint64 `json:"outliers"`
 	// Reloads counts model hot-swaps.
 	Reloads uint64 `json:"reloads"`
+	// CacheHits and CacheMisses count answer-cache lookups on the assign
+	// path; both stay 0 when the cache is disabled. Their sum can trail
+	// Assignments: unnormalized transactions bypass the cache, as do
+	// batches that captured a model mid-swap.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// CacheEvictions counts answers displaced by the CLOCK sweep (not the
+	// wholesale invalidation a model swap performs).
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// CacheEntries is the current number of cached answers (a gauge).
+	CacheEntries uint64 `json:"cache_entries"`
 	// P50Millis and P99Millis are per-request latency quantiles from the
 	// fixed-bucket histogram (bucket upper bounds, so conservative).
 	P50Millis  float64 `json:"p50_ms"`

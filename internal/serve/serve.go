@@ -55,10 +55,20 @@ type Engine struct {
 	workers int
 	wg      sync.WaitGroup
 
+	// cache is the answer cache for the current model (nil when disabled).
+	// Each instance is bound to one assigner; Swap installs a fresh one, so
+	// a batch running on a just-replaced model bypasses it rather than ever
+	// reading another model's answers.
+	cache    atomic.Pointer[Cache]
+	cacheCap int
+
 	requests    atomic.Uint64
 	assignments atomic.Uint64
 	outliers    atomic.Uint64
 	reloads     atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	cacheEvicts atomic.Uint64
 	lat         Histogram
 }
 
@@ -101,17 +111,74 @@ func (e *Engine) worker() {
 }
 
 func (e *Engine) runChunk(a *model.Assigner, in []dataset.Transaction, out []Assignment) {
-	n := 0
+	// Use the answer cache only when its instance is bound to this chunk's
+	// captured model: during a hot swap, chunks still running on the old
+	// model see the new model's cache and simply bypass it.
+	var cache *Cache
+	if cc := e.cache.Load(); cc.For(a) {
+		cache = cc
+	}
+	outliers, hits, misses := 0, 0, 0
 	for i, t := range in {
+		if cache != nil && t.IsNormalized() {
+			if asg, ok := cache.Get(t); ok {
+				out[i] = asg
+				hits++
+				if asg.Cluster == Outlier {
+					outliers++
+				}
+				continue
+			}
+			misses++
+			c, s := a.Assign(t)
+			out[i] = Assignment{Cluster: c, Score: s}
+			cache.Put(t, out[i])
+			if c == Outlier {
+				outliers++
+			}
+			continue
+		}
 		c, s := a.Assign(t)
 		out[i] = Assignment{Cluster: c, Score: s}
 		if c == Outlier {
-			n++
+			outliers++
 		}
 	}
-	if n > 0 {
-		e.outliers.Add(uint64(n))
+	if outliers > 0 {
+		e.outliers.Add(uint64(outliers))
 	}
+	if hits > 0 {
+		e.cacheHits.Add(uint64(hits))
+	}
+	if misses > 0 {
+		e.cacheMisses.Add(uint64(misses))
+	}
+}
+
+// EnableCache turns on the answer cache with roughly capacity entries,
+// keyed on normalized transaction bytes and invalidated wholesale on every
+// model swap. capacity <= 0 disables it. Call before serving traffic;
+// enabling mid-flight is safe but the instance only binds to the model
+// current at the call.
+func (e *Engine) EnableCache(capacity int) {
+	if capacity <= 0 {
+		e.cacheCap = 0
+		e.cache.Store(nil)
+		return
+	}
+	e.cacheCap = capacity
+	if a := e.cur.Load(); a != nil {
+		e.cache.Store(NewCache(capacity, a, &e.cacheEvicts))
+	}
+}
+
+// CacheLen returns the number of currently cached answers (0 when the cache
+// is disabled).
+func (e *Engine) CacheLen() int {
+	if c := e.cache.Load(); c != nil {
+		return c.Len()
+	}
+	return 0
 }
 
 // Model returns the currently served assigner, or nil when the engine was
@@ -132,6 +199,11 @@ func (e *Engine) Swap(a *model.Assigner) (*model.Assigner, error) {
 		return nil, errors.New("serve: refusing to install a nil assigner")
 	}
 	old := e.cur.Swap(a)
+	// A fresh, empty cache bound to the new model — the entire invalidation
+	// story. Batches still running on old keep bypassing (instance check).
+	if e.cacheCap > 0 {
+		e.cache.Store(NewCache(e.cacheCap, a, &e.cacheEvicts))
+	}
 	e.reloads.Add(1)
 	return old, nil
 }
@@ -203,18 +275,31 @@ func (e *Engine) AssignAllWith(a *model.Assigner, ts []dataset.Transaction) []As
 // extra latency. On error the partial assignments are not returned: a
 // half-labeled batch is worse than a clean failure.
 func (e *Engine) AssignAllContext(ctx context.Context, a *model.Assigner, ts []dataset.Transaction) ([]Assignment, error) {
+	out := make([]Assignment, len(ts))
+	if err := e.AssignAllContextInto(ctx, a, ts, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AssignAllContextInto is AssignAllContext writing into a caller-provided
+// slice (len(out) must equal len(ts)), so a pooled-buffer serving loop —
+// the daemon's binary codec path — can assign a batch without allocating.
+func (e *Engine) AssignAllContextInto(ctx context.Context, a *model.Assigner, ts []dataset.Transaction, out []Assignment) error {
 	if a == nil {
 		panic("serve: AssignAllContext called with a nil assigner")
 	}
+	if len(out) != len(ts) {
+		panic("serve: AssignAllContextInto output length mismatch")
+	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	start := time.Now()
-	out := make([]Assignment, len(ts))
 	if len(ts) <= chunkSize || e.workers == 1 {
 		e.runChunk(a, ts, out)
 		e.finish(start, len(ts))
-		return out, nil
+		return nil
 	}
 	var wg sync.WaitGroup
 	cancelled := false
@@ -233,10 +318,10 @@ func (e *Engine) AssignAllContext(ctx context.Context, a *model.Assigner, ts []d
 	}
 	wg.Wait()
 	if cancelled {
-		return nil, ctx.Err()
+		return ctx.Err()
 	}
 	e.finish(start, len(ts))
-	return out, nil
+	return nil
 }
 
 func (e *Engine) finish(start time.Time, n int) {
@@ -249,13 +334,17 @@ func (e *Engine) finish(start time.Time, n int) {
 func (e *Engine) Metrics() Metrics {
 	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 	return Metrics{
-		Requests:    e.requests.Load(),
-		Assignments: e.assignments.Load(),
-		Outliers:    e.outliers.Load(),
-		Reloads:     e.reloads.Load(),
-		P50Millis:   ms(e.lat.Quantile(0.50)),
-		P99Millis:   ms(e.lat.Quantile(0.99)),
-		MeanMillis:  ms(e.lat.Mean()),
+		Requests:       e.requests.Load(),
+		Assignments:    e.assignments.Load(),
+		Outliers:       e.outliers.Load(),
+		Reloads:        e.reloads.Load(),
+		CacheHits:      e.cacheHits.Load(),
+		CacheMisses:    e.cacheMisses.Load(),
+		CacheEvictions: e.cacheEvicts.Load(),
+		CacheEntries:   uint64(e.CacheLen()),
+		P50Millis:      ms(e.lat.Quantile(0.50)),
+		P99Millis:      ms(e.lat.Quantile(0.99)),
+		MeanMillis:     ms(e.lat.Mean()),
 	}
 }
 

@@ -1,0 +1,21 @@
+package wire
+
+import (
+	"fmt"
+
+	"rock/internal/dataset"
+	"rock/internal/serve"
+)
+
+// Example_hexdump prints the encodings quoted in README.md's wire-format
+// section, so the docs stay honest: if the codec changes, this example
+// fails.
+func Example_hexdump() {
+	req := AppendRequest(nil, []dataset.Transaction{{1, 2, 3}, {300}})
+	fmt.Printf("req:  % x\n", req)
+	resp := AppendResponse(nil, []serve.Assignment{{Cluster: 4, Score: 1.6875}, {Cluster: -1, Score: 0}})
+	fmt.Printf("resp: % x\n", resp)
+	// Output:
+	// req:  02 03 01 02 03 01 ac 02
+	// resp: 02 08 00 00 00 00 00 00 fb 3f 01 00 00 00 00 00 00 00 00
+}

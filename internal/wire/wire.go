@@ -1,0 +1,185 @@
+// Package wire is the binary wire format of POST /v1/assign: a
+// length-prefixed varint codec for assignment requests and responses,
+// negotiated by Content-Type. It exists because JSON encode/decode dominated
+// the serving profile (EXPERIMENTS.md); the binary format cuts the request
+// body to roughly one byte per item and decodes with zero steady-state
+// allocations into caller-reused buffers.
+//
+// Request body (Content-Type: application/x-rock-assign):
+//
+//	uvarint  transaction count
+//	per transaction:
+//	    uvarint  item count
+//	    item count × uvarint item id (0 .. 2^31-1)
+//
+// Items need not be sorted or unique; the server normalizes, exactly as the
+// JSON path does. Records (schema models) are JSON-only.
+//
+// Response body (same Content-Type):
+//
+//	uvarint  assignment count
+//	per assignment:
+//	    varint   cluster (zigzag; -1 = outlier)
+//	    8 bytes  score, IEEE-754 float64 little-endian
+//
+// Error responses (status != 200) are always JSON, whatever the request
+// codec — they are rare, human-read, and relayed verbatim by rockgate.
+//
+// Decoding arbitrary bytes must never panic and never allocate more than the
+// input can justify: every count is validated against the bytes that remain
+// (a transaction costs at least one byte, an assignment at least nine), so a
+// hostile length prefix fails fast instead of forcing an allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"rock/internal/dataset"
+	"rock/internal/serve"
+)
+
+// ContentType is the negotiated media type of the binary assign codec. A
+// request with this Content-Type gets a response with this Content-Type.
+const ContentType = "application/x-rock-assign"
+
+// MaxItem is the largest encodable item id, matching the JSON path's bound
+// (item ids are int32 internally).
+const MaxItem = math.MaxInt32
+
+// ErrTruncated is wrapped by decode errors caused by input ending early.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// AppendRequest appends the binary encoding of an assign request to dst and
+// returns the extended slice. Transactions are encoded as-is; normalize
+// first for the most compact varints (small sorted ids).
+func AppendRequest(dst []byte, txns []dataset.Transaction) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(txns)))
+	for _, t := range txns {
+		dst = binary.AppendUvarint(dst, uint64(len(t)))
+		for _, it := range t {
+			dst = binary.AppendUvarint(dst, uint64(uint32(it)))
+		}
+	}
+	return dst
+}
+
+// DecodeRequest parses a binary assign request, appending the decoded
+// transactions to txns[:0] and their items to items[:0], and returns the two
+// extended slices; every returned transaction subslices the items arena.
+// Passing the returned slices back in on the next call makes steady-state
+// decoding allocation-free. Transactions are returned raw — not normalized —
+// so the caller applies the same Normalize the JSON path does.
+func DecodeRequest(buf []byte, txns []dataset.Transaction, items []dataset.Item) ([]dataset.Transaction, []dataset.Item, error) {
+	txns, items = txns[:0], items[:0]
+	n, rest, err := uvarint(buf)
+	if err != nil {
+		return txns, items, fmt.Errorf("wire: transaction count: %w", err)
+	}
+	// Each transaction costs at least its one-byte item count, so a count
+	// the remaining bytes cannot cover is corrupt — reject before looping.
+	if n > uint64(len(rest)) {
+		return txns, items, fmt.Errorf("wire: transaction count %d exceeds remaining %d bytes", n, len(rest))
+	}
+	for i := uint64(0); i < n; i++ {
+		var ln uint64
+		ln, rest, err = uvarint(rest)
+		if err != nil {
+			return txns, items, fmt.Errorf("wire: transaction %d item count: %w", i, err)
+		}
+		if ln > uint64(len(rest)) {
+			return txns, items, fmt.Errorf("wire: transaction %d claims %d items, %d bytes remain", i, ln, len(rest))
+		}
+		start := len(items)
+		for j := uint64(0); j < ln; j++ {
+			var v uint64
+			v, rest, err = uvarint(rest)
+			if err != nil {
+				return txns, items, fmt.Errorf("wire: transaction %d item %d: %w", i, j, err)
+			}
+			if v > MaxItem {
+				return txns, items, fmt.Errorf("wire: transaction %d item %d out of range", i, v)
+			}
+			items = append(items, dataset.Item(v))
+		}
+		txns = append(txns, dataset.Transaction(items[start:len(items):len(items)]))
+	}
+	if len(rest) != 0 {
+		return txns, items, fmt.Errorf("wire: %d trailing bytes after request", len(rest))
+	}
+	return txns, items, nil
+}
+
+// AppendResponse appends the binary encoding of an assign response to dst
+// and returns the extended slice.
+func AppendResponse(dst []byte, out []serve.Assignment) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(out)))
+	for _, a := range out {
+		dst = binary.AppendVarint(dst, int64(a.Cluster))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.Score))
+	}
+	return dst
+}
+
+// DecodeResponse parses a binary assign response, appending to out[:0] and
+// returning the extended slice, for the same reuse contract as
+// DecodeRequest.
+func DecodeResponse(buf []byte, out []serve.Assignment) ([]serve.Assignment, error) {
+	out = out[:0]
+	n, rest, err := uvarint(buf)
+	if err != nil {
+		return out, fmt.Errorf("wire: assignment count: %w", err)
+	}
+	// An assignment costs at least 1 cluster byte + 8 score bytes.
+	if n > uint64(len(rest))/9 {
+		return out, fmt.Errorf("wire: assignment count %d exceeds remaining %d bytes", n, len(rest))
+	}
+	for i := uint64(0); i < n; i++ {
+		var c int64
+		c, rest, err = varint(rest)
+		if err != nil {
+			return out, fmt.Errorf("wire: assignment %d cluster: %w", i, err)
+		}
+		if c < math.MinInt32 || c > math.MaxInt32 {
+			return out, fmt.Errorf("wire: assignment %d cluster %d out of range", i, c)
+		}
+		if len(rest) < 8 {
+			return out, fmt.Errorf("wire: assignment %d score: %w", i, ErrTruncated)
+		}
+		score := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+		rest = rest[8:]
+		out = append(out, serve.Assignment{Cluster: int(c), Score: score})
+	}
+	if len(rest) != 0 {
+		return out, fmt.Errorf("wire: %d trailing bytes after response", len(rest))
+	}
+	return out, nil
+}
+
+// uvarint reads one uvarint off the front of buf, returning the value and
+// the remaining bytes. It errors (never panics) on truncation and on
+// varints longer than 64 bits.
+func uvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		if n == 0 {
+			return 0, buf, ErrTruncated
+		}
+		return 0, buf, errors.New("wire: varint overflows 64 bits")
+	}
+	return v, buf[n:], nil
+}
+
+// varint is uvarint for zigzag-signed values.
+func varint(buf []byte) (int64, []byte, error) {
+	v, n := binary.Varint(buf)
+	if n <= 0 {
+		if n == 0 {
+			return 0, buf, ErrTruncated
+		}
+		return 0, buf, errors.New("wire: varint overflows 64 bits")
+	}
+	return v, buf[n:], nil
+}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rock/internal/dataset"
+	"rock/internal/serve"
+)
+
+func randomTxns(rng *rand.Rand, n int) []dataset.Transaction {
+	txns := make([]dataset.Transaction, n)
+	for i := range txns {
+		items := make([]dataset.Item, rng.Intn(20))
+		for j := range items {
+			items[j] = dataset.Item(rng.Intn(1 << 20))
+		}
+		txns[i] = dataset.Transaction(items) // raw: unsorted, may duplicate
+	}
+	return txns
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		in := randomTxns(rng, rng.Intn(40))
+		buf := AppendRequest(nil, in)
+		out, _, err := DecodeRequest(buf, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("decoded %d transactions, want %d", len(out), len(in))
+		}
+		for i := range in {
+			if len(out[i]) != len(in[i]) {
+				t.Fatalf("txn %d: %v vs %v", i, out[i], in[i])
+			}
+			for j := range in[i] {
+				if out[i][j] != in[i][j] {
+					t.Fatalf("txn %d item %d: %d vs %d", i, j, out[i][j], in[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestRequestRoundTripEdgeCases(t *testing.T) {
+	cases := [][]dataset.Transaction{
+		{},                         // zero transactions
+		{{}},                       // one empty transaction
+		{{}, {0}, {math.MaxInt32}}, // boundary item ids
+	}
+	for _, in := range cases {
+		buf := AppendRequest(nil, in)
+		out, _, err := DecodeRequest(buf, nil, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("%v: decoded %d", in, len(out))
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		in := make([]serve.Assignment, rng.Intn(50))
+		for i := range in {
+			in[i] = serve.Assignment{Cluster: rng.Intn(20) - 1, Score: rng.Float64() * 10}
+		}
+		buf := AppendResponse(nil, in)
+		out, err := DecodeResponse(buf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("decoded %d assignments, want %d", len(out), len(in))
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("assignment %d: %+v vs %+v", i, out[i], in[i])
+			}
+		}
+	}
+}
+
+func TestDecodeRequestRejectsCorruptInput(t *testing.T) {
+	good := AppendRequest(nil, []dataset.Transaction{{1, 2, 3}, {4}})
+	cases := map[string][]byte{
+		"empty":               {},
+		"truncated mid-count": good[:1],
+		"truncated mid-items": good[:len(good)-2],
+		"huge txn count":      {0xff, 0xff, 0xff, 0xff, 0x0f},
+		"huge item count":     {0x01, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"overlong varint":     {0x01, 0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02},
+		"item out of range":   {0x01, 0x01, 0xff, 0xff, 0xff, 0xff, 0x7f},
+		"trailing bytes":      append(append([]byte{}, good...), 0x00),
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeRequest(buf, nil, nil); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestDecodeResponseRejectsCorruptInput(t *testing.T) {
+	good := AppendResponse(nil, []serve.Assignment{{Cluster: 1, Score: 0.5}})
+	cases := map[string][]byte{
+		"empty":           {},
+		"truncated score": good[:len(good)-1],
+		"huge count":      {0xff, 0xff, 0xff, 0xff, 0x0f},
+		"trailing bytes":  append(append([]byte{}, good...), 0x00),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeResponse(buf, nil); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestCodecZeroAllocs gates the hot loops: with reused buffers, encode and
+// decode of requests and responses must not allocate.
+func TestCodecZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	txns := randomTxns(rng, 32)
+	asg := make([]serve.Assignment, 32)
+	for i := range asg {
+		asg[i] = serve.Assignment{Cluster: i % 7, Score: float64(i)}
+	}
+	reqBuf := AppendRequest(nil, txns)
+	respBuf := AppendResponse(nil, asg)
+	var (
+		encBuf   = make([]byte, 0, len(reqBuf)+len(respBuf))
+		decTxns  []dataset.Transaction
+		decItems []dataset.Item
+		decAsg   []serve.Assignment
+		err      error
+	)
+	// Warm the reusable buffers to capacity.
+	decTxns, decItems, err = DecodeRequest(reqBuf, decTxns, decItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decAsg, err = DecodeResponse(respBuf, decAsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		encBuf = AppendRequest(encBuf[:0], txns)
+		encBuf = AppendResponse(encBuf[:0], asg)
+		decTxns, decItems, err = DecodeRequest(reqBuf, decTxns, decItems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decAsg, err = DecodeResponse(respBuf, decAsg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("codec hot loop allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// FuzzDecodeRequest: arbitrary bytes must never panic and never produce more
+// decoded items than input bytes (the anti-over-allocation invariant).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRequest(nil, []dataset.Transaction{{1, 2, 3}, {}, {1 << 30}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		txns, items, err := DecodeRequest(data, nil, nil)
+		if err != nil {
+			return
+		}
+		if len(items) > len(data) {
+			t.Fatalf("decoded %d items from %d bytes", len(items), len(data))
+		}
+		// A successful decode must survive a re-encode → re-decode loop
+		// value-identically (varints are not canonical, so the bytes may
+		// legitimately shrink).
+		back, _, err := DecodeRequest(AppendRequest(nil, txns), nil, nil)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(txns) {
+			t.Fatalf("re-decode count %d, want %d", len(back), len(txns))
+		}
+	})
+}
+
+// FuzzDecodeResponse: same contract for the response direction.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendResponse(nil, []serve.Assignment{{Cluster: -1}, {Cluster: 3, Score: 1.5}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecodeResponse(data, nil)
+		if err != nil {
+			return
+		}
+		if len(out) > len(data)/9 {
+			t.Fatalf("decoded %d assignments from %d bytes", len(out), len(data))
+		}
+	})
+}
