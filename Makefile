@@ -12,10 +12,13 @@
 #   make benchjoin  brute vs indexed neighbor-join sweep (full size)
 #   make benchtrain  out-of-core trainer memory-budget sweep (EXPERIMENTS.md)
 #   make benchassign  assign hot path: scan vs compiled × codec sweep + 3x guard
+#   make stream-soak  online-clustering soak: rockstream feeding a drifting
+#                     stream into a 2-replica rockd + rockgate fleet under
+#                     -race, plus the stream-vs-batch ARI equivalence gate
 
 GO ?= go
 
-.PHONY: verify race vet faults chaos trainfaults check bench benchjoin benchtrain benchassign fuzz
+.PHONY: verify race vet faults chaos trainfaults check bench benchjoin benchtrain benchassign fuzz stream-soak
 
 verify:
 	$(GO) build ./...
@@ -53,7 +56,15 @@ chaos:
 trainfaults:
 	$(GO) test -race ./internal/train -run 'Journal|Resume|Kill|Watchdog|PreCancelled|Shard|PostReload|RetryAfter|RunPublish'
 
-check: verify race vet faults chaos trainfaults
+# Online-clustering soak: the rockstream -> model.Dir -> fleet loop with a
+# drifting generator (>= 2 generations, drift-score spike + recovery, zero
+# wrong/stale answers), the incremental-index equivalence property, and the
+# stream-vs-batch ARI gate — all under the race detector.
+stream-soak:
+	$(GO) test -race ./internal/stream -run 'TestStreamSoak|TestStreamMatchesBatchARI' -v
+	$(GO) test -race ./internal/simjoin -run 'TestIncIndex'
+
+check: verify race vet faults chaos trainfaults stream-soak
 
 bench:
 	$(GO) test -short -bench=. -benchmem ./...

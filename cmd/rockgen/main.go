@@ -7,6 +7,12 @@
 //	rockgen -dataset mushroom -out mushroom.cat        [-seed 1]
 //	rockgen -dataset funds    -out funds.cat           [-seed 1]
 //
+// With -drift-every N (basket only) the generator switches to the
+// drifting-basket stream: -n transactions are drawn in stream order, and
+// every N draws a fraction -drift-frac of each cluster's defining items is
+// rotated to fresh ids — the ground-truth corpus for drift drills against
+// rockstream.
+//
 // The basket data set is written in the transaction text format (one
 // space-separated transaction per line; add -binary for the compact binary
 // format); the categorical data sets are written in the categorical format
@@ -23,6 +29,7 @@ import (
 	"os"
 
 	"rock/internal/datagen"
+	"rock/internal/dataset"
 	"rock/internal/store"
 	"rock/internal/timeseries"
 )
@@ -31,12 +38,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rockgen: ")
 	var (
-		ds     = flag.String("dataset", "basket", "data set: basket, votes, mushroom or funds")
-		out    = flag.String("out", "", "output path (required)")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		scale  = flag.Int("scale", 1, "basket only: divide cluster sizes by this factor")
-		mult   = flag.Int("mult", 1, "basket only: multiply cluster sizes by this factor (large training corpora; 100 ≈ 11.5M txns)")
-		binary = flag.Bool("binary", false, "basket only: write the binary transaction format")
+		ds         = flag.String("dataset", "basket", "data set: basket, votes, mushroom or funds")
+		out        = flag.String("out", "", "output path (required)")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		scale      = flag.Int("scale", 1, "basket only: divide cluster sizes by this factor")
+		mult       = flag.Int("mult", 1, "basket only: multiply cluster sizes by this factor (large training corpora; 100 ≈ 11.5M txns)")
+		binary     = flag.Bool("binary", false, "basket only: write the binary transaction format")
+		driftEvery = flag.Int("drift-every", 0, "basket only: rotate cluster vocabularies every N transactions (0 = stationary batch)")
+		driftFrac  = flag.Float64("drift-frac", 0.25, "basket only: fraction of each cluster's defining items rotated per drift step")
+		n          = flag.Int("n", 0, "basket drift mode: number of transactions to draw (default: the configured corpus size)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -56,6 +66,40 @@ func main() {
 		}
 		if *mult > 1 {
 			cfg = datagen.MultipliedBasketConfig(*mult)
+		}
+		if *driftEvery > 0 {
+			if *driftFrac <= 0 || *driftFrac > 1 {
+				log.Fatalf("-drift-frac %v out of (0,1]", *driftFrac)
+			}
+			stream := datagen.NewDriftStream(datagen.DriftConfig{
+				Basket:     cfg,
+				DriftEvery: *driftEvery,
+				DriftFrac:  *driftFrac,
+			}, rng)
+			count := *n
+			if count <= 0 {
+				count = cfg.Outliers
+				for _, s := range cfg.ClusterSizes {
+					count += s
+				}
+			}
+			txns := make([]dataset.Transaction, count)
+			labels = make([]int, count)
+			for i := 0; i < count; i++ {
+				txns[i], labels[i] = stream.Next()
+			}
+			var err error
+			if *binary {
+				err = store.SaveBinary(*out, txns)
+			} else {
+				err = store.SaveText(*out, txns)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %d drifting transactions (%d rotations, %d items) to %s\n",
+				count, stream.Rotations(), stream.NumItems(), *out)
+			break
 		}
 		d := datagen.Basket(cfg, rng)
 		var err error

@@ -1,0 +1,184 @@
+// Command rockstream is the online clustering daemon: it ingests an
+// unbounded transaction stream, folds every arrival into an evolving ROCK
+// clustering, and continuously publishes model generations the serving
+// fleet hot-reloads — the always-on counterpart to the batch rocktrain run.
+//
+// Ingest a stream over HTTP, publish every 30s or 5000 absorbed
+// transactions into a versioned snapshot directory, and roll the fleet
+// behind a rockgate on every generation:
+//
+//	rockstream -theta 0.5 -listen :7748 \
+//	    -snapshot-dir /srv/rock/models \
+//	    -publish-interval 30s -publish-every 5000 \
+//	    -reload http://gate:7746
+//
+// Transactions arrive as POST /v1/ingest bodies in the transaction text
+// format (one per line), and/or by following a growing file with -tail
+// (tail -f semantics; -tail-from-start replays existing content first).
+// GET /v1/stream reports live clustering state, GET /metrics the Prometheus
+// counters (fold outcomes, pool mechanics, drift score, fold latency), and
+// POST /v1/publish forces a guarded publish.
+//
+// On startup the daemon seeds its clusters from the newest generation
+// already in -snapshot-dir, so a restart resumes folding into the clusters
+// the fleet is serving instead of re-discovering them from scratch. The
+// drift guard (-max-outlier-rate, -regress-bound) refuses to publish while
+// the rolling outlier rate says the clusterer has not caught up with the
+// stream — the fleet keeps serving the last good generation instead.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rock/internal/dataset"
+	"rock/internal/model"
+	"rock/internal/store"
+	"rock/internal/stream"
+	"rock/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rockstream: ")
+	var (
+		theta       = flag.Float64("theta", 0.5, "neighbor similarity threshold")
+		simName     = flag.String("sim", "jaccard", "similarity: jaccard, dice, overlap or cosine")
+		numRep      = flag.Int("num-rep", 0, "representative transactions per cluster (0 = 8)")
+		foldGood    = flag.Float64("fold-goodness", 0, "minimum Eq. 2 goodness to absorb an arrival (0 = 0.2)")
+		maxLabel    = flag.Int("max-label", 0, "labeled reservoir size per cluster (0 = 128)")
+		poolCap     = flag.Int("pool-cap", 0, "outlier pool capacity (0 = 4096)")
+		reclusterN  = flag.Int("recluster-every", 0, "re-cluster the pool after this many pooled arrivals (0 = 512)")
+		minPromote  = flag.Int("min-promote", 0, "minimum pool-cluster size promoted to a cluster (0 = 8)")
+		maxAge      = flag.Int("max-age", 0, "age out pool entries after this many arrivals (0 = 8192)")
+		window      = flag.Int("window", 0, "sliding window for the rolling outlier rate (0 = 2048)")
+		seed        = flag.Int64("seed", 1, "seed for reservoir sampling and representative scatter")
+		listen      = flag.String("listen", ":7748", "HTTP listen address")
+		tailPath    = flag.String("tail", "", "follow this transaction text file as an ingest source")
+		tailStart   = flag.Bool("tail-from-start", false, "replay the tailed file's existing content before following")
+		tailPoll    = flag.Duration("tail-poll", 0, "tail polling interval (0 = 200ms)")
+		snapDir     = flag.String("snapshot-dir", "", "versioned snapshot directory generations are published into (required)")
+		snapName    = flag.String("snapshot-name", "model", "snapshot base name within -snapshot-dir")
+		snapKeep    = flag.Int("snapshot-keep", 0, "generations to retain (0 = default)")
+		noSeed      = flag.Bool("no-seed", false, "do not seed clusters from the newest existing generation")
+		pubInterval = flag.Duration("publish-interval", time.Minute, "publish a generation at least this often")
+		pubEvery    = flag.Int64("publish-every", 0, "additionally publish after this many absorbed transactions (0 = timer only)")
+		maxOutlier  = flag.Float64("max-outlier-rate", 0, "drift guard: refuse publishing above this rolling outlier rate (0 = 0.9, negative disables)")
+		regress     = flag.Float64("regress-bound", 0, "drift guard: refuse publishing when the rate regressed past the last generation by more (0 = 0.25, negative disables)")
+		minWindow   = flag.Int("guard-min-window", 0, "arrivals the window must cover before the guard engages (0 = 256)")
+		reload      = flag.String("reload", "", "comma-separated base URLs (rockd or rockgate) to POST /v1/reload after each publish")
+		reloadTries = flag.Int("reload-attempts", 0, "reload attempts per URL before giving up (0 = default)")
+		reloadTime  = flag.Duration("reload-timeout", 0, "deadline per reload attempt (0 = default)")
+	)
+	flag.Parse()
+	if *snapDir == "" {
+		log.Fatal("-snapshot-dir is required")
+	}
+
+	c := stream.New(stream.Config{
+		Theta:           *theta,
+		SimName:         *simName,
+		NumRep:          *numRep,
+		MinFoldGoodness: *foldGood,
+		MaxLabel:        *maxLabel,
+		PoolCap:         *poolCap,
+		ReclusterEvery:  *reclusterN,
+		MinPromote:      *minPromote,
+		MaxAge:          *maxAge,
+		WindowSize:      *window,
+		Seed:            *seed,
+	})
+
+	dir, err := model.OpenDir(store.OS, *snapDir, *snapName, *snapKeep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*noSeed {
+		snap, entry, _, err := dir.LoadLatest()
+		switch {
+		case errors.Is(err, model.ErrNoSnapshots):
+			log.Printf("starting cold: no generation in %s yet", *snapDir)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			if err := c.Seed(snap); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("seeded %d clusters from generation %d (%s)", len(snap.Sets), entry.Seq, entry.Path)
+		}
+	}
+
+	var fleet []string
+	if *reload != "" {
+		for _, u := range strings.Split(*reload, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				fleet = append(fleet, u)
+			}
+		}
+	}
+	pub := stream.NewPublisher(c, stream.PublishConfig{
+		Dir:            dir,
+		Fleet:          fleet,
+		Interval:       *pubInterval,
+		EveryAbsorbed:  *pubEvery,
+		MaxOutlierRate: *maxOutlier,
+		RegressBound:   *regress,
+		MinWindow:      *minWindow,
+		Reload:         train.ReloadOptions{Attempts: *reloadTries, Timeout: *reloadTime},
+		Logf:           log.Printf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	go pub.Run(ctx)
+
+	if *tailPath != "" {
+		t := &stream.Tailer{
+			Path:      *tailPath,
+			Poll:      *tailPoll,
+			FromStart: *tailStart,
+			OnError: func(line string, err error) {
+				c.Metrics().IngestErrors.Add(1)
+			},
+		}
+		go func() {
+			log.Printf("tailing %s", *tailPath)
+			t.Run(ctx, func(txn dataset.Transaction) { c.Observe(txn) })
+		}()
+	}
+
+	srv := &http.Server{Handler: stream.NewServer(c, pub)}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", l.Addr())
+	go func() {
+		if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	<-ctx.Done()
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+	// One last guarded publish so the fleet gets everything absorbed since
+	// the previous generation.
+	if entry, err := pub.TryPublish(shutCtx); err == nil {
+		log.Printf("final generation %d published", entry.Seq)
+	} else if !errors.Is(err, stream.ErrNoClusters) && !errors.Is(err, stream.ErrGuarded) {
+		log.Printf("final publish: %v", err)
+	}
+}

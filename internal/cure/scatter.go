@@ -1,5 +1,7 @@
 package cure
 
+import "math/rand"
+
 // Scatter selects up to count well-scattered candidates from n by CURE's
 // farthest-point heuristic (Guha, Rastogi & Shim, SIGMOD 1998, §3.1): the
 // selection starts from first and repeatedly adds the candidate whose
@@ -40,4 +42,38 @@ func Scatter(n, count, first int, dist func(i, j int) float64) []int {
 		}
 	}
 	return chosen
+}
+
+// ScatterMedoid runs Scatter seeded at the point set's medoid: the point
+// with the smallest total distance to the others, i.e. (under dist = 1 - sim)
+// the one with the greatest total similarity — the densest point, the natural
+// anchor for a scatter over a categorical cluster. When n exceeds medoidCap
+// the medoid is estimated on a random subset drawn from rng; the medoid only
+// seeds the selection, so an approximate one is fine. medoidCap <= 0 or a nil
+// rng disables subsetting. Both the sharded trainer and the streaming
+// clusterer derive their representative sets through this entry point.
+func ScatterMedoid(n, count, medoidCap int, dist func(i, j int) float64, rng *rand.Rand) []int {
+	if n <= 0 || count <= 0 {
+		return nil
+	}
+	cand := make([]int, n)
+	for i := range cand {
+		cand[i] = i
+	}
+	if medoidCap > 0 && n > medoidCap && rng != nil {
+		cand = rng.Perm(n)[:medoidCap]
+	}
+	medoid, best := cand[0], -1.0
+	for _, a := range cand {
+		total := 0.0
+		for _, b := range cand {
+			if a != b {
+				total += 1 - dist(a, b)
+			}
+		}
+		if total > best {
+			medoid, best = a, total
+		}
+	}
+	return Scatter(n, count, medoid, dist)
 }

@@ -1,0 +1,71 @@
+package cure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScatterMedoidSeedsAtMedoid: with a clear densest point, the first
+// selected index must be it, and the rest must follow the farthest-point
+// rule (verified against Scatter seeded at the same point).
+func TestScatterMedoidSeedsAtMedoid(t *testing.T) {
+	// Points on a line; index 2 minimizes total distance.
+	xs := []float64{0, 1, 2, 3, 4}
+	dist := func(i, j int) float64 {
+		d := xs[i] - xs[j]
+		if d < 0 {
+			d = -d
+		}
+		return d / 4 // keep dist in [0,1] so 1-dist acts like a similarity
+	}
+	got := ScatterMedoid(len(xs), 3, 0, dist, nil)
+	if len(got) != 3 || got[0] != 2 {
+		t.Fatalf("ScatterMedoid = %v, want medoid 2 first", got)
+	}
+	want := Scatter(len(xs), 3, 2, dist)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScatterMedoid = %v, Scatter from medoid = %v", got, want)
+		}
+	}
+}
+
+func TestScatterMedoidSubsetEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	pts := make([]float64, n)
+	for i := range pts {
+		pts[i] = rng.Float64()
+	}
+	dist := func(i, j int) float64 {
+		d := pts[i] - pts[j]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	got := ScatterMedoid(n, 5, 32, dist, rng)
+	if len(got) != 5 {
+		t.Fatalf("want 5 indices, got %v", got)
+	}
+	seen := map[int]bool{}
+	for _, ix := range got {
+		if ix < 0 || ix >= n || seen[ix] {
+			t.Fatalf("bad selection %v", got)
+		}
+		seen[ix] = true
+	}
+}
+
+func TestScatterMedoidDegenerate(t *testing.T) {
+	if got := ScatterMedoid(0, 3, 0, nil, nil); got != nil {
+		t.Fatalf("n=0: got %v", got)
+	}
+	if got := ScatterMedoid(3, 0, 0, nil, nil); got != nil {
+		t.Fatalf("count=0: got %v", got)
+	}
+	one := ScatterMedoid(1, 4, 0, func(i, j int) float64 { return 0 }, nil)
+	if len(one) != 1 || one[0] != 0 {
+		t.Fatalf("n=1: got %v", one)
+	}
+}

@@ -77,10 +77,18 @@ type ModelInfo struct {
 	Similarity   string  `json:"similarity"`
 	HasSchema    bool    `json:"has_schema"`
 	Seq          uint64  `json:"seq"`
+	// TrainPoints, TrainOutliers and TrainOutlierRate replay the producing
+	// run's statistics from the snapshot (format v3+), so an operator can
+	// see what a freshly published generation looked like from the serving
+	// side. All zero (with HasTrainStats false) for older snapshots.
+	HasTrainStats    bool    `json:"has_train_stats"`
+	TrainPoints      int64   `json:"train_points,omitempty"`
+	TrainOutliers    int64   `json:"train_outliers,omitempty"`
+	TrainOutlierRate float64 `json:"train_outlier_rate,omitempty"`
 }
 
 func infoOf(a *model.Assigner, seq uint64) ModelInfo {
-	return ModelInfo{
+	info := ModelInfo{
 		Clusters:     a.Clusters(),
 		Sets:         len(a.Snapshot().Sets),
 		Transactions: len(a.Snapshot().Txns),
@@ -89,6 +97,13 @@ func infoOf(a *model.Assigner, seq uint64) ModelInfo {
 		HasSchema:    a.Schema() != nil,
 		Seq:          seq,
 	}
+	if st := a.Snapshot().Stats; st != nil {
+		info.HasTrainStats = true
+		info.TrainPoints = st.Points
+		info.TrainOutliers = st.Outliers
+		info.TrainOutlierRate = st.OutlierRate
+	}
+	return info
 }
 
 // Readiness is the body of GET /readyz.

@@ -276,6 +276,56 @@ func TestHealthzMetricsAndModelEndpoints(t *testing.T) {
 	}
 }
 
+// TestModelEndpointTrainStats: a snapshot carrying v3 training statistics
+// surfaces them through GET /v1/model; one without reports has_train_stats
+// false.
+func TestModelEndpointTrainStats(t *testing.T) {
+	dir := t.TempDir()
+	_, path := trainSnapshot(t, dir, 6, 1)
+	snap, err := model.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stats != nil {
+		t.Fatalf("labeler snapshot unexpectedly has stats: %+v", snap.Stats)
+	}
+	snap.Stats = &model.TrainStats{Points: 1000, Outliers: 37, OutlierRate: 0.037}
+	statsPath := filepath.Join(dir, "stats.rockm")
+	if err := model.Save(statsPath, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, _ := startDaemon(t, statsPath)
+	resp, err := http.Get(srv.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info daemon.ModelInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.HasTrainStats || info.TrainPoints != 1000 || info.TrainOutliers != 37 || info.TrainOutlierRate != 0.037 {
+		t.Fatalf("train stats not surfaced: %+v", info)
+	}
+
+	srv2, _ := startDaemon(t, path)
+	resp, err = http.Get(srv2.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain daemon.ModelInfo
+	err = json.NewDecoder(resp.Body).Decode(&plain)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.HasTrainStats || plain.TrainPoints != 0 {
+		t.Fatalf("stats-free snapshot reported stats: %+v", plain)
+	}
+}
+
 func TestAssignRejectsBadRequests(t *testing.T) {
 	_, path := trainSnapshot(t, t.TempDir(), 6, 1)
 	srv, _ := startDaemon(t, path)

@@ -1,0 +1,137 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"rock/internal/dataset"
+)
+
+// DriftConfig parameterizes the drifting-basket stream: the Section 5.3
+// basket generator turned into an unbounded transaction source whose cluster
+// vocabularies rotate over time. It exists so drift drills have a corpus
+// with ground truth on both axes — which cluster each transaction belongs
+// to, and exactly when and how much the underlying distribution moved.
+type DriftConfig struct {
+	// Basket supplies the cluster shapes. ClusterSizes act as draw weights
+	// (and, with Outliers, set the outlier fraction); the stream itself is
+	// unbounded.
+	Basket BasketConfig
+	// DriftEvery rotates the defining item sets after every DriftEvery
+	// drawn transactions. Zero disables drift (a stationary stream).
+	DriftEvery int
+	// DriftFrac is the fraction of each cluster's defining items replaced
+	// per rotation, rounded up. Replacement items are fresh, never-seen
+	// ids, so every rotation provably moves the distribution: a model
+	// trained before it has never observed the new vocabulary.
+	DriftFrac float64
+}
+
+// DriftStream draws an endless labeled transaction stream under DriftConfig.
+// Not goroutine-safe.
+type DriftStream struct {
+	cfg       DriftConfig
+	rng       *rand.Rand
+	defining  []dataset.Transaction
+	universe  dataset.Transaction
+	nextItem  dataset.Item
+	weights   []int // cumulative cluster weights; outliers beyond the last
+	total     int
+	drawn     int
+	rotations int
+}
+
+// NewDriftStream builds the initial item universe exactly as Basket does
+// (pairwise-shared items first, exclusive fills after) and returns a stream
+// positioned before the first transaction.
+func NewDriftStream(cfg DriftConfig, rng *rand.Rand) *DriftStream {
+	// Reuse the batch generator's universe construction for the templates:
+	// generate zero transactions, keep the defining sets.
+	shape := cfg.Basket
+	sizes := make([]int, len(shape.ClusterSizes))
+	shape.ClusterSizes = sizes // all zero: just build the universe
+	shape.Outliers = 0
+	base := Basket(shape, rng)
+
+	s := &DriftStream{
+		cfg:      cfg,
+		rng:      rng,
+		defining: base.Defining,
+		nextItem: dataset.Item(base.NumItems),
+	}
+	s.universe = dataset.Transaction{}
+	for _, d := range s.defining {
+		s.universe = s.universe.Union(d)
+	}
+	s.weights = make([]int, len(cfg.Basket.ClusterSizes))
+	for i, w := range cfg.Basket.ClusterSizes {
+		s.total += w
+		s.weights[i] = s.total
+	}
+	s.total += cfg.Basket.Outliers
+	if s.total <= 0 {
+		panic("datagen: drift stream needs positive cluster sizes or outliers")
+	}
+	return s
+}
+
+// Next draws one transaction and its true label (OutlierLabel for outlier
+// draws), rotating the vocabulary first when a drift boundary is reached.
+func (s *DriftStream) Next() (dataset.Transaction, int) {
+	if s.cfg.DriftEvery > 0 && s.drawn > 0 && s.drawn%s.cfg.DriftEvery == 0 &&
+		s.drawn/s.cfg.DriftEvery > s.rotations {
+		s.rotate()
+	}
+	s.drawn++
+	r := s.rng.Intn(s.total)
+	for ci, cum := range s.weights {
+		if r < cum {
+			return drawTxn(s.defining[ci], s.cfg.Basket, s.rng), ci
+		}
+	}
+	return drawTxn(s.universe, s.cfg.Basket, s.rng), OutlierLabel
+}
+
+// rotate replaces ceil(DriftFrac · |defining|) random items of every cluster
+// with fresh ids and rebuilds the outlier universe.
+func (s *DriftStream) rotate() {
+	s.rotations++
+	for ci, d := range s.defining {
+		n := int(math.Ceil(s.cfg.DriftFrac * float64(len(d))))
+		if n > len(d) {
+			n = len(d)
+		}
+		if n == 0 {
+			continue
+		}
+		// Partial Fisher-Yates picks the victims; fresh ids replace them.
+		scratch := d.Clone()
+		for i := 0; i < n; i++ {
+			j := i + s.rng.Intn(len(scratch)-i)
+			scratch[i], scratch[j] = scratch[j], scratch[i]
+		}
+		for i := 0; i < n; i++ {
+			scratch[i] = s.nextItem
+			s.nextItem++
+		}
+		scratch.Normalize()
+		s.defining[ci] = scratch
+	}
+	s.universe = dataset.Transaction{}
+	for _, d := range s.defining {
+		s.universe = s.universe.Union(d)
+	}
+}
+
+// Drawn returns how many transactions the stream has produced.
+func (s *DriftStream) Drawn() int { return s.drawn }
+
+// Rotations returns how many drift rotations have occurred.
+func (s *DriftStream) Rotations() int { return s.rotations }
+
+// Defining returns the current cluster templates (shared, not copies).
+func (s *DriftStream) Defining() []dataset.Transaction { return s.defining }
+
+// NumItems returns the item-universe size including retired ids (item ids
+// are never reused, so this is one past the largest id ever drawn).
+func (s *DriftStream) NumItems() int { return int(s.nextItem) }

@@ -1,0 +1,123 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"rock/internal/dataset"
+)
+
+func driftConfig(every int, frac float64) DriftConfig {
+	return DriftConfig{
+		Basket:     ScaledBasketConfig(100),
+		DriftEvery: every,
+		DriftFrac:  frac,
+	}
+}
+
+// TestDriftStreamStationary: with DriftEvery 0 the stream never rotates and
+// draws only from the initial templates, with labels matching the template
+// the transaction was drawn from.
+func TestDriftStreamStationary(t *testing.T) {
+	s := NewDriftStream(driftConfig(0, 0.5), rand.New(rand.NewSource(1)))
+	initial := make([]dataset.Transaction, len(s.Defining()))
+	for i, d := range s.Defining() {
+		initial[i] = d.Clone()
+	}
+	for i := 0; i < 2000; i++ {
+		txn, label := s.Next()
+		if !txn.IsNormalized() || len(txn) == 0 {
+			t.Fatalf("draw %d: bad transaction %v", i, txn)
+		}
+		if label != OutlierLabel {
+			if label < 0 || label >= len(initial) {
+				t.Fatalf("draw %d: label %d out of range", i, label)
+			}
+			if txn.IntersectLen(initial[label]) != len(txn) {
+				t.Fatalf("draw %d: %v not within template %d %v", i, txn, label, initial[label])
+			}
+		}
+	}
+	if s.Rotations() != 0 {
+		t.Fatalf("stationary stream rotated %d times", s.Rotations())
+	}
+}
+
+// TestDriftStreamRotates: rotations happen on schedule, replace the right
+// number of items with fresh ids, and post-drift draws use the new
+// vocabulary.
+func TestDriftStreamRotates(t *testing.T) {
+	const every = 500
+	s := NewDriftStream(driftConfig(every, 0.5), rand.New(rand.NewSource(2)))
+	before := make([]dataset.Transaction, len(s.Defining()))
+	for i, d := range s.Defining() {
+		before[i] = d.Clone()
+	}
+	itemsBefore := s.NumItems()
+	for i := 0; i < every; i++ {
+		s.Next()
+	}
+	if s.Rotations() != 0 {
+		t.Fatalf("rotated before the boundary: %d", s.Rotations())
+	}
+	s.Next() // crosses the boundary
+	if s.Rotations() != 1 {
+		t.Fatalf("want 1 rotation after %d draws, got %d", every+1, s.Rotations())
+	}
+	if s.NumItems() <= itemsBefore {
+		t.Fatalf("rotation introduced no fresh items: %d -> %d", itemsBefore, s.NumItems())
+	}
+	for ci, d := range s.Defining() {
+		if len(d) != len(before[ci]) {
+			t.Fatalf("cluster %d template size changed: %d -> %d", ci, len(before[ci]), len(d))
+		}
+		kept := 0
+		for _, it := range d {
+			if before[ci].Contains(it) {
+				kept++
+			}
+		}
+		replaced := len(d) - kept
+		want := (len(d) + 1) / 2 // ceil(0.5 · n)
+		if replaced != want {
+			t.Fatalf("cluster %d: %d items replaced, want %d", ci, replaced, want)
+		}
+		// Fresh ids exceed every pre-rotation id, so after Normalize they
+		// occupy the tail of the template.
+		for _, it := range d[kept:] {
+			if int(it) < itemsBefore {
+				t.Fatalf("cluster %d: replacement item %d is not fresh", ci, it)
+			}
+		}
+	}
+	// Labeled draws after the rotation stay within the rotated template.
+	for i := 0; i < 1000; i++ {
+		txn, label := s.Next()
+		if label != OutlierLabel && txn.IntersectLen(s.Defining()[label]) != len(txn) {
+			t.Fatalf("post-drift draw outside rotated template: %v vs %v", txn, s.Defining()[label])
+		}
+	}
+}
+
+// TestDriftStreamOutlierFraction: outlier draws appear at roughly the
+// configured rate.
+func TestDriftStreamOutlierFraction(t *testing.T) {
+	cfg := driftConfig(0, 0)
+	s := NewDriftStream(cfg, rand.New(rand.NewSource(3)))
+	total := cfg.Basket.Outliers
+	for _, sz := range cfg.Basket.ClusterSizes {
+		total += sz
+	}
+	wantFrac := float64(cfg.Basket.Outliers) / float64(total)
+	const n = 20000
+	out := 0
+	for i := 0; i < n; i++ {
+		if _, label := s.Next(); label == OutlierLabel {
+			out++
+		}
+	}
+	got := float64(out) / n
+	if got < wantFrac/2 || got > wantFrac*2 {
+		t.Fatalf("outlier fraction %.4f, configured %.4f", got, wantFrac)
+	}
+}

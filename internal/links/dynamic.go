@@ -1,0 +1,113 @@
+package links
+
+import "math/bits"
+
+// Dynamic maintains the theta-neighbor adjacency of a small, churning point
+// set as a bitset matrix with slot recycling. It exists for the streaming
+// clusterer (internal/stream), whose cluster representatives come and go as
+// clusters are promoted, refreshed and merged: the link count between a new
+// arrival and a representative — the number of common neighbors, Section 3.2
+// of the paper — reduces to one AND+popcount per representative, and adding
+// or retiring a representative is O(slots) instead of recomputing a link
+// table over the whole set.
+//
+// Slots identify points: Add returns a slot id, Remove frees it for reuse.
+// The structure is not goroutine-safe; the clusterer serializes access.
+type Dynamic struct {
+	rows [][]uint64 // adjacency bitsets; nil for free slots
+	free []int32
+}
+
+// NewDynamic returns an empty graph.
+func NewDynamic() *Dynamic { return &Dynamic{} }
+
+// Slots returns the current slot-space size (live + free). Probes must be
+// sized to at least this many bits.
+func (d *Dynamic) Slots() int { return len(d.rows) }
+
+// Live returns the number of occupied slots.
+func (d *Dynamic) Live() int { return len(d.rows) - len(d.free) }
+
+// Add allocates a slot for a new point whose neighbors (among live slots)
+// are given, sets the adjacency in both directions, and returns the slot.
+func (d *Dynamic) Add(neighbors []int32) int32 {
+	var s int32
+	if n := len(d.free); n > 0 {
+		s = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		s = int32(len(d.rows))
+		d.rows = append(d.rows, nil)
+	}
+	row := make([]uint64, (len(d.rows)+63)/64)
+	d.rows[s] = row
+	for _, nb := range neighbors {
+		if nb == s || d.rows[nb] == nil {
+			continue
+		}
+		setBit(row, nb)
+		d.rows[nb] = grown(d.rows[nb], int(s))
+		setBit(d.rows[nb], s)
+	}
+	return s
+}
+
+// Remove retires a slot: its row is dropped, its bit cleared from every
+// other row, and the slot recycled by a later Add.
+func (d *Dynamic) Remove(s int32) {
+	if d.rows[s] == nil {
+		return
+	}
+	d.rows[s] = nil
+	w, mask := int(s>>6), ^(uint64(1) << (uint(s) & 63))
+	for i, row := range d.rows {
+		if row != nil && w < len(row) {
+			d.rows[i][w] &= mask
+		}
+	}
+	d.free = append(d.free, s)
+}
+
+// Adjacent reports whether live slots a and b are neighbors.
+func (d *Dynamic) Adjacent(a, b int32) bool {
+	row := d.rows[a]
+	return row != nil && int(b>>6) < len(row) && row[b>>6]&(1<<(uint(b)&63)) != 0
+}
+
+// NewProbe returns a zeroed bitset sized to the current slot space, for
+// marking an outside point's neighbor set (e.g. a stream arrival's
+// theta-neighbors among the representatives).
+func (d *Dynamic) NewProbe() []uint64 { return make([]uint64, (len(d.rows)+63)/64) }
+
+// Mark sets slot s in a probe bitset (as returned by NewProbe).
+func (d *Dynamic) Mark(probe []uint64, s int32) { setBit(probe, s) }
+
+// Common returns |probe ∩ N(s)|: the number of common neighbors of the
+// probed outside point and slot s — their link count, when the probe holds
+// the point's neighbors among the slots.
+func (d *Dynamic) Common(probe []uint64, s int32) int {
+	row := d.rows[s]
+	n := len(row)
+	if len(probe) < n {
+		n = len(probe)
+	}
+	c := 0
+	for w := 0; w < n; w++ {
+		c += bits.OnesCount64(probe[w] & row[w])
+	}
+	return c
+}
+
+// setBit sets bit s, growing the slice if the slot space outgrew it.
+func setBit(row []uint64, s int32) {
+	_ = row[s>>6] // rows passed here are pre-grown; panic on misuse
+	row[s>>6] |= 1 << (uint(s) & 63)
+}
+
+// grown returns row extended to cover bit index s.
+func grown(row []uint64, s int) []uint64 {
+	for len(row) <= s>>6 {
+		row = append(row, 0)
+	}
+	return row
+}

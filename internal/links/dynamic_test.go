@@ -1,0 +1,92 @@
+package links
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDynamicMatchesNaive drives a Dynamic graph through a random
+// add/remove churn and checks Adjacent and Common against a naive
+// map-of-sets model after every operation.
+func TestDynamicMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDynamic()
+	naive := map[int32]map[int32]bool{} // slot -> neighbor set
+	var live []int32
+
+	check := func(step int) {
+		t.Helper()
+		for _, a := range live {
+			probe := d.NewProbe()
+			want := 0
+			for _, b := range live {
+				if a == b {
+					continue
+				}
+				if got := d.Adjacent(a, b); got != naive[a][b] {
+					t.Fatalf("step %d: Adjacent(%d,%d)=%v, want %v", step, a, b, got, naive[a][b])
+				}
+				if naive[a][b] != naive[b][a] {
+					t.Fatalf("step %d: naive asymmetry %d,%d", step, a, b)
+				}
+			}
+			// Probe with a's neighbor set: Common(probe, b) must equal the
+			// common-neighbor count |N(a) ∩ N(b)|.
+			for b := range naive[a] {
+				d.Mark(probe, b)
+			}
+			for _, b := range live {
+				want = 0
+				for x := range naive[a] {
+					if naive[b][x] {
+						want++
+					}
+				}
+				if got := d.Common(probe, b); got != want {
+					t.Fatalf("step %d: Common(N(%d), %d)=%d, want %d", step, a, b, got, want)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 300; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			// Remove a random live slot.
+			i := rng.Intn(len(live))
+			s := live[i]
+			d.Remove(s)
+			live = append(live[:i], live[i+1:]...)
+			delete(naive, s)
+			for _, m := range naive {
+				delete(m, s)
+			}
+		} else {
+			// Add a point adjacent to a random subset of the live slots.
+			var nbs []int32
+			for _, s := range live {
+				if rng.Intn(2) == 0 {
+					nbs = append(nbs, s)
+				}
+			}
+			s := d.Add(nbs)
+			for _, o := range live {
+				if o == s {
+					t.Fatalf("step %d: Add returned live slot %d", step, s)
+				}
+			}
+			naive[s] = map[int32]bool{}
+			for _, b := range nbs {
+				naive[s][b] = true
+				naive[b][s] = true
+			}
+			live = append(live, s)
+		}
+		if step%7 == 0 {
+			check(step)
+		}
+	}
+	check(300)
+	if d.Live() != len(live) {
+		t.Fatalf("Live()=%d, want %d", d.Live(), len(live))
+	}
+}

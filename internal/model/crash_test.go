@@ -135,7 +135,7 @@ func TestLegacyV1SnapshotsStillLoad(t *testing.T) {
 	b.WriteByte(1)
 	zw := gzip.NewWriter(&b)
 	bw := bufio.NewWriter(zw)
-	if err := want.writeBody(bw); err != nil {
+	if err := want.writeBody(bw, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := bw.Flush(); err != nil {

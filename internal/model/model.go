@@ -34,7 +34,13 @@ var magic = [7]byte{'R', 'O', 'C', 'K', 'M', 'D', 'L'}
 // a 4-byte trailer, so silent corruption — a flipped bit on disk, a torn
 // copy — is detected at load time instead of surfacing as a subtly wrong
 // model. Version-1 snapshots (no trailer) still load.
-const Version = 2
+//
+// Version 3 adds an optional training-statistics block (point/outlier counts
+// and the outlier rate of the producing run) between the schema block and
+// the labeled sets, so the serving side can report what a generation looked
+// like at training time. Version-1 and -2 snapshots still load, with nil
+// Stats.
+const Version = 3
 
 // crcTrailerLen is the length of the version-2 CRC32 trailer.
 const crcTrailerLen = 4
@@ -49,6 +55,23 @@ type Set struct {
 	Norm float64
 	// Points are sorted, duplicate-free indices into Txns.
 	Points []int
+}
+
+// TrainStats summarizes the run that produced a snapshot, persisted with it
+// so operators can see from the serving side what a freshly published
+// generation looked like. For the batch trainer, Points counts the labeling
+// pass's input and Outliers how many of those the model left unassigned; for
+// the streaming clusterer, Points counts arrivals absorbed or pooled since
+// startup and OutlierRate is the rolling-window rate at publish time.
+type TrainStats struct {
+	// Points is the number of input points the producing run considered.
+	Points int64
+	// Outliers is how many of them ended up in no cluster.
+	Outliers int64
+	// OutlierRate is the producer's outlier rate at snapshot time, in [0,1].
+	// It is persisted rather than derived because the streaming producer's
+	// rate is windowed, not lifetime.
+	OutlierRate float64
 }
 
 // Snapshot is a trained assignment model in serializable form.
@@ -68,6 +91,9 @@ type Snapshot struct {
 	// Txns are the labeled transactions the sets index into. Only the
 	// transactions referenced by some set are stored.
 	Txns []dataset.Transaction
+	// Stats, when non-nil, describes the training run that produced this
+	// snapshot. Nil for snapshots written before format version 3.
+	Stats *TrainStats
 }
 
 // Validate checks the structural invariants every snapshot must satisfy —
@@ -90,6 +116,14 @@ func (s *Snapshot) Validate() error {
 			if len(attr.Domain) == 0 {
 				return fmt.Errorf("model: schema attribute %q has an empty domain", attr.Name)
 			}
+		}
+	}
+	if st := s.Stats; st != nil {
+		if st.Points < 0 || st.Outliers < 0 || st.Outliers > st.Points {
+			return fmt.Errorf("model: stats %d outliers of %d points", st.Outliers, st.Points)
+		}
+		if math.IsNaN(st.OutlierRate) || st.OutlierRate < 0 || st.OutlierRate > 1 {
+			return fmt.Errorf("model: stats outlier rate %v out of [0,1]", st.OutlierRate)
 		}
 	}
 	for i, set := range s.Sets {
@@ -149,7 +183,7 @@ func (s *Snapshot) Write(w io.Writer) error {
 	crc := crc32.NewIEEE()
 	zw := gzip.NewWriter(io.MultiWriter(w, crc))
 	bw := bufio.NewWriter(zw)
-	if err := s.writeBody(bw); err != nil {
+	if err := s.writeBody(bw, Version); err != nil {
 		zw.Close()
 		return err
 	}
@@ -166,7 +200,7 @@ func (s *Snapshot) Write(w io.Writer) error {
 	return err
 }
 
-func (s *Snapshot) writeBody(bw *bufio.Writer) error {
+func (s *Snapshot) writeBody(bw *bufio.Writer, version byte) error {
 	if err := store.WriteFloat64(bw, s.Theta); err != nil {
 		return err
 	}
@@ -198,6 +232,26 @@ func (s *Snapshot) writeBody(bw *bufio.Writer) error {
 				if err := store.WriteString(bw, v); err != nil {
 					return err
 				}
+			}
+		}
+	}
+	if version >= 3 {
+		hasStats := byte(0)
+		if s.Stats != nil {
+			hasStats = 1
+		}
+		if err := bw.WriteByte(hasStats); err != nil {
+			return err
+		}
+		if s.Stats != nil {
+			if err := store.WriteUvarint(bw, uint64(s.Stats.Points)); err != nil {
+				return err
+			}
+			if err := store.WriteUvarint(bw, uint64(s.Stats.Outliers)); err != nil {
+				return err
+			}
+			if err := store.WriteFloat64(bw, s.Stats.OutlierRate); err != nil {
+				return err
 			}
 		}
 	}
@@ -240,7 +294,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	case 1:
 		// Legacy format: no trailer, the gzip stream runs to EOF.
 		body = r
-	case 2:
+	case 2, 3:
 		// The trailer can only be located from the end, so the body is
 		// read whole; snapshots are served from memory anyway.
 		rest, err := io.ReadAll(r)
@@ -264,7 +318,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("model: opening body: %w", err)
 	}
 	defer zr.Close()
-	s, err := readBody(bufio.NewReader(zr))
+	s, err := readBody(bufio.NewReader(zr), hdr[7])
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +328,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	return s, nil
 }
 
-func readBody(br *bufio.Reader) (*Snapshot, error) {
+func readBody(br *bufio.Reader, version byte) (*Snapshot, error) {
 	s := &Snapshot{}
 	var err error
 	if s.Theta, err = store.ReadFloat64(br); err != nil {
@@ -319,6 +373,35 @@ func readBody(br *bufio.Reader) (*Snapshot, error) {
 		s.Schema = schema
 	default:
 		return nil, fmt.Errorf("model: bad schema flag %d", hasSchema)
+	}
+	if version >= 3 {
+		hasStats, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("model: reading stats flag: %w", err)
+		}
+		switch hasStats {
+		case 0:
+		case 1:
+			st := &TrainStats{}
+			pts, err := store.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("model: reading stats points: %w", err)
+			}
+			out, err := store.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("model: reading stats outliers: %w", err)
+			}
+			if pts > math.MaxInt64 || out > math.MaxInt64 {
+				return nil, fmt.Errorf("model: stats counts out of range")
+			}
+			st.Points, st.Outliers = int64(pts), int64(out)
+			if st.OutlierRate, err = store.ReadFloat64(br); err != nil {
+				return nil, fmt.Errorf("model: reading stats outlier rate: %w", err)
+			}
+			s.Stats = st
+		default:
+			return nil, fmt.Errorf("model: bad stats flag %d", hasStats)
+		}
 	}
 	nsets, err := store.ReadUvarint(br)
 	if err != nil {

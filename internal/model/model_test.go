@@ -71,6 +71,12 @@ func snapshotsEqual(t *testing.T, a, b *Snapshot) {
 			t.Fatalf("txn %d: %v vs %v", i, a.Txns[i], b.Txns[i])
 		}
 	}
+	if (a.Stats == nil) != (b.Stats == nil) {
+		t.Fatalf("stats presence mismatch: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Stats != nil && *a.Stats != *b.Stats {
+		t.Fatalf("stats mismatch: %+v vs %+v", *a.Stats, *b.Stats)
+	}
 }
 
 func TestSnapshotRoundTrip(t *testing.T) {

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// TestStatsRoundTrip: a version-3 snapshot carries its training statistics
+// through a write/read cycle.
+func TestStatsRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	s.Stats = &TrainStats{Points: 114586, Outliers: 4586, OutlierRate: 0.04}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEqual(t, s, got)
+}
+
+// TestStatsAbsentRoundTrip: nil stats stay nil — the flag byte distinguishes
+// "no stats" from "zero stats".
+func TestStatsAbsentRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != nil {
+		t.Fatalf("stats materialized from nowhere: %+v", got.Stats)
+	}
+}
+
+// TestLegacyV2SnapshotsStillLoad hand-builds a version-2 snapshot (CRC
+// trailer, no stats block) and checks it loads with nil Stats.
+func TestLegacyV2SnapshotsStillLoad(t *testing.T) {
+	want := testSnapshot()
+	var body bytes.Buffer
+	crc := crc32.NewIEEE()
+	zw := gzip.NewWriter(&body)
+	bw := bufio.NewWriter(zw)
+	if err := want.writeBody(bw, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	crc.Write(body.Bytes())
+
+	var b bytes.Buffer
+	b.Write(magic[:])
+	b.WriteByte(2)
+	b.Write(body.Bytes())
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	b.Write(trailer[:])
+
+	got, err := Read(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("version-2 snapshot rejected: %v", err)
+	}
+	snapshotsEqual(t, want, got)
+	if got.Stats != nil {
+		t.Fatalf("version-2 snapshot has stats: %+v", got.Stats)
+	}
+}
+
+// TestStatsValidate: malformed stats are rejected before writing.
+func TestStatsValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		stats TrainStats
+	}{
+		{"outliers exceed points", TrainStats{Points: 5, Outliers: 6, OutlierRate: 0.5}},
+		{"negative points", TrainStats{Points: -1}},
+		{"rate out of range", TrainStats{Points: 10, Outliers: 1, OutlierRate: 1.5}},
+	} {
+		s := testSnapshot()
+		s.Stats = &tc.stats
+		var buf bytes.Buffer
+		err := s.Write(&buf)
+		if err == nil || !strings.Contains(err.Error(), "stats") {
+			t.Errorf("%s: err = %v, want stats validation error", tc.name, err)
+		}
+	}
+}

@@ -38,9 +38,19 @@ func (p *sizePow) of(s int) float64 {
 // nj^(1+2f)), the merge criterion of Section 4.2: observed cross links
 // normalized by the expected number of cross links between the two clusters.
 func Goodness(crossLinks, ni, nj int, f float64) float64 {
+	return float64(crossLinks) / ExpectedCrossLinks(ni, nj, f)
+}
+
+// ExpectedCrossLinks is the Eq. 2 denominator: the expected number of cross
+// links between two clusters of sizes ni and nj if they belonged to a single
+// cluster, (ni+nj)^(1+2f) - ni^(1+2f) - nj^(1+2f). A merge (or, in the
+// streaming clusterer, folding a single arrival into a cluster, nj = 1)
+// whose observed cross links approach this value is as well-linked as the
+// paper's model predicts for same-cluster points; the ratio is therefore a
+// scale-free goodness that theta alone calibrates, via f(theta).
+func ExpectedCrossLinks(ni, nj int, f float64) float64 {
 	e := 1 + 2*f
-	den := math.Pow(float64(ni+nj), e) - math.Pow(float64(ni), e) - math.Pow(float64(nj), e)
-	return float64(crossLinks) / den
+	return math.Pow(float64(ni+nj), e) - math.Pow(float64(ni), e) - math.Pow(float64(nj), e)
 }
 
 func (p *sizePow) goodness(crossLinks, ni, nj int) float64 {

@@ -1,0 +1,99 @@
+package simjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rock/internal/dataset"
+)
+
+// incCorpus draws a clustered corpus with the pathologies the index must
+// handle: empty transactions, exact duplicates, singletons, and items whose
+// document frequencies shift over the stream (so the frozen-rank order and
+// the DF order genuinely diverge between rebuilds).
+func incCorpus(rng *rand.Rand, n int) []dataset.Transaction {
+	txns := make([]dataset.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i%17 == 0:
+			txns = append(txns, dataset.Transaction{})
+		case i%13 == 0 && len(txns) > 1:
+			// Exact duplicate of an earlier transaction.
+			txns = append(txns, txns[rng.Intn(len(txns))])
+		default:
+			// Clustered draw: a base of shared items plus noise. Later
+			// clusters use higher item ids, shifting frequencies over time.
+			cl := rng.Intn(4)
+			sz := 1 + rng.Intn(8)
+			t := make(dataset.Transaction, 0, sz)
+			for k := 0; k < sz; k++ {
+				if rng.Intn(3) == 0 {
+					t = append(t, dataset.Item(200+rng.Intn(40))) // global noise
+				} else {
+					t = append(t, dataset.Item(cl*20+rng.Intn(12)))
+				}
+			}
+			t.Normalize()
+			txns = append(txns, t)
+		}
+	}
+	return txns
+}
+
+// TestIncIndexMatchesBatchAtEveryPrefix is the incremental-vs-batch
+// equivalence property: inserting transactions one at a time must yield
+// neighbor lists bit-identical to rebuilding the batch index from scratch at
+// every prefix of the stream — across measures, thresholds (including the
+// brute-force fallback band), and corpora with empties and duplicates.
+func TestIncIndexMatchesBatchAtEveryPrefix(t *testing.T) {
+	measures := []Measure{Jaccard, Dice, Cosine, Overlap}
+	thetas := []float64{0.01, 0.3, 0.5, 0.8} // 0.01 < MinIndexTheta: brute path
+	for _, m := range measures {
+		for _, theta := range thetas {
+			m, theta := m, theta
+			t.Run(fmt.Sprintf("%s/theta=%v", m, theta), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(int64(m)*1000 + int64(theta*100)))
+				// 150 crosses the rebuild thresholds at 64 and 128, so both
+				// frozen-rank epochs and the re-rank path are exercised.
+				txns := incCorpus(rng, 150)
+				inc := NewIncIndex(m, theta)
+				for i, txn := range txns {
+					id, row := inc.Insert(txn)
+					if int(id) != i {
+						t.Fatalf("insert %d returned id %d", i, id)
+					}
+					want := Join(txns[:i+1], m, theta, 1)
+					got := inc.Neighbors()
+					if !reflect.DeepEqual(got.Lists, want.Lists) {
+						t.Fatalf("prefix %d: incremental lists diverge from batch join\ngot  %v\nwant %v",
+							i+1, got.Lists, want.Lists)
+					}
+					if !reflect.DeepEqual(row, want.Lists[i]) {
+						t.Fatalf("prefix %d: Insert returned %v, batch row is %v", i+1, row, want.Lists[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestIncIndexUnnormalizedInput checks that Insert normalizes a copy without
+// mutating the caller's transaction.
+func TestIncIndexUnnormalizedInput(t *testing.T) {
+	inc := NewIncIndex(Jaccard, 0.5)
+	inc.Insert(dataset.Transaction{3, 1, 2})
+	raw := dataset.Transaction{2, 3, 3, 1}
+	_, row := inc.Insert(raw)
+	if !reflect.DeepEqual(raw, dataset.Transaction{2, 3, 3, 1}) {
+		t.Fatalf("Insert mutated its argument: %v", raw)
+	}
+	if !reflect.DeepEqual(row, []int32{0}) {
+		t.Fatalf("normalized duplicate should match record 0, got %v", row)
+	}
+	if got := inc.Txn(1); !got.IsNormalized() {
+		t.Fatalf("stored transaction not normalized: %v", got)
+	}
+}

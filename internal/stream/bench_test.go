@@ -1,0 +1,37 @@
+package stream_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rock/internal/datagen"
+	"rock/internal/dataset"
+	"rock/internal/stream"
+)
+
+// BenchmarkObserve measures steady-state fold throughput: a warmed clusterer
+// (clusters already promoted) absorbing a stationary basket stream. This is
+// the number the EXPERIMENTS.md drift drill quotes as the absorb rate.
+func BenchmarkObserve(b *testing.B) {
+	gen := datagen.NewDriftStream(datagen.DriftConfig{
+		Basket: datagen.ScaledBasketConfig(10),
+	}, rand.New(rand.NewSource(7)))
+	c := stream.New(stream.Config{
+		Theta:          0.5,
+		ReclusterEvery: 128,
+		MinPromote:     8,
+		Seed:           9,
+	})
+	for i := 0; i < 4000; i++ {
+		txn, _ := gen.Next()
+		c.Observe(txn)
+	}
+	txns := make([]dataset.Transaction, 4096)
+	for i := range txns {
+		txns[i], _ = gen.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(txns[i%len(txns)])
+	}
+}

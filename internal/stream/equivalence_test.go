@@ -1,0 +1,105 @@
+package stream_test
+
+// The online-vs-batch equivalence gate: on a stationary stream the
+// incremental clusterer must reach the same clustering the batch trainer
+// computes from the full corpus — Adjusted Rand Index >= 0.95 over the
+// points both pipelines assign. This is the acceptance bar that says the
+// streaming shortcuts (representative link universe, pool promotion,
+// reservoir labeling) did not change what the algorithm computes, only
+// when it computes it.
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"rock/internal/datagen"
+	"rock/internal/dataset"
+	"rock/internal/eval"
+	"rock/internal/label"
+	"rock/internal/model"
+	"rock/internal/stream"
+	"rock/internal/train"
+)
+
+func streamDivisor() int {
+	if v := os.Getenv("ROCKSTREAM_E2E_DIVISOR"); v != "" {
+		if d, err := strconv.Atoi(v); err == nil && d >= 1 {
+			return d
+		}
+	}
+	return 10
+}
+
+func TestStreamMatchesBatchARI(t *testing.T) {
+	div := streamDivisor()
+	basket := datagen.ScaledBasketConfig(div)
+	gen := datagen.NewDriftStream(datagen.DriftConfig{Basket: basket}, rand.New(rand.NewSource(21)))
+	n := basket.Outliers
+	for _, s := range basket.ClusterSizes {
+		n += s
+	}
+
+	c := stream.New(stream.Config{
+		Theta:          0.5,
+		ReclusterEvery: 128,
+		MinPromote:     8,
+		Seed:           5,
+	})
+	txns := make([]dataset.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		txn, _ := gen.Next()
+		txns = append(txns, txn)
+		c.Observe(txn)
+	}
+	snap := c.BuildSnapshot()
+	if snap == nil {
+		t.Fatal("stream produced no clusters")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asn, err := model.Compile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := train.Train(train.SliceOpener(txns), train.Config{
+		K: len(basket.ClusterSizes), Theta: 0.5, Shards: 1,
+		MinNeighbors: 2, StopMultiple: 3, MinClusterSize: 5,
+		Seed: 3, KeepAssignments: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ARI over the points both pipelines assign; outliers on either side
+	// have no cluster identity to compare.
+	streamOf := make(map[int][]int) // stream cluster -> compacted point ids
+	var batchLabels []int
+	both := 0
+	for i, txn := range txns {
+		sc, _ := asn.Assign(txn)
+		bc := res.Assignments[i]
+		if sc == label.Outlier || bc == label.Outlier {
+			continue
+		}
+		streamOf[sc] = append(streamOf[sc], both)
+		batchLabels = append(batchLabels, bc)
+		both++
+	}
+	if both < n*7/10 {
+		t.Fatalf("only %d/%d points assigned by both pipelines", both, n)
+	}
+	clusters := make([][]int, 0, len(streamOf))
+	for _, members := range streamOf {
+		clusters = append(clusters, members)
+	}
+	ari := eval.AdjustedRand(clusters, batchLabels, res.Clusters)
+	t.Logf("divisor %d: %d txns, stream %d clusters vs batch %d, %d mutually assigned, ARI %.4f",
+		div, n, len(snap.Sets), res.Clusters, both, ari)
+	if ari < 0.95 {
+		t.Fatalf("stream-vs-batch ARI %.4f below the 0.95 gate", ari)
+	}
+}

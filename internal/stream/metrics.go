@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"io"
+	"sync/atomic"
+
+	"rock/internal/promtext"
+	"rock/internal/serve"
+)
+
+// Metrics is the streaming tier's counter block, exposed in Prometheus text
+// format by WriteMetrics. All fields are atomics; the block is shared
+// between the clusterer, the publisher and the HTTP server.
+type Metrics struct {
+	// Fold outcomes.
+	Absorbed  atomic.Int64 // arrivals folded into a cluster
+	Outliered atomic.Int64 // arrivals sent to the outlier pool
+	Promoted  atomic.Int64 // pooled transactions later promoted into clusters
+	Aged      atomic.Int64 // pooled transactions aged out unpromoted
+
+	// Pool mechanics.
+	Reclusters      atomic.Int64 // pool re-cluster passes
+	ClustersCreated atomic.Int64 // clusters born from promotion
+	Merges          atomic.Int64 // pool groups merged into existing clusters
+
+	// Publishing.
+	Generations    atomic.Int64  // snapshots published
+	PublishSkipped atomic.Int64  // publishes refused by the drift guard
+	ReloadErrors   atomic.Int64  // fleet reload POSTs that exhausted retries
+	LastSeq        atomic.Uint64 // sequence of the last published generation
+
+	// Ingest.
+	IngestErrors atomic.Int64 // malformed ingest lines / tail parse errors
+
+	// FoldLatency tracks Observe latency end to end (including any inline
+	// pool re-cluster an arrival triggers).
+	FoldLatency serve.Histogram
+}
+
+// WriteMetrics emits the full exposition: the counter block plus the
+// clusterer's live gauges (cluster count, pool size, rolling outlier rate).
+func (c *Clusterer) WriteMetrics(w io.Writer) error {
+	m := &c.metrics
+	clusters, poolSize, windowRate := c.Stats()
+	p := promtext.NewWriter(w)
+	p.Counter("rock_stream_arrivals_total", "Transactions observed by the streaming clusterer.", float64(c.Arrivals()))
+	p.Counter("rock_stream_absorbed_total", "Arrivals folded into an existing cluster.", float64(m.Absorbed.Load()))
+	p.Counter("rock_stream_outliered_total", "Arrivals that fit no cluster and were pooled.", float64(m.Outliered.Load()))
+	p.Counter("rock_stream_promoted_total", "Pooled transactions promoted into clusters.", float64(m.Promoted.Load()))
+	p.Counter("rock_stream_aged_total", "Pooled transactions aged out unpromoted.", float64(m.Aged.Load()))
+	p.Counter("rock_stream_reclusters_total", "Outlier-pool re-cluster passes.", float64(m.Reclusters.Load()))
+	p.Counter("rock_stream_clusters_created_total", "Clusters created by pool promotion.", float64(m.ClustersCreated.Load()))
+	p.Counter("rock_stream_merges_total", "Pool groups merged into existing clusters.", float64(m.Merges.Load()))
+	p.Counter("rock_stream_generations_total", "Model generations published.", float64(m.Generations.Load()))
+	p.Counter("rock_stream_publish_skipped_total", "Publishes refused by the drift guard.", float64(m.PublishSkipped.Load()))
+	p.Counter("rock_stream_reload_errors_total", "Fleet reloads that exhausted their retries.", float64(m.ReloadErrors.Load()))
+	p.Counter("rock_stream_ingest_errors_total", "Malformed ingest or tail lines.", float64(m.IngestErrors.Load()))
+	p.Gauge("rock_stream_clusters", "Live clusters.", float64(len(clusters)))
+	p.Gauge("rock_stream_pool_size", "Outlier-pool occupancy.", float64(poolSize))
+	p.Gauge("rock_stream_drift_score", "Rolling outlier rate over the sliding window.", windowRate)
+	p.Gauge("rock_stream_model_seq", "Sequence of the last published generation.", float64(m.LastSeq.Load()))
+	hs := m.FoldLatency.Snapshot()
+	p.Histogram("rock_stream_fold_seconds", "Per-arrival fold latency.", hs.Bounds, hs.Counts, hs.SumSeconds)
+	return p.Err()
+}

@@ -1,0 +1,212 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rock/internal/model"
+	"rock/internal/train"
+)
+
+// ErrNoClusters is returned by TryPublish when the clusterer has nothing to
+// publish yet.
+var ErrNoClusters = errors.New("stream: no clusters to publish")
+
+// ErrGuarded wraps publishes refused by the drift guard; errors.Is works on
+// the returned error.
+var ErrGuarded = errors.New("stream: publish refused by drift guard")
+
+// PublishConfig parameterizes the continuous publisher.
+type PublishConfig struct {
+	// Dir is the versioned snapshot directory generations are saved into.
+	Dir *model.Dir
+	// Fleet lists base URLs (daemons or gateways) POSTed a /v1/reload after
+	// every publish. A gateway URL turns each publish into a coordinated
+	// rolling reload of its replicas.
+	Fleet []string
+	// Interval publishes on a timer (default 1m; the Run loop's cadence).
+	Interval time.Duration
+	// EveryAbsorbed additionally publishes after that many absorbed
+	// arrivals since the last generation (0 disables the count trigger).
+	EveryAbsorbed int64
+
+	// Drift guard: a publish is refused while the rolling outlier rate
+	// exceeds MaxOutlierRate (default 0.9; negative disables), or exceeds
+	// the rate at the previous successful publish by more than RegressBound
+	// (default 0.25; negative disables). The guard only engages once the
+	// window covers at least MinWindow arrivals (default 256) so a cold
+	// start cannot trip it. The effect: when the stream drifts faster than
+	// the clusterer adapts, the fleet keeps serving the last good
+	// generation instead of receiving one trained mid-confusion.
+	MaxOutlierRate float64
+	RegressBound   float64
+	MinWindow      int
+
+	// Reload configures the per-URL reload retry policy.
+	Reload train.ReloadOptions
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *PublishConfig) interval() time.Duration {
+	if c.Interval <= 0 {
+		return time.Minute
+	}
+	return c.Interval
+}
+
+func (c *PublishConfig) maxOutlierRate() float64 {
+	if c.MaxOutlierRate == 0 {
+		return 0.9
+	}
+	return c.MaxOutlierRate
+}
+
+func (c *PublishConfig) regressBound() float64 {
+	if c.RegressBound == 0 {
+		return 0.25
+	}
+	return c.RegressBound
+}
+
+func (c *PublishConfig) minWindow() int {
+	if c.MinWindow <= 0 {
+		return 256
+	}
+	return c.MinWindow
+}
+
+func (c *PublishConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Publisher snapshots the clusterer on a time/count cadence, saves each
+// generation into the model directory, and triggers fleet reloads.
+type Publisher struct {
+	c   *Clusterer
+	cfg PublishConfig
+
+	mu           sync.Mutex
+	lastRate     float64
+	hasLast      bool
+	lastAbsorbed int64
+	lastSnap     *model.Snapshot
+}
+
+// NewPublisher builds a publisher; cfg.Dir must be set.
+func NewPublisher(c *Clusterer, cfg PublishConfig) *Publisher {
+	if cfg.Dir == nil {
+		panic("stream: PublishConfig.Dir is required")
+	}
+	return &Publisher{c: c, cfg: cfg}
+}
+
+// LastSnapshot returns the most recently published snapshot (nil before the
+// first publish).
+func (p *Publisher) LastSnapshot() *model.Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastSnap
+}
+
+// Run publishes on the configured cadence until ctx is cancelled. Guard
+// refusals and reload failures are logged and counted, never fatal: the
+// publisher's job is to keep trying.
+func (p *Publisher) Run(ctx context.Context) {
+	interval := p.cfg.interval()
+	poll := interval
+	if p.cfg.EveryAbsorbed > 0 && poll > 250*time.Millisecond {
+		poll = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	lastPublish := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		due := time.Since(lastPublish) >= interval
+		if !due && p.cfg.EveryAbsorbed > 0 {
+			p.mu.Lock()
+			last := p.lastAbsorbed
+			p.mu.Unlock()
+			due = p.c.Metrics().Absorbed.Load()-last >= p.cfg.EveryAbsorbed
+		}
+		if !due {
+			continue
+		}
+		lastPublish = time.Now()
+		if _, err := p.TryPublish(ctx); err != nil &&
+			!errors.Is(err, ErrNoClusters) && !errors.Is(err, ErrGuarded) {
+			p.cfg.logf("publish: %v", err)
+		}
+	}
+}
+
+// TryPublish builds a snapshot now, applies the drift guard, saves the
+// generation and reloads the fleet. Returns the saved entry, or an error
+// wrapping ErrNoClusters / ErrGuarded when nothing shipped.
+func (p *Publisher) TryPublish(ctx context.Context) (model.Entry, error) {
+	snap := p.c.BuildSnapshot()
+	if snap == nil {
+		return model.Entry{}, ErrNoClusters
+	}
+	rate := snap.Stats.OutlierRate
+	if err := p.guard(rate); err != nil {
+		p.c.Metrics().PublishSkipped.Add(1)
+		p.cfg.logf("publish refused: %v", err)
+		return model.Entry{}, err
+	}
+	entry, err := train.Publish(p.cfg.Dir, snap)
+	if err != nil {
+		return model.Entry{}, err
+	}
+	m := p.c.Metrics()
+	m.Generations.Add(1)
+	m.LastSeq.Store(entry.Seq)
+	p.mu.Lock()
+	p.lastRate = rate
+	p.hasLast = true
+	p.lastAbsorbed = m.Absorbed.Load()
+	p.lastSnap = snap
+	p.mu.Unlock()
+	p.cfg.logf("published generation %d: %d clusters, %d labeled, outlier rate %.3f",
+		entry.Seq, len(snap.Sets), len(snap.Txns), rate)
+	p.reloadFleet(ctx)
+	return entry, nil
+}
+
+func (p *Publisher) guard(rate float64) error {
+	if p.c.WindowFill() < p.cfg.minWindow() {
+		return nil
+	}
+	if ceil := p.cfg.maxOutlierRate(); ceil >= 0 && rate > ceil {
+		return fmt.Errorf("%w: outlier rate %.3f above ceiling %.3f", ErrGuarded, rate, ceil)
+	}
+	p.mu.Lock()
+	last, has := p.lastRate, p.hasLast
+	p.mu.Unlock()
+	if bound := p.cfg.regressBound(); has && bound >= 0 && rate > last+bound {
+		return fmt.Errorf("%w: outlier rate %.3f regressed past %.3f (+%.3f bound)", ErrGuarded, rate, last, bound)
+	}
+	return nil
+}
+
+func (p *Publisher) reloadFleet(ctx context.Context) {
+	for _, base := range p.cfg.Fleet {
+		seq, err := train.PostReloadRetry(ctx, nil, base, p.cfg.Reload)
+		if err != nil {
+			p.c.Metrics().ReloadErrors.Add(1)
+			p.cfg.logf("reload %s: %v", base, err)
+			continue
+		}
+		p.cfg.logf("reloaded %s to generation %d", base, seq)
+	}
+}

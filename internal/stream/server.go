@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"rock/internal/store"
+)
+
+// Server is the streaming daemon's HTTP surface:
+//
+//	POST /v1/ingest   transaction text format in the body, one per line
+//	GET  /v1/stream   JSON state: totals, clusters, pool, drift score
+//	POST /v1/publish  force a guarded publish now (409 when the guard refuses)
+//	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     liveness
+type Server struct {
+	c   *Clusterer
+	pub *Publisher // may be nil: ingest-only server
+	mux *http.ServeMux
+}
+
+// NewServer wires the endpoints. pub may be nil when the server only
+// ingests (POST /v1/publish then answers 503).
+func NewServer(c *Clusterer, pub *Publisher) *Server {
+	s := &Server{c: c, pub: pub, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/stream", s.handleStream)
+	s.mux.HandleFunc("/v1/publish", s.handlePublish)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// IngestResponse reports what happened to one ingest batch.
+type IngestResponse struct {
+	Received int `json:"received"`
+	Absorbed int `json:"absorbed"`
+	Pooled   int `json:"pooled"`
+	// Rejected counts malformed lines; the valid lines around them are
+	// still processed.
+	Rejected int `json:"rejected,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var resp IngestResponse
+	sc := store.NewTextScanner(r.Body)
+	for {
+		t, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			resp.Rejected++
+			s.c.Metrics().IngestErrors.Add(1)
+			continue
+		}
+		if len(t) == 0 {
+			continue
+		}
+		resp.Received++
+		if s.c.Observe(t).Absorbed {
+			resp.Absorbed++
+		} else {
+			resp.Pooled++
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// StreamInfo is the GET /v1/stream payload.
+type StreamInfo struct {
+	Arrivals    int64         `json:"arrivals"`
+	Absorbed    int64         `json:"absorbed"`
+	Outliered   int64         `json:"outliered"`
+	Promoted    int64         `json:"promoted"`
+	Aged        int64         `json:"aged"`
+	Clusters    []ClusterStat `json:"clusters"`
+	PoolSize    int           `json:"pool_size"`
+	DriftScore  float64       `json:"drift_score"`
+	Generations int64         `json:"generations"`
+	ModelSeq    uint64        `json:"model_seq"`
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	m := s.c.Metrics()
+	clusters, poolSize, rate := s.c.Stats()
+	writeJSON(w, StreamInfo{
+		Arrivals:    s.c.Arrivals(),
+		Absorbed:    m.Absorbed.Load(),
+		Outliered:   m.Outliered.Load(),
+		Promoted:    m.Promoted.Load(),
+		Aged:        m.Aged.Load(),
+		Clusters:    clusters,
+		PoolSize:    poolSize,
+		DriftScore:  rate,
+		Generations: m.Generations.Load(),
+		ModelSeq:    m.LastSeq.Load(),
+	})
+}
+
+// PublishResponse is the POST /v1/publish payload on success.
+type PublishResponse struct {
+	Seq      uint64 `json:"seq"`
+	Clusters int    `json:"clusters"`
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.pub == nil {
+		http.Error(w, "no publisher configured", http.StatusServiceUnavailable)
+		return
+	}
+	entry, err := s.pub.TryPublish(r.Context())
+	switch {
+	case errors.Is(err, ErrGuarded):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrNoClusters):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		snap := s.pub.LastSnapshot()
+		writeJSON(w, PublishResponse{Seq: entry.Seq, Clusters: len(snap.Sets)})
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.c.WriteMetrics(w)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -105,29 +105,9 @@ func scatterReps(pts []dataset.Transaction, simF sim.TxnFunc, numRep int, rng *r
 	if len(pts) <= numRep {
 		return pts
 	}
-	cand := make([]int, len(pts))
-	for i := range cand {
-		cand[i] = i
-	}
-	if len(cand) > medoidCap {
-		idx := rng.Perm(len(pts))[:medoidCap]
-		cand = idx
-	}
-	medoid, best := cand[0], -1.0
-	for _, a := range cand {
-		total := 0.0
-		for _, b := range cand {
-			if a != b {
-				total += simF(pts[a], pts[b])
-			}
-		}
-		if total > best {
-			medoid, best = a, total
-		}
-	}
-	chosen := cure.Scatter(len(pts), numRep, medoid, func(i, j int) float64 {
+	chosen := cure.ScatterMedoid(len(pts), numRep, medoidCap, func(i, j int) float64 {
 		return 1 - simF(pts[i], pts[j])
-	})
+	}, rng)
 	out := make([]dataset.Transaction, len(chosen))
 	for i, ci := range chosen {
 		out[i] = pts[ci]

@@ -42,44 +42,13 @@ func summarize(shard int, members []int, txns []dataset.Transaction, pos []int,
 		s.samplePos[i] = pos[m]
 	}
 
-	// Medoid: the member with the greatest total similarity to the others —
-	// the categorical stand-in for "farthest from nothing", anchoring the
-	// scatter at the cluster's densest point. Estimated on a subset when the
-	// cluster is large.
-	cand := members
-	if len(cand) > medoidCap {
-		idx := rng.Perm(len(members))[:medoidCap]
-		cand = make([]int, medoidCap)
-		for i, ix := range idx {
-			cand[i] = members[ix]
-		}
-	}
-	medoid, best := 0, -1.0
-	for i, a := range cand {
-		total := 0.0
-		for _, b := range cand {
-			if a != b {
-				total += simF(txns[a], txns[b])
-			}
-		}
-		if total > best {
-			medoid, best = i, total
-		}
-	}
-	// Map the medoid back to an index into members for Scatter.
-	first := 0
-	for i, m := range members {
-		if m == cand[medoid] {
-			first = i
-			break
-		}
-	}
-
-	// CURE's farthest-point heuristic under 1 - sim: the first rep is the
-	// medoid, each further rep the member least similar to the chosen set.
-	scattered := cure.Scatter(len(members), numRep, first, func(i, j int) float64 {
+	// CURE's farthest-point heuristic under 1 - sim, anchored at the medoid
+	// (the cluster's densest point, estimated on a random subset past
+	// medoidCap): the first rep is the medoid, each further rep the member
+	// least similar to the chosen set.
+	scattered := cure.ScatterMedoid(len(members), numRep, medoidCap, func(i, j int) float64 {
 		return 1 - simF(txns[members[i]], txns[members[j]])
-	})
+	}, rng)
 	s.reps = make([]dataset.Transaction, len(scattered))
 	for i, mi := range scattered {
 		s.reps[i] = txns[members[mi]]

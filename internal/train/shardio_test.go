@@ -240,8 +240,8 @@ func FuzzShardScanner(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid)
-	f.Add(valid[:len(valid)-3])          // truncated inside the trailer
-	f.Add(valid[:len(valid)/2])          // truncated mid-record
+	f.Add(valid[:len(valid)-3])              // truncated inside the trailer
+	f.Add(valid[:len(valid)/2])              // truncated mid-record
 	f.Add(append([]byte(nil), valid[:8]...)) // header only
 	rot := append([]byte(nil), valid...)
 	rot[10] ^= 0x80

@@ -764,6 +764,16 @@ func TrainContext(ctx context.Context, open Opener, cfg Config) (*Result, error)
 	res.Outliers = int(outliers)
 	res.OutlierRate = float64(outliers) / float64(total)
 	res.Assignments = assignments
+	// Seal the run's statistics into the snapshot (format v3), so the
+	// serving side can report what this generation looked like at training
+	// time. The snapshot checkpoint in the run dir predates the label phase
+	// and deliberately omits them; Publish writes the final stats-bearing
+	// form.
+	snap.Stats = &model.TrainStats{
+		Points:      int64(total),
+		Outliers:    outliers,
+		OutlierRate: res.OutlierRate,
+	}
 	cfg.logf("label: %d labeled, %d outliers (rate %.4f)", labeled, outliers, res.OutlierRate)
 	endPhase(PhaseLabel)
 	ctr.setPhase(PhaseDone)
