@@ -5,6 +5,10 @@
 #   make vet      static checks
 #   make faults   fault-injection + chaos suite under the race detector
 #   make chaos    multi-replica fleet chaos drills under the race detector
+#   make multitenant  multi-model fleet chaos drill: 2 registry-mode rockd
+#                     replicas × 3 models (one attribute-weighted) behind
+#                     rockgate, concurrent per-model publishes + LRU
+#                     evictions + a replica kill, under the race detector
 #   make trainfaults  trainer crash/resume drills (journal crash sweep,
 #                     SIGKILL-and-resume, reload retries) under -race
 #   make check    all of the above
@@ -18,7 +22,7 @@
 
 GO ?= go
 
-.PHONY: verify race vet faults chaos trainfaults check bench benchjoin benchtrain benchassign fuzz stream-soak
+.PHONY: verify race vet faults chaos multitenant trainfaults check bench benchjoin benchtrain benchassign fuzz stream-soak
 
 verify:
 	$(GO) build ./...
@@ -47,6 +51,18 @@ chaos:
 	$(GO) test -race ./internal/daemon -run 'Chaos'
 	$(GO) test -race ./internal/gate -run 'Chaos|Smoke'
 
+# Multi-tenant chaos: 2 registry-mode replicas serving 3 named models (one
+# with attribute-weighted similarity) behind the gateway, MaxModels=2
+# forcing LRU eviction churn, two tenants rolling new generations
+# concurrently plus a replica kill + restart — zero failed assignments,
+# zero wrong/stale answers, no cross-model generation mixing. Plus the
+# registry's own concurrency suite (load stampede, eviction vs in-flight
+# assigns, per-model reload isolation) and the daemon registry-mode tests.
+multitenant:
+	$(GO) test -race ./internal/registry
+	$(GO) test -race ./internal/daemon -run 'Registry'
+	$(GO) test -race ./internal/gate -run 'Multitenant|Tenant|PerModel' -count=2
+
 # Trainer crash-safety: the journal power-cut sweep (both rename-journal
 # orderings), cancel-at-every-checkpoint and SIGKILL-at-checkpoint resume
 # drills (resumed model must be ARI-identical with no re-clustering),
@@ -64,7 +80,7 @@ stream-soak:
 	$(GO) test -race ./internal/stream -run 'TestStreamSoak|TestStreamMatchesBatchARI' -v
 	$(GO) test -race ./internal/simjoin -run 'TestIncIndex'
 
-check: verify race vet faults chaos trainfaults stream-soak
+check: verify race vet faults chaos multitenant trainfaults stream-soak
 
 bench:
 	$(GO) test -short -bench=. -benchmem ./...

@@ -11,17 +11,31 @@
 // validates, automatically rolling back past corrupt ones, and may start
 // with no model at all (not ready until the first successful reload).
 //
+// With -registry the daemon serves MANY named models from one root — one
+// model.Dir subdirectory per model name:
+//
+//	rockd -registry /var/lib/rockd/models -max-models 8 -cache 4096
+//
+// Models load lazily on first hit and the least-recently-used ones are
+// evicted once -max-models/-max-model-bytes is exceeded; each model has its
+// own answer cache, reload cycle and metric labels. The legacy single-model
+// routes alias to -default-model.
+//
 // API (see internal/daemon for the handler layer):
 //
 //	POST /v1/assign   {"transactions": [[1,2,3],...]}  →  {"assignments":[{"cluster":0,"score":1.7},...]}
 //	                  {"records": [["red","round"],...]} for models with a schema;
 //	                  responses carry X-Rock-Model-Seq naming the serving generation
+//	POST /v1/assign/{model}   same, against a named registry model
 //	POST /v1/reload   {"path": "new.rockm"} — hot-swap with zero downtime;
 //	                  {} with -dir reloads the latest good generation
+//	POST /v1/reload/{model}   reload one registry model's newest generation
 //	GET  /healthz     liveness probe (process up)
 //	GET  /readyz      readiness probe (model loaded, not draining) + serving seq
+//	                  (+ per-model serving seqs in registry mode)
 //	GET  /metrics     Prometheus text exposition; ?format=json for the JSON shape
 //	GET  /v1/model    summary of the currently served model
+//	GET  /v1/models   every registered model's serving state and counters
 //
 // Overload is shed with 429 + Retry-After once -max-inflight assign
 // requests are in flight; each request runs under a -req-timeout deadline;
@@ -43,6 +57,7 @@ import (
 
 	"rock/internal/daemon"
 	"rock/internal/model"
+	"rock/internal/registry"
 	"rock/internal/serve"
 	"rock/internal/store"
 )
@@ -63,10 +78,21 @@ func main() {
 		injectTail  = flag.Duration("inject-tail", 0, "fault injection: extra straggler latency applied every -inject-tail-every requests")
 		injectEvery = flag.Int("inject-tail-every", 0, "fault injection: apply -inject-tail to every Nth assign request (0 = off)")
 		cacheCap    = flag.Int("cache", 0, "answer-cache capacity in entries (0 = disabled); invalidated wholesale on every reload")
+
+		registryRoot  = flag.String("registry", "", "multi-tenant registry root (one model subdirectory per name); serves /v1/assign/{model}")
+		defaultModel  = flag.String("default-model", "default", "model name the legacy single-model routes alias to in registry mode")
+		maxModels     = flag.Int("max-models", 0, "registry: compiled models kept resident before LRU eviction (0 = unlimited)")
+		maxModelBytes = flag.Int64("max-model-bytes", 0, "registry: estimated resident model bytes before LRU eviction (0 = unlimited)")
 	)
 	flag.Parse()
-	if (*modelPath == "") == (*dirPath == "") {
-		logger.Fatal("usage: rockd (-model <snapshot> | -dir <snapshot-dir>) [-addr :7745]")
+	modes := 0
+	for _, set := range []bool{*modelPath != "", *dirPath != "", *registryRoot != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		logger.Fatal("usage: rockd (-model <snapshot> | -dir <snapshot-dir> | -registry <root>) [-addr :7745]")
 	}
 
 	cfg := daemon.Config{
@@ -78,6 +104,22 @@ func main() {
 	}
 	var engine *serve.Engine
 	switch {
+	case *registryRoot != "":
+		reg, err := registry.Open(registry.Config{
+			Root:          *registryRoot,
+			Keep:          *retention,
+			MaxModels:     *maxModels,
+			MaxModelBytes: *maxModelBytes,
+			CacheCap:      *cacheCap,
+		})
+		if err != nil {
+			logger.Fatalf("opening registry: %v", err)
+		}
+		cfg.Registry = reg
+		cfg.DefaultModel = *defaultModel
+		engine = serve.NewIdle(*workers)
+		logger.Printf("registry mode: root %s, %d registered models %v, default %q, budget max-models=%d max-model-bytes=%d",
+			*registryRoot, len(reg.Names()), reg.Names(), *defaultModel, *maxModels, *maxModelBytes)
 	case *modelPath != "":
 		snap, err := model.Load(*modelPath)
 		if err != nil {
@@ -126,8 +168,14 @@ func main() {
 	}
 
 	if *cacheCap > 0 {
-		engine.EnableCache(*cacheCap)
-		logger.Printf("answer cache enabled: %d entries", *cacheCap)
+		if cfg.Registry != nil {
+			// Registry mode builds one cache per loaded model; the engine's
+			// own single-model cache slot stays unused.
+			logger.Printf("answer caches enabled: %d entries per model", *cacheCap)
+		} else {
+			engine.EnableCache(*cacheCap)
+			logger.Printf("answer cache enabled: %d entries", *cacheCap)
+		}
 	}
 	handler := daemon.New(engine, logger, cfg)
 	srv := &http.Server{

@@ -28,6 +28,15 @@
 //
 //	rockload -addr http://localhost:7745 -c 16 -codec json,binary -warmup 2s
 //
+// -model drives a multi-tenant registry (rockd -registry, or rockgate in
+// front of one): a comma list of name=weight pairs mixes traffic over the
+// named models in proportion — each batch picks its model by weighted
+// draw and POSTs /v1/assign/{model} — and the report adds a per-model
+// latency/throughput breakdown. A bare name means weight 1; weights are
+// relative, not required to sum to anything:
+//
+//	rockload -addr http://gate:7746 -model alpha=0.7,beta=0.3 -codec json,binary -d 30s
+//
 // -warmup excludes samples taken in the first span of the run from every
 // tally (throughput, latency, shed/retry counts), so connection setup, cold
 // caches and JIT-warm paths do not skew the steady-state numbers.
@@ -189,6 +198,7 @@ func main() {
 		retries  = flag.Int("retries", 5, "max attempts per batch on 429/5xx/connection errors")
 		backoff  = flag.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
 		codec    = flag.String("codec", "json", "comma-separated request codecs (json, binary); workers spread round-robin")
+		modelMix = flag.String("model", "", "comma-separated name=weight registry model mix (e.g. alpha=0.7,beta=0.3); batches POST /v1/assign/{model} in proportion")
 		warmup   = flag.Duration("warmup", 0, "exclude samples from the first span of the run from all stats")
 	)
 	flag.Parse()
@@ -232,6 +242,39 @@ func main() {
 	if *warmup >= *duration {
 		log.Fatalf("-warmup %s must be shorter than -d %s", *warmup, *duration)
 	}
+	// The model mix: each batch draws one named model in weight proportion
+	// and posts to /v1/assign/{name}; no -model keeps the legacy route.
+	type modelShare struct {
+		name   string
+		weight float64
+	}
+	var mix []modelShare
+	var mixTotal float64
+	if *modelMix != "" {
+		for _, part := range strings.Split(*modelMix, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			name, weight := part, 1.0
+			if i := strings.IndexByte(part, '='); i >= 0 {
+				var err error
+				name = strings.TrimSpace(part[:i])
+				weight, err = strconv.ParseFloat(strings.TrimSpace(part[i+1:]), 64)
+				if err != nil || weight <= 0 {
+					log.Fatalf("-model %q: weight must be a positive number", part)
+				}
+			}
+			if name == "" {
+				log.Fatalf("-model %q: empty model name", part)
+			}
+			mix = append(mix, modelShare{name, weight})
+			mixTotal += weight
+		}
+		if len(mix) == 0 {
+			log.Fatal("-model holds no models")
+		}
+	}
 
 	// Probe pool: a file of real transactions, or uniform random ones.
 	var pool []dataset.Transaction
@@ -261,17 +304,38 @@ func main() {
 	start := time.Now()
 	deadline := start.Add(*duration)
 	warmUntil := start.Add(*warmup)
-	results := make([]workerResult, *workers)
+	// Tallies are per (worker, model) so the per-model breakdown needs no
+	// locking; without -model there is a single model slot per worker.
+	nModels := len(mix)
+	if nModels == 0 {
+		nModels = 1
+	}
+	results := make([][]workerResult, *workers)
+	for i := range results {
+		results[i] = make([]workerResult, nModels)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)))
-			res := &results[w]
 			target := urls[w%len(urls)]
 			cdc := codecs[w%len(codecs)]
 			for time.Now().Before(deadline) {
+				mi, path := 0, "/v1/assign"
+				if len(mix) > 0 {
+					draw := rng.Float64() * mixTotal
+					for i := range mix {
+						draw -= mix[i].weight
+						if draw < 0 || i == len(mix)-1 {
+							mi = i
+							break
+						}
+					}
+					path += "/" + mix[mi].name
+				}
+				res := &results[w][mi]
 				txns := make([]dataset.Transaction, *batch)
 				for i := range txns {
 					txns[i] = pool[rng.Intn(len(pool))]
@@ -306,7 +370,7 @@ func main() {
 					if attempt > 0 && counted {
 						res.retries++
 					}
-					assigned, outliers, outcome, retryAfter, lat := tryOnce(client, target+"/v1/assign", body, contentType, res, counted)
+					assigned, outliers, outcome, retryAfter, lat := tryOnce(client, target+path, body, contentType, res, counted)
 					if outcome == attemptOK {
 						if counted {
 							res.latencies = append(res.latencies, lat)
@@ -337,10 +401,14 @@ func main() {
 	var total workerResult
 	perTarget := make([]workerResult, len(urls))
 	perCodec := make([]workerResult, len(codecs))
-	for w, r := range results {
-		total.merge(r)
-		perTarget[w%len(urls)].merge(r)
-		perCodec[w%len(codecs)].merge(r)
+	perModel := make([]workerResult, nModels)
+	for w := range results {
+		for mi, r := range results[w] {
+			total.merge(r)
+			perTarget[w%len(urls)].merge(r)
+			perCodec[w%len(codecs)].merge(r)
+			perModel[mi].merge(r)
+		}
 	}
 	if *warmup > 0 {
 		fmt.Printf("warmup: first %s excluded from all stats\n", *warmup)
@@ -357,6 +425,20 @@ func main() {
 		fmt.Printf("latency: min %s  p50 %s  p90 %s  p99 %s  max %s\n",
 			round(total.quantile(0)), round(total.quantile(0.50)), round(total.quantile(0.90)),
 			round(total.quantile(0.99)), round(total.quantile(1)))
+	}
+	if len(mix) > 0 {
+		fmt.Println("per-model:")
+		for i := range mix {
+			r := &perModel[i]
+			line := fmt.Sprintf("  %-16s (weight %.2f) %6d batches (%d dropped)  %7.1f req/s  %9.1f txn/s  shed %d  retries %d",
+				mix[i].name, mix[i].weight/mixTotal, r.requests, r.errors,
+				float64(r.requests)/elapsed.Seconds(), float64(r.assigned)/elapsed.Seconds(), r.shed, r.retries)
+			if len(r.latencies) > 0 {
+				sort.Slice(r.latencies, func(a, b int) bool { return r.latencies[a] < r.latencies[b] })
+				line += fmt.Sprintf("  p50 %s  p99 %s", round(r.quantile(0.50)), round(r.quantile(0.99)))
+			}
+			fmt.Println(line)
+		}
 	}
 	if len(codecs) > 1 {
 		fmt.Println("per-codec:")

@@ -36,12 +36,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"rock/internal/dataset"
 	"rock/internal/model"
+	"rock/internal/registry"
 	"rock/internal/store"
 	"rock/internal/stream"
 	"rock/internal/train"
@@ -67,6 +69,7 @@ func main() {
 		tailStart   = flag.Bool("tail-from-start", false, "replay the tailed file's existing content before following")
 		tailPoll    = flag.Duration("tail-poll", 0, "tail polling interval (0 = 200ms)")
 		snapDir     = flag.String("snapshot-dir", "", "versioned snapshot directory generations are published into (required)")
+		modelName   = flag.String("model-name", "", "registry model name: publish into <snapshot-dir>/<model-name> and reload via /v1/reload/<model-name>")
 		snapName    = flag.String("snapshot-name", "model", "snapshot base name within -snapshot-dir")
 		snapKeep    = flag.Int("snapshot-keep", 0, "generations to retain (0 = default)")
 		noSeed      = flag.Bool("no-seed", false, "do not seed clusters from the newest existing generation")
@@ -83,6 +86,17 @@ func main() {
 	if *snapDir == "" {
 		log.Fatal("-snapshot-dir is required")
 	}
+	publishDir := *snapDir
+	if *modelName != "" {
+		// -model-name targets one tenant of a multi-model registry root.
+		if !registry.ValidName(*modelName) {
+			log.Fatalf("invalid -model-name %q: letters, digits, dot, underscore and dash only", *modelName)
+		}
+		publishDir = filepath.Join(*snapDir, *modelName)
+		if err := os.MkdirAll(publishDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	c := stream.New(stream.Config{
 		Theta:           *theta,
@@ -98,7 +112,7 @@ func main() {
 		Seed:            *seed,
 	})
 
-	dir, err := model.OpenDir(store.OS, *snapDir, *snapName, *snapKeep)
+	dir, err := model.OpenDir(store.OS, publishDir, *snapName, *snapKeep)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -133,7 +147,7 @@ func main() {
 		MaxOutlierRate: *maxOutlier,
 		RegressBound:   *regress,
 		MinWindow:      *minWindow,
-		Reload:         train.ReloadOptions{Attempts: *reloadTries, Timeout: *reloadTime},
+		Reload:         train.ReloadOptions{Attempts: *reloadTries, Timeout: *reloadTime, Model: *modelName},
 		Logf:           log.Printf,
 	})
 

@@ -40,11 +40,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"rock/internal/model"
+	"rock/internal/registry"
 	"rock/internal/store"
 	"rock/internal/train"
 )
@@ -73,6 +75,7 @@ func main() {
 		stageTimeout = flag.Duration("stage-timeout", 0, "per-stage watchdog: fail a stage that runs longer (0 = no watchdog)")
 		binary       = flag.Bool("binary", false, "input is the binary transaction format")
 		snapDir      = flag.String("snapshot-dir", "", "publish the model into this versioned snapshot directory")
+		modelName    = flag.String("model-name", "", "registry model name: publish into <snapshot-dir>/<model-name> and reload via /v1/reload/<model-name>")
 		snapName     = flag.String("snapshot-name", "model", "snapshot base name within -snapshot-dir")
 		snapKeep     = flag.Int("snapshot-keep", 0, "generations to retain in -snapshot-dir (0 = default)")
 		reload       = flag.String("reload", "", "comma-separated base URLs (rockd or rockgate) to POST /v1/reload after publishing")
@@ -166,13 +169,26 @@ func main() {
 	}
 
 	if *snapDir == "" {
+		if *modelName != "" {
+			log.Fatal("-model-name requires -snapshot-dir (the registry root)")
+		}
 		fmt.Println("no -snapshot-dir: model discarded after training (dry run)")
 		return
 	}
-	if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+	publishDir := *snapDir
+	if *modelName != "" {
+		// -model-name targets one tenant of a multi-model registry root:
+		// the snapshot lands in its own subdirectory and the reload tail
+		// walks only that model across the fleet.
+		if !registry.ValidName(*modelName) {
+			log.Fatalf("invalid -model-name %q: letters, digits, dot, underscore and dash only", *modelName)
+		}
+		publishDir = filepath.Join(*snapDir, *modelName)
+	}
+	if err := os.MkdirAll(publishDir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	dir, err := model.OpenDir(store.OS, *snapDir, *snapName, *snapKeep)
+	dir, err := model.OpenDir(store.OS, publishDir, *snapName, *snapKeep)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -194,6 +210,7 @@ func main() {
 		Attempts: *reloadTries,
 		Timeout:  *reloadTime,
 		Counters: ctr,
+		Model:    *modelName,
 		OnRetry: func(err error, delay time.Duration) {
 			if !*quiet {
 				log.Printf("reload retry in %s: %v", delay.Round(time.Millisecond), err)

@@ -13,12 +13,16 @@ import (
 	"log"
 	"math/rand"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"rock/internal/daemon"
 	"rock/internal/dataset"
 	"rock/internal/model"
+	"rock/internal/registry"
 	"rock/internal/serve"
+	"rock/internal/store"
 	"rock/internal/wire"
 )
 
@@ -87,11 +91,15 @@ func benchHandler(b *testing.B, cache int) *daemon.Server {
 const benchBatch = 64
 
 func runAssignBench(b *testing.B, h *daemon.Server, bodies [][]byte, contentType string) {
+	runAssignBenchPath(b, h, "/v1/assign", bodies, contentType)
+}
+
+func runAssignBenchPath(b *testing.B, h *daemon.Server, path string, bodies [][]byte, contentType string) {
 	b.Helper()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		req := httptest.NewRequest("POST", "/v1/assign", bytes.NewReader(bodies[i%len(bodies)]))
+		req := httptest.NewRequest("POST", path, bytes.NewReader(bodies[i%len(bodies)]))
 		req.Header.Set("Content-Type", contentType)
 		w := httptest.NewRecorder()
 		h.ServeHTTP(w, req)
@@ -173,4 +181,43 @@ func BenchmarkHandleAssignBinaryCached(b *testing.B) {
 	h := benchHandler(b, 8192)
 	bodies := binaryBodies(benchProbes(64, benchBatch))
 	runAssignBench(b, h, bodies, wire.ContentType)
+}
+
+// benchRegistryHandler serves the same reference model through the
+// multi-tenant registry: published as one named model in a registry root,
+// assigned via /v1/assign/bench. Against the single-model benchmarks
+// above, the delta is pure registry overhead — the per-request lease
+// (pin, LRU clock tick, atomic snapshot load) and the {model} route.
+func benchRegistryHandler(b *testing.B, cacheCap int) *daemon.Server {
+	b.Helper()
+	root := b.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "bench"), 0o755); err != nil {
+		b.Fatal(err)
+	}
+	dir, err := model.OpenDir(store.OS, filepath.Join(root, "bench"), "model", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dir.Save(benchSnapshot()); err != nil {
+		b.Fatal(err)
+	}
+	reg, err := registry.Open(registry.Config{Root: root, CacheCap: cacheCap})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := serve.NewIdle(1)
+	b.Cleanup(engine.Close)
+	return daemon.New(engine, log.New(io.Discard, "", 0), daemon.Config{Registry: reg, DefaultModel: "bench"})
+}
+
+func BenchmarkHandleAssignRegistryBinary(b *testing.B) {
+	h := benchRegistryHandler(b, 0)
+	bodies := binaryBodies(benchProbes(64, benchBatch))
+	runAssignBenchPath(b, h, "/v1/assign/bench", bodies, wire.ContentType)
+}
+
+func BenchmarkHandleAssignRegistryBinaryCached(b *testing.B) {
+	h := benchRegistryHandler(b, 8192)
+	bodies := binaryBodies(benchProbes(64, benchBatch))
+	runAssignBenchPath(b, h, "/v1/assign/bench", bodies, wire.ContentType)
 }

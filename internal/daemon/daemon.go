@@ -29,6 +29,7 @@ import (
 	"rock/internal/dataset"
 	"rock/internal/model"
 	"rock/internal/promtext"
+	"rock/internal/registry"
 	"rock/internal/serve"
 	"rock/internal/wire"
 )
@@ -112,8 +113,14 @@ type Readiness struct {
 	ModelLoaded bool `json:"model_loaded"`
 	Draining    bool `json:"draining"`
 	// Seq is the serving snapshot generation (0 for file-loaded models or
-	// when no model is loaded).
+	// when no model is loaded). In registry mode it is the default model's
+	// serving generation.
 	Seq uint64 `json:"seq"`
+	// Models, in registry mode, maps every registered model name to the
+	// generation a request for it would be served from right now (warm
+	// models report the loaded seq, cold ones the newest on-disk seq; 0 =
+	// nothing to serve). Routing tiers use it for per-model skew detection.
+	Models map[string]uint64 `json:"models,omitempty"`
 }
 
 // Metrics is the GET /metrics?format=json payload: the engine's counters
@@ -127,8 +134,12 @@ type Metrics struct {
 	// Panics counts handler panics converted to 500s by the recovery
 	// middleware.
 	Panics uint64 `json:"panics"`
-	// Seq is the serving snapshot generation.
+	// Seq is the serving snapshot generation (the default model's, in
+	// registry mode).
 	Seq uint64 `json:"seq"`
+	// Models, in registry mode, is each registered model's serving state
+	// and per-tenant counters.
+	Models []registry.Info `json:"models,omitempty"`
 }
 
 // maxBodyBytes bounds request bodies; a labeling request has no business
@@ -147,6 +158,15 @@ type Config struct {
 	// serves from; /v1/reload with an empty path picks its latest good
 	// generation (rolling back past corrupt ones).
 	Dir *model.Dir
+	// Registry, when non-nil, puts the daemon in multi-tenant mode: it
+	// serves every model under the registry root via /v1/assign/{model} and
+	// /v1/reload/{model}, and the legacy single-model routes alias to
+	// DefaultModel. Dir and InitialSeq are ignored in this mode.
+	Registry *registry.Registry
+	// DefaultModel is the model name the legacy routes (/v1/assign,
+	// /v1/reload, /v1/model) act on in registry mode ("default" when
+	// empty).
+	DefaultModel string
 	// InitialSeq is the generation of the model the engine was constructed
 	// with (0 for file-loaded models or idle engines).
 	InitialSeq uint64
@@ -170,6 +190,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReqTimeout <= 0 {
 		c.ReqTimeout = 30 * time.Second
+	}
+	if c.Registry != nil && c.DefaultModel == "" {
+		c.DefaultModel = "default"
 	}
 	return c
 }
@@ -241,6 +264,11 @@ func New(engine *serve.Engine, logger *log.Logger, cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	if s.cfg.Registry != nil {
+		s.mux.HandleFunc("POST /v1/assign/{model}", s.handleAssign)
+		s.mux.HandleFunc("POST /v1/reload/{model}", s.handleReloadModel)
+		s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	}
 	return s
 }
 
@@ -285,6 +313,83 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// assignTarget is the (assigner, cache, generation) one request serves
+// from. In single-model mode it mirrors the daemon's atomic version slot;
+// in registry mode it wraps a pinned lease on the request's named model.
+type assignTarget struct {
+	a     *model.Assigner
+	cache *serve.Cache
+	seq   uint64
+	lease *registry.Lease
+}
+
+func (t *assignTarget) release() {
+	if t.lease != nil {
+		t.lease.Release()
+	}
+}
+
+// count records the served batch against the model's per-tenant counters
+// (registry mode only; the engine's global counters cover both modes).
+func (t *assignTarget) count(out []serve.Assignment) {
+	if t.lease == nil {
+		return
+	}
+	outliers := 0
+	for _, a := range out {
+		if a.Cluster == serve.Outlier {
+			outliers++
+		}
+	}
+	t.lease.Count(len(out), outliers)
+}
+
+// assignInto labels txns into out under the target's generation, through
+// the target's own cache in registry mode and the engine's bound cache
+// otherwise.
+func (t *assignTarget) assignInto(ctx context.Context, e *serve.Engine, txns []dataset.Transaction, out []serve.Assignment) error {
+	if t.lease != nil {
+		return e.AssignAllCachedInto(ctx, t.a, t.cache, txns, out)
+	}
+	return e.AssignAllContextInto(ctx, t.a, txns, out)
+}
+
+// registryStatus maps a registry error onto the HTTP status the legacy
+// single-model routes use for the same condition.
+func registryStatus(err error) int {
+	switch {
+	case errors.Is(err, registry.ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, model.ErrNoSnapshots):
+		return http.StatusServiceUnavailable
+	default:
+		// Snapshot load or compile failure.
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// target resolves the request's serving target. The returned release must
+// be called once serving ends (it unpins the registry lease).
+func (s *Server) target(r *http.Request) (assignTarget, int, error) {
+	if s.cfg.Registry == nil {
+		v := s.cur.Load()
+		if v.a == nil {
+			return assignTarget{}, http.StatusServiceUnavailable,
+				errors.New("no model loaded yet; POST /v1/reload first")
+		}
+		return assignTarget{a: v.a, seq: v.seq}, 0, nil
+	}
+	name := r.PathValue("model")
+	if name == "" {
+		name = s.cfg.DefaultModel
+	}
+	lease, err := s.cfg.Registry.Acquire(name)
+	if err != nil {
+		return assignTarget{}, registryStatus(err), fmt.Errorf("model %q: %w", name, err)
+	}
+	return assignTarget{a: lease.Assigner, cache: lease.Cache, seq: lease.Seq, lease: lease}, 0, nil
+}
+
 func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	// Bounded admission: take a slot or shed. A full slot table means the
 	// worker pool is saturated; queuing more would only grow memory and
@@ -301,16 +406,17 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	// Capture model + generation once: encoding (for records), assignment
 	// and the response's seq header all describe this one version, so a
 	// concurrent reload can never split the request across two models.
-	v := s.cur.Load()
-	if v.a == nil {
-		s.writeError(w, http.StatusServiceUnavailable, "no model loaded yet; POST /v1/reload first")
+	tgt, status, err := s.target(r)
+	if err != nil {
+		s.writeError(w, status, "%v", err)
 		return
 	}
+	defer tgt.release()
 	// Content-Type negotiation: the binary codec gets the zero-allocation
 	// pooled path, everything else falls through to JSON. Error responses
 	// stay JSON in both cases.
 	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, wire.ContentType) {
-		s.handleAssignBinary(w, r, v)
+		s.handleAssignBinary(w, r, &tgt)
 		return
 	}
 	var req AssignRequest
@@ -340,7 +446,7 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	} else {
 		txns = make([]dataset.Transaction, len(req.Records))
 		for i, rec := range req.Records {
-			t, err := v.a.EncodeRecord(rec)
+			t, err := tgt.a.EncodeRecord(rec)
 			if err != nil {
 				s.writeError(w, http.StatusBadRequest, "record %d: %v", i, err)
 				return
@@ -349,8 +455,8 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.injectServiceTime()
-	out, err := s.engine.AssignAllContext(r.Context(), v.a, txns)
-	if err != nil {
+	out := make([]serve.Assignment, len(txns))
+	if err := tgt.assignInto(r.Context(), s.engine, txns, out); err != nil {
 		// The client went away or the per-request deadline fired; either
 		// way the batch was not fully served.
 		status := http.StatusServiceUnavailable
@@ -360,7 +466,8 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, "request abandoned: %v", err)
 		return
 	}
-	w.Header().Set(ModelSeqHeader, strconv.FormatUint(v.seq, 10))
+	tgt.count(out)
+	w.Header().Set(ModelSeqHeader, strconv.FormatUint(tgt.seq, 10))
 	s.writeJSON(w, http.StatusOK, AssignResponse{Assignments: out})
 }
 
@@ -369,7 +476,7 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 // stay JSON). Every buffer the request touches comes from the scratch pool,
 // so the decode → assign → encode loop allocates nothing once warm. The
 // caller has already taken an admission slot and checked the model.
-func (s *Server) handleAssignBinary(w http.ResponseWriter, r *http.Request, v *version) {
+func (s *Server) handleAssignBinary(w http.ResponseWriter, r *http.Request, tgt *assignTarget) {
 	sc := s.scratch.Get().(*assignScratch)
 	defer s.scratch.Put(sc)
 	var err error
@@ -392,7 +499,7 @@ func (s *Server) handleAssignBinary(w http.ResponseWriter, r *http.Request, v *v
 		sc.out = sc.out[:len(sc.txns)]
 	}
 	s.injectServiceTime()
-	if err := s.engine.AssignAllContextInto(r.Context(), v.a, sc.txns, sc.out); err != nil {
+	if err := tgt.assignInto(r.Context(), s.engine, sc.txns, sc.out); err != nil {
 		status := http.StatusServiceUnavailable
 		if errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusGatewayTimeout
@@ -400,8 +507,9 @@ func (s *Server) handleAssignBinary(w http.ResponseWriter, r *http.Request, v *v
 		s.writeError(w, status, "request abandoned: %v", err)
 		return
 	}
+	tgt.count(sc.out)
 	sc.resp = wire.AppendResponse(sc.resp[:0], sc.out)
-	w.Header().Set(ModelSeqHeader, strconv.FormatUint(v.seq, 10))
+	w.Header().Set(ModelSeqHeader, strconv.FormatUint(tgt.seq, 10))
 	w.Header().Set("Content-Type", wire.ContentType)
 	w.Header().Set("Content-Length", strconv.Itoa(len(sc.resp)))
 	w.WriteHeader(http.StatusOK)
@@ -447,10 +555,41 @@ func (s *Server) injectServiceTime() {
 	}
 }
 
+// handleReloadModel is POST /v1/reload/{model}: load and install the named
+// model's newest snapshot as a fresh generation. The body is optional and
+// ignored — registry reloads always target the model's own directory.
+func (s *Server) handleReloadModel(w http.ResponseWriter, r *http.Request) {
+	s.reloadRegistryModel(w, r.PathValue("model"))
+}
+
+// reloadRegistryModel performs a per-tenant reload and answers like the
+// legacy reload route, so gateways drive both shapes identically.
+func (s *Server) reloadRegistryModel(w http.ResponseWriter, name string) {
+	l, err := s.cfg.Registry.Reload(name)
+	if err != nil {
+		s.writeError(w, registryStatus(err), "model %q: %v", name, err)
+		return
+	}
+	s.logger.Printf("reloaded model %q (seq %d, %d clusters, %d labeled transactions)",
+		name, l.Seq, l.Assigner.Clusters(), len(l.Assigner.Snapshot().Txns))
+	resp := ReloadResponse{OK: true, Model: infoOf(l.Assigner, l.Seq), Source: name, Seq: l.Seq}
+	w.Header().Set(ModelSeqHeader, strconv.FormatUint(l.Seq, 10))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	var req ReloadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if s.cfg.Registry != nil {
+		// Legacy route in registry mode: alias onto the default model.
+		if req.Path != "" {
+			s.writeError(w, http.StatusBadRequest, "path reloads are not available in registry mode")
+			return
+		}
+		s.reloadRegistryModel(w, s.cfg.DefaultModel)
 		return
 	}
 	s.reloadMu.Lock()
@@ -521,28 +660,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // and the daemon is not draining. The payload carries the serving snapshot
 // generation so health checkers double as skew detectors.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	v := s.cur.Load()
-	loaded := v.a != nil
-	ready := loaded && !s.draining.Load()
+	var rd Readiness
+	if s.cfg.Registry != nil {
+		rd.Models = make(map[string]uint64)
+		for _, name := range s.cfg.Registry.Names() {
+			seq, err := s.cfg.Registry.ServingSeq(name)
+			if err != nil {
+				continue
+			}
+			rd.Models[name] = seq
+			if seq > 0 {
+				rd.ModelLoaded = true
+			}
+		}
+		rd.Seq = rd.Models[s.cfg.DefaultModel]
+	} else {
+		v := s.cur.Load()
+		rd.ModelLoaded = v.a != nil
+		rd.Seq = v.seq
+	}
+	rd.Draining = s.draining.Load()
+	rd.Ready = rd.ModelLoaded && !rd.Draining
 	status := http.StatusOK
-	if !ready {
+	if !rd.Ready {
 		status = http.StatusServiceUnavailable
 	}
-	s.writeJSON(w, status, Readiness{
-		Ready:       ready,
-		ModelLoaded: loaded,
-		Draining:    s.draining.Load(),
-		Seq:         v.seq,
-	})
+	s.writeJSON(w, status, rd)
 }
 
 func (s *Server) metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		Metrics: s.engine.Metrics(),
 		Shed:    s.shed.Load(),
 		Panics:  s.panics.Load(),
 		Seq:     s.cur.Load().seq,
 	}
+	if s.cfg.Registry != nil {
+		m.Models = s.cfg.Registry.List()
+		for _, info := range m.Models {
+			if info.Name == s.cfg.DefaultModel {
+				m.Seq = info.Seq
+			}
+		}
+	}
+	return m
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -575,12 +736,81 @@ func (s *Server) writePrometheus(w http.ResponseWriter) {
 	lat := s.engine.Latency()
 	p.Histogram("rockd_request_latency_seconds", "Engine batch-assignment latency.",
 		lat.Bounds, lat.Counts, lat.SumSeconds)
+	if s.cfg.Registry != nil {
+		s.writeModelMetrics(p, m.Models)
+	}
 	if err := p.Err(); err != nil {
 		s.logger.Printf("writing metrics: %v", err)
 	}
 }
 
+// writeModelMetrics emits the per-tenant counter and gauge families, one
+// model-labeled sample per registered model.
+func (s *Server) writeModelMetrics(p *promtext.Writer, infos []registry.Info) {
+	counters := []struct {
+		name, help string
+		value      func(registry.Info) uint64
+	}{
+		{"rockd_model_requests_total", "Assign batches served, per model.",
+			func(i registry.Info) uint64 { return i.Requests }},
+		{"rockd_model_assignments_total", "Transactions assigned, per model.",
+			func(i registry.Info) uint64 { return i.Assignments }},
+		{"rockd_model_outliers_total", "Outlier assignments, per model.",
+			func(i registry.Info) uint64 { return i.Outliers }},
+		{"rockd_model_reloads_total", "Explicit per-model reloads.",
+			func(i registry.Info) uint64 { return i.Reloads }},
+		{"rockd_model_loads_total", "Lazy cold-hit loads, per model.",
+			func(i registry.Info) uint64 { return i.Loads }},
+		{"rockd_model_evictions_total", "Budget evictions of the compiled model.",
+			func(i registry.Info) uint64 { return i.Evictions }},
+		{"rockd_model_cache_evictions_total", "Answer-cache CLOCK evictions, per model.",
+			func(i registry.Info) uint64 { return i.CacheEvicts }},
+	}
+	for _, c := range counters {
+		p.CounterFamily(c.name, c.help)
+		for _, info := range infos {
+			p.Sample(c.name, promtext.Label("model", info.Name), float64(c.value(info)))
+		}
+	}
+	gauges := []struct {
+		name, help string
+		value      func(registry.Info) float64
+	}{
+		{"rockd_model_seq", "Serving snapshot generation, per model (0 = none).",
+			func(i registry.Info) float64 { return float64(i.Seq) }},
+		{"rockd_model_warm", "1 when the compiled model is resident, 0 when cold.",
+			func(i registry.Info) float64 {
+				if i.State == "warm" {
+					return 1
+				}
+				return 0
+			}},
+		{"rockd_model_cache_entries", "Currently cached answers, per model.",
+			func(i registry.Info) float64 { return float64(i.CacheEntries) }},
+	}
+	for _, g := range gauges {
+		p.GaugeFamily(g.name, g.help)
+		for _, info := range infos {
+			p.Sample(g.name, promtext.Label("model", info.Name), g.value(info))
+		}
+	}
+	p.Gauge("rockd_models_warm", "Compiled models currently resident.", float64(s.cfg.Registry.WarmCount()))
+}
+
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Registry != nil {
+		// Legacy alias: describe the default model (warming it if cold,
+		// exactly as an assign would).
+		lease, err := s.cfg.Registry.Acquire(s.cfg.DefaultModel)
+		if err != nil {
+			s.writeError(w, registryStatus(err), "model %q: %v", s.cfg.DefaultModel, err)
+			return
+		}
+		defer lease.Release()
+		w.Header().Set(ModelSeqHeader, strconv.FormatUint(lease.Seq, 10))
+		s.writeJSON(w, http.StatusOK, infoOf(lease.Assigner, lease.Seq))
+		return
+	}
 	v := s.cur.Load()
 	if v.a == nil {
 		s.writeError(w, http.StatusServiceUnavailable, "no model loaded")
@@ -588,4 +818,18 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(ModelSeqHeader, strconv.FormatUint(v.seq, 10))
 	s.writeJSON(w, http.StatusOK, infoOf(v.a, v.seq))
+}
+
+// ModelsResponse is the body of GET /v1/models: every registered model's
+// serving state and counters.
+type ModelsResponse struct {
+	DefaultModel string          `json:"default_model"`
+	Models       []registry.Info `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, ModelsResponse{
+		DefaultModel: s.cfg.DefaultModel,
+		Models:       s.cfg.Registry.List(),
+	})
 }

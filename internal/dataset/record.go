@@ -12,6 +12,11 @@ const Missing = -1
 type Attribute struct {
 	Name   string
 	Domain []string
+	// Weights, when non-nil, carries one positive weight per domain value —
+	// the attribute-value weights of He et al.'s weighted K-Modes measure,
+	// consumed by the weighted similarities (sim.WeightedJaccard). A nil
+	// Weights means every value of this attribute weighs 1.
+	Weights []float64
 }
 
 // Schema is the ordered list of categorical attributes of a data set.

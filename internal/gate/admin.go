@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"rock/internal/daemon"
@@ -25,6 +26,9 @@ type FleetReplica struct {
 	Errors           uint64 `json:"errors"`
 	Hedges           uint64 `json:"hedges"`
 	HedgeWins        uint64 `json:"hedge_wins"`
+	// Models are the per-model serving generations a registry-mode
+	// replica last reported (absent for single-model replicas).
+	Models map[string]uint64 `json:"models,omitempty"`
 }
 
 // FleetResponse is the body of GET /v1/fleet.
@@ -34,13 +38,23 @@ type FleetResponse struct {
 	MaxSeq uint64 `json:"max_seq"`
 	// SkewDetected is true when live replicas disagree on the serving seq.
 	SkewDetected bool `json:"skew_detected"`
-	// Transitioning is true while a rolling reload walks the fleet.
+	// Transitioning is true while a fleet-wide rolling reload walks the
+	// fleet.
 	Transitioning bool `json:"transitioning"`
+	// ModelMaxSeq is, per registry model, the newest generation any live
+	// replica serves it at (registry-mode fleets only).
+	ModelMaxSeq map[string]uint64 `json:"model_max_seq,omitempty"`
+	// ModelSkew lists registry models whose live replicas disagree on the
+	// serving generation.
+	ModelSkew []string `json:"model_skew,omitempty"`
+	// ModelTransitioning lists registry models mid-rolling-reload.
+	ModelTransitioning []string `json:"model_transitioning,omitempty"`
 }
 
 func (g *Gateway) fleet() FleetResponse {
 	out := FleetResponse{Transitioning: g.transitioning.Load()}
 	seqs := map[uint64]bool{}
+	modelSeqs := map[string]map[uint64]bool{}
 	for _, b := range g.backends {
 		st := b.State()
 		out.Replicas = append(out.Replicas, FleetReplica{
@@ -54,15 +68,39 @@ func (g *Gateway) fleet() FleetResponse {
 			Errors:           b.errors.Load(),
 			Hedges:           b.hedges.Load(),
 			HedgeWins:        b.hedgeWins.Load(),
+			Models:           b.Models(),
 		})
 		if st == StateLive {
 			seqs[b.Seq()] = true
 			if b.Seq() > out.MaxSeq {
 				out.MaxSeq = b.Seq()
 			}
+			for name, seq := range b.Models() {
+				if out.ModelMaxSeq == nil {
+					out.ModelMaxSeq = map[string]uint64{}
+				}
+				if seq > out.ModelMaxSeq[name] {
+					out.ModelMaxSeq[name] = seq
+				}
+				if modelSeqs[name] == nil {
+					modelSeqs[name] = map[uint64]bool{}
+				}
+				modelSeqs[name][seq] = true
+			}
 		}
 	}
 	out.SkewDetected = len(seqs) > 1
+	for name, set := range modelSeqs {
+		if len(set) > 1 {
+			out.ModelSkew = append(out.ModelSkew, name)
+		}
+	}
+	sort.Strings(out.ModelSkew)
+	g.modelTrans.Range(func(k, _ any) bool {
+		out.ModelTransitioning = append(out.ModelTransitioning, k.(string))
+		return true
+	})
+	sort.Strings(out.ModelTransitioning)
 	return out
 }
 
@@ -76,7 +114,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz: the gateway is ready when at least one backend is routable.
 func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	n := len(g.eligible(time.Now()))
+	n := len(g.eligible(time.Now(), ""))
 	status := http.StatusOK
 	if n == 0 {
 		status = http.StatusServiceUnavailable
@@ -90,12 +128,19 @@ type ReplicaReload struct {
 	OK      bool   `json:"ok"`
 	Skipped bool   `json:"skipped,omitempty"`
 	Seq     uint64 `json:"seq,omitempty"`
-	Error   string `json:"error,omitempty"`
+	// Status is the replica's HTTP status when the reload call failed
+	// with a non-200 (0 otherwise).
+	Status int    `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
-// ReloadFleetResponse is the body of the gateway's POST /v1/reload.
+// ReloadFleetResponse is the body of the gateway's POST /v1/reload and
+// POST /v1/reload/{model}.
 type ReloadFleetResponse struct {
-	OK       bool            `json:"ok"`
+	OK bool `json:"ok"`
+	// Model names the registry model a per-model rolling reload walked
+	// (empty for the fleet-wide single-model reload).
+	Model    string          `json:"model,omitempty"`
 	Seq      uint64          `json:"seq"`
 	Replicas []ReplicaReload `json:"replicas"`
 }
@@ -145,6 +190,121 @@ func (g *Gateway) handleReload(w http.ResponseWriter, r *http.Request) {
 		g.logger.Printf("rolling reload: ok=%v seq=%d (%d replicas)", resp.OK, resp.Seq, len(resp.Replicas))
 	}
 	g.writeJSON(w, status, resp)
+}
+
+// handleReloadModel performs a per-model rolling reload across the fleet:
+// each live replica in turn is told to reload the named registry model's
+// newest generation, then verified through /readyz to be serving that
+// model at the expected seq before the walk moves on. Unlike the
+// fleet-wide reload, no replica is drained — a registry replica swaps one
+// model's compiled assigner atomically while every other tenant keeps
+// serving — so one tenant's publish never pauses another tenant's
+// traffic. Concurrent reloads of the same model are refused with 409;
+// reloads of distinct models proceed independently.
+func (g *Gateway) handleReloadModel(w http.ResponseWriter, r *http.Request) {
+	model := r.PathValue("model")
+	muAny, _ := g.modelReloadMus.LoadOrStore(model, &sync.Mutex{})
+	mu := muAny.(*sync.Mutex)
+	if !mu.TryLock() {
+		g.writeError(w, http.StatusConflict, "a rolling reload of model %q is already in progress", model)
+		return
+	}
+	defer mu.Unlock()
+	// Only this model's skew filter is suspended while the walk
+	// deliberately mixes its generations across the fleet; every other
+	// model keeps its filter and its routing untouched.
+	g.modelTrans.Store(model, struct{}{})
+	defer g.modelTrans.Delete(model)
+
+	resp := ReloadFleetResponse{OK: true, Model: model}
+	var target uint64
+	targetSet := false
+	for _, b := range g.backends {
+		if b.State() != StateLive {
+			resp.Replicas = append(resp.Replicas, ReplicaReload{
+				URL: b.url, Skipped: true,
+				Error: fmt.Sprintf("replica is %s; it reloads lazily on its next hit for %q", b.State(), model),
+			})
+			continue
+		}
+		rr := g.reloadReplicaModel(r.Context(), b, model, &target, &targetSet)
+		resp.Replicas = append(resp.Replicas, rr)
+		if !rr.OK {
+			resp.OK = false
+			break
+		}
+	}
+	resp.Seq = target
+	status := http.StatusOK
+	if !resp.OK {
+		status = http.StatusBadGateway
+		// Replica errors that are clearly the model's own fault (unknown
+		// name, nothing published yet) surface with their original status.
+		for _, rr := range resp.Replicas {
+			if rr.Status == http.StatusNotFound || rr.Status == http.StatusServiceUnavailable {
+				status = rr.Status
+				break
+			}
+		}
+	}
+	if g.logger != nil {
+		g.logger.Printf("rolling reload of model %q: ok=%v seq=%d (%d replicas)", model, resp.OK, resp.Seq, len(resp.Replicas))
+	}
+	g.writeJSON(w, status, resp)
+}
+
+// reloadReplicaModel reloads one registry model on one replica and waits
+// until the replica's /readyz reports the model at the reloaded seq.
+func (g *Gateway) reloadReplicaModel(ctx context.Context, b *Backend, model string, target *uint64, targetSet *bool) ReplicaReload {
+	out := ReplicaReload{URL: b.url}
+	rctx, cancel := context.WithTimeout(ctx, g.cfg.ReloadTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, b.url+"/v1/reload/"+model, nil)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	httpResp, err := g.client.Do(req)
+	if err != nil {
+		out.Error = "reload: " + err.Error()
+		return out
+	}
+	var rl daemon.ReloadResponse
+	if err := decodeJSONBody(httpResp, &rl); err != nil {
+		out.Error = "reload: decoding response: " + err.Error()
+		return out
+	}
+	if httpResp.StatusCode != http.StatusOK || !rl.OK {
+		out.Status = httpResp.StatusCode
+		out.Error = fmt.Sprintf("reload: replica answered %d", httpResp.StatusCode)
+		return out
+	}
+	out.Seq = rl.Seq
+
+	// Version check: every replica must land the model on the same
+	// generation (a mismatch means the registry roots are out of sync).
+	if !*targetSet {
+		*target, *targetSet = rl.Seq, true
+	} else if rl.Seq != *target {
+		out.Error = fmt.Sprintf("version skew: replica reloaded %q to seq %d, fleet target is %d (registry roots out of sync)", model, rl.Seq, *target)
+		return out
+	}
+
+	for {
+		rd, err := g.fetchReadyz(rctx, b)
+		if err == nil && rd.Ready && rd.Models[model] == rl.Seq {
+			break
+		}
+		select {
+		case <-rctx.Done():
+			out.Error = fmt.Sprintf("replica did not report %q at seq %d: %v", model, rl.Seq, rctx.Err())
+			return out
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	b.setModelSeq(model, rl.Seq)
+	out.OK = true
+	return out
 }
 
 func (g *Gateway) reloadReplica(ctx context.Context, b *Backend, target *uint64, targetSet *bool) ReplicaReload {
@@ -272,6 +432,19 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Header("rockgate_backend_model_seq", "gauge", "Snapshot generation each backend serves.")
 	for _, b := range g.backends {
 		p.Sample("rockgate_backend_model_seq", promtext.Label("backend", b.url), float64(b.Seq()))
+	}
+	p.Header("rockgate_backend_registry_model_seq", "gauge", "Per-model serving generation each registry-mode backend reports.")
+	for _, b := range g.backends {
+		models := b.Models()
+		names := make([]string, 0, len(models))
+		for name := range models {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			labels := promtext.Label("backend", b.url) + "," + promtext.Label("model", name)
+			p.Sample("rockgate_backend_registry_model_seq", labels, float64(models[name]))
+		}
 	}
 	p.Header("rockgate_backend_requests_total", "counter", "Attempts dispatched per backend.")
 	for _, b := range g.backends {

@@ -56,6 +56,10 @@ type Backend struct {
 	// seq is the snapshot generation the backend last reported, via probe
 	// payloads and X-Rock-Model-Seq response headers.
 	seq atomic.Uint64
+	// models is the per-model serving generation map a registry-mode
+	// backend last reported through /readyz (nil for single-model
+	// replicas). The map is immutable once stored; updates swap in a copy.
+	models atomic.Pointer[map[string]uint64]
 	// drained marks the backend administratively out of rotation while the
 	// rolling-reload controller works on it.
 	drained atomic.Bool
@@ -88,6 +92,66 @@ func (b *Backend) State() State {
 
 // Seq returns the snapshot generation the backend last reported.
 func (b *Backend) Seq() uint64 { return b.seq.Load() }
+
+// ModelSeq returns the generation the backend last reported for one named
+// registry model, and whether the backend reported that model at all.
+func (b *Backend) ModelSeq(name string) (uint64, bool) {
+	m := b.models.Load()
+	if m == nil {
+		return 0, false
+	}
+	seq, ok := (*m)[name]
+	return seq, ok
+}
+
+// Models returns the per-model serving generations the backend last
+// reported (nil for single-model replicas). The returned map must not be
+// mutated.
+func (b *Backend) Models() map[string]uint64 {
+	m := b.models.Load()
+	if m == nil {
+		return nil
+	}
+	return *m
+}
+
+// setModels replaces the per-model seq map from a probe payload.
+func (b *Backend) setModels(m map[string]uint64) {
+	if m == nil {
+		b.models.Store(nil)
+		return
+	}
+	cp := make(map[string]uint64, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	b.models.Store(&cp)
+}
+
+// setModelSeq records one model's serving generation learned from a
+// response header, copy-on-write so concurrent readers stay safe. Stale
+// writes (a late response from before a reload) never move a seq backward.
+func (b *Backend) setModelSeq(name string, seq uint64) {
+	for {
+		old := b.models.Load()
+		var cp map[string]uint64
+		if old == nil {
+			cp = map[string]uint64{name: seq}
+		} else {
+			if cur, ok := (*old)[name]; ok && cur >= seq {
+				return
+			}
+			cp = make(map[string]uint64, len(*old)+1)
+			for k, v := range *old {
+				cp[k] = v
+			}
+			cp[name] = seq
+		}
+		if b.models.CompareAndSwap(old, &cp) {
+			return
+		}
+	}
+}
 
 // Inflight returns the number of outstanding gateway attempts.
 func (b *Backend) Inflight() int64 { return b.inflight.Load() }

@@ -124,9 +124,18 @@ type Gateway struct {
 	// rolling-reload controller deliberately walks the fleet through a
 	// mixed-seq state.
 	transitioning atomic.Bool
-	// reloadMu serializes rolling reloads; a second concurrent reload is
-	// refused with 409 rather than queued behind a fleet walk.
+	// reloadMu serializes fleet-wide rolling reloads; a second concurrent
+	// reload is refused with 409 rather than queued behind a fleet walk.
 	reloadMu sync.Mutex
+	// modelTrans marks registry models currently mid-rolling-reload
+	// (name → struct{}): the per-model skew filter is suspended for
+	// exactly those models, so one tenant's walk never perturbs routing
+	// for any other tenant.
+	modelTrans sync.Map
+	// modelReloadMus serializes rolling reloads per model name
+	// (name → *sync.Mutex): concurrent reloads of the same model collide
+	// with 409, reloads of distinct models proceed independently.
+	modelReloadMus sync.Map
 
 	requests   atomic.Uint64 // assign requests admitted
 	hedged     atomic.Uint64 // hedge attempts launched
@@ -167,7 +176,9 @@ func New(cfg Config, logger *log.Logger) *Gateway {
 		g.backends = append(g.backends, newBackend(u, cfg.ReinstateAfter))
 	}
 	g.mux.HandleFunc("POST /v1/assign", g.handleAssign)
+	g.mux.HandleFunc("POST /v1/assign/{model}", g.handleAssign)
 	g.mux.HandleFunc("POST /v1/reload", g.handleReload)
+	g.mux.HandleFunc("POST /v1/reload/{model}", g.handleReloadModel)
 	g.mux.HandleFunc("GET /v1/fleet", g.handleFleet)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
@@ -234,6 +245,9 @@ func (g *Gateway) probe(b *Backend) {
 	var rd daemon.Readiness
 	decodeErr := decodeJSONBody(resp, &rd)
 	ok := decodeErr == nil && resp.StatusCode == http.StatusOK && rd.Ready
+	if ok {
+		b.setModels(rd.Models)
+	}
 	g.noteProbeResult(b, ok, rd.Seq)
 }
 
@@ -262,18 +276,35 @@ func (g *Gateway) maxSeq(now time.Time) uint64 {
 	return max
 }
 
-// eligible returns the backends the balancer may route to right now. Live,
-// non-drained, non-backing-off backends qualify; outside a coordinated
-// transition, backends serving a stale snapshot seq are filtered out so
-// clients never see mixed model versions once a reload has completed.
-func (g *Gateway) eligible(now time.Time) []*Backend {
+// modelTransitioning reports whether a per-model rolling reload is
+// deliberately walking the fleet through a mixed-seq state for this model.
+func (g *Gateway) modelTransitioning(model string) bool {
+	_, ok := g.modelTrans.Load(model)
+	return ok
+}
+
+// eligible returns the backends the balancer may route to right now for a
+// request against the named registry model ("" = the legacy single-model
+// route). Live, non-drained, non-backing-off backends qualify; outside a
+// coordinated transition, backends serving a stale snapshot seq — the
+// per-model seq when a model is named, the replica-wide seq otherwise —
+// are filtered out so clients never see mixed model versions once a
+// reload has completed. Skew in tenant A never filters routing for tenant
+// B: each model's filter looks only at its own generations.
+func (g *Gateway) eligible(now time.Time, model string) []*Backend {
 	var live []*Backend
 	for _, b := range g.backends {
 		if b.routable(now) {
 			live = append(live, b)
 		}
 	}
-	if g.transitioning.Load() || len(live) <= 1 {
+	if len(live) <= 1 {
+		return live
+	}
+	if model != "" {
+		return g.filterModelSkew(live, model)
+	}
+	if g.transitioning.Load() {
 		return live
 	}
 	max := uint64(0)
@@ -294,11 +325,45 @@ func (g *Gateway) eligible(now time.Time) []*Backend {
 	return newest
 }
 
+// filterModelSkew applies the version-skew filter along one model's axis:
+// among live backends that report the model, only those on its newest
+// generation remain. Backends that do not report the model at all (legacy
+// replicas, or a registry that has not registered it) are kept only when
+// nobody reports it — they will answer 404 and the client learns the
+// model is unknown rather than seeing a spurious 503.
+func (g *Gateway) filterModelSkew(live []*Backend, model string) []*Backend {
+	if g.transitioning.Load() || g.modelTransitioning(model) {
+		return live
+	}
+	max, reported := uint64(0), false
+	for _, b := range live {
+		if seq, ok := b.ModelSeq(model); ok {
+			reported = true
+			if seq > max {
+				max = seq
+			}
+		}
+	}
+	if !reported {
+		return live
+	}
+	newest := live[:0:0]
+	for _, b := range live {
+		if seq, ok := b.ModelSeq(model); ok && seq == max {
+			newest = append(newest, b)
+		}
+	}
+	if len(newest) < len(live) {
+		g.skewRoutes.Add(1)
+	}
+	return newest
+}
+
 // pick chooses a backend by power-of-two-choices over in-flight counts,
 // excluding already-tried backends (retries and hedges must land
 // elsewhere). Returns nil when no eligible backend remains.
-func (g *Gateway) pick(now time.Time, tried map[*Backend]bool) *Backend {
-	els := g.eligible(now)
+func (g *Gateway) pick(now time.Time, model string, tried map[*Backend]bool) *Backend {
+	els := g.eligible(now, model)
 	cands := els[:0:0]
 	for _, b := range els {
 		if !tried[b] {

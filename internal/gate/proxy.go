@@ -58,8 +58,12 @@ func (g *Gateway) writeError(w http.ResponseWriter, status int, format string, a
 // handleAssign proxies one labeling request into the fleet: balance by
 // power-of-two-choices, hedge if the primary is slow, retry elsewhere
 // within budget on shed/failure, and relay the winning response verbatim
-// (including its X-Rock-Model-Seq).
+// (including its X-Rock-Model-Seq). It serves both the legacy
+// /v1/assign route and the tenant route /v1/assign/{model}; a named
+// model rides the same balancer but its skew filter and seq tracking run
+// along that model's axis only.
 func (g *Gateway) handleAssign(w http.ResponseWriter, r *http.Request) {
+	model := r.PathValue("model")
 	g.requests.Add(1)
 	g.budget.deposit()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -77,7 +81,7 @@ func (g *Gateway) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if ct == "" {
 		ct = "application/json"
 	}
-	res := g.proxyAssign(ctx, body, ct)
+	res := g.proxyAssign(ctx, model, body, ct)
 	switch {
 	case res.err != nil:
 		g.failed.Add(1)
@@ -114,7 +118,7 @@ func (g *Gateway) handleAssign(w http.ResponseWriter, r *http.Request) {
 // proxyAssign races attempts against the fleet until one yields a
 // non-retryable outcome or backends/budget run out. The returned attempt
 // has b == nil when no backend was routable at all.
-func (g *Gateway) proxyAssign(ctx context.Context, body []byte, contentType string) attempt {
+func (g *Gateway) proxyAssign(ctx context.Context, model string, body []byte, contentType string) attempt {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel() // the winner's return cancels every straggler
 
@@ -122,7 +126,7 @@ func (g *Gateway) proxyAssign(ctx context.Context, body []byte, contentType stri
 	results := make(chan attempt, len(g.backends))
 	tried := make(map[*Backend]bool, len(g.backends))
 	launch := func(hedge bool) bool {
-		b := g.pick(time.Now(), tried)
+		b := g.pick(time.Now(), model, tried)
 		if b == nil {
 			return false
 		}
@@ -131,7 +135,7 @@ func (g *Gateway) proxyAssign(ctx context.Context, body []byte, contentType stri
 			g.hedged.Add(1)
 			b.hedges.Add(1)
 		}
-		go g.attemptOn(actx, b, body, contentType, hedge, results)
+		go g.attemptOn(actx, b, model, body, contentType, hedge, results)
 		return true
 	}
 
@@ -190,12 +194,16 @@ func (g *Gateway) proxyAssign(ctx context.Context, body []byte, contentType stri
 // attemptOn runs one try against one backend, classifying the outcome and
 // feeding the balancer's signals: in-flight accounting, latency
 // observation, seq tracking from the response header, Retry-After backoff.
-func (g *Gateway) attemptOn(ctx context.Context, b *Backend, body []byte, contentType string, hedge bool, results chan<- attempt) {
+func (g *Gateway) attemptOn(ctx context.Context, b *Backend, model string, body []byte, contentType string, hedge bool, results chan<- attempt) {
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
 	b.requests.Add(1)
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/assign", bytes.NewReader(body))
+	path := "/v1/assign"
+	if model != "" {
+		path += "/" + model
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(body))
 	if err != nil {
 		results <- attempt{b: b, hedge: hedge, err: err}
 		return
@@ -226,7 +234,11 @@ func (g *Gateway) attemptOn(ctx context.Context, b *Backend, body []byte, conten
 		g.lat.Observe(time.Since(start))
 		if s := resp.Header.Get(daemon.ModelSeqHeader); s != "" {
 			if seq, err := strconv.ParseUint(s, 10, 64); err == nil {
-				b.seq.Store(seq)
+				if model != "" {
+					b.setModelSeq(model, seq)
+				} else {
+					b.seq.Store(seq)
+				}
 			}
 		}
 	case resp.StatusCode == http.StatusTooManyRequests:

@@ -1,0 +1,394 @@
+package gate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeRegistryReplica is a scriptable stand-in for a registry-mode rockd:
+// it serves several named models, each with its own seq, and implements
+// every tenant surface the gateway touches (/readyz with the models map,
+// /v1/assign/{model}, /v1/reload/{model}).
+type fakeRegistryReplica struct {
+	srv   *httptest.Server
+	id    int
+	ready atomic.Bool
+
+	mu       sync.Mutex
+	seqs     map[string]uint64 // model -> serving seq
+	reloadTo map[string]uint64 // model -> seq the next reload lands on
+
+	assigns map[string]*atomic.Int64 // model -> assign requests observed
+	reloads map[string]*atomic.Int64 // model -> reloads observed
+	// reloadDelay stalls each /v1/reload/{model} call, widening the walk
+	// window so tests can assert other tenants keep flowing during it.
+	reloadDelay atomic.Int64
+}
+
+func newFakeRegistryReplica(t *testing.T, id int, seqs map[string]uint64) *fakeRegistryReplica {
+	t.Helper()
+	f := &fakeRegistryReplica{
+		id:       id,
+		seqs:     map[string]uint64{},
+		reloadTo: map[string]uint64{},
+		assigns:  map[string]*atomic.Int64{},
+		reloads:  map[string]*atomic.Int64{},
+	}
+	f.ready.Store(true)
+	for name, seq := range seqs {
+		f.seqs[name] = seq
+		f.reloadTo[name] = seq
+		f.assigns[name] = &atomic.Int64{}
+		f.reloads[name] = &atomic.Int64{}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		models := make(map[string]uint64, len(f.seqs))
+		for k, v := range f.seqs {
+			models[k] = v
+		}
+		f.mu.Unlock()
+		status := http.StatusOK
+		if !f.ready.Load() {
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]any{
+			"ready": f.ready.Load(), "model_loaded": true, "draining": false,
+			"seq": models["default"], "models": models,
+		})
+	})
+	mux.HandleFunc("POST /v1/assign/{model}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("model")
+		f.mu.Lock()
+		seq, ok := f.seqs[name]
+		f.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintf(w, `{"error":"unknown model %q"}`, name)
+			return
+		}
+		f.assigns[name].Add(1)
+		w.Header().Set("X-Rock-Model-Seq", fmt.Sprint(seq))
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"assignments":[{"cluster":%d,"score":1}]}`, f.id)
+	})
+	mux.HandleFunc("POST /v1/reload/{model}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("model")
+		if d := time.Duration(f.reloadDelay.Load()); d > 0 {
+			time.Sleep(d)
+		}
+		f.mu.Lock()
+		_, ok := f.seqs[name]
+		if ok {
+			f.seqs[name] = f.reloadTo[name]
+		}
+		seq := f.seqs[name]
+		f.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintf(w, `{"error":"unknown model %q"}`, name)
+			return
+		}
+		f.reloads[name].Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"ok":true,"source":%q,"seq":%d,"model":{}}`, name, seq)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "rockd_requests_total 0\n")
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeRegistryReplica) setSeq(model string, seq uint64) {
+	f.mu.Lock()
+	f.seqs[model] = seq
+	f.mu.Unlock()
+}
+
+func (f *fakeRegistryReplica) setReloadTo(model string, seq uint64) {
+	f.mu.Lock()
+	f.reloadTo[model] = seq
+	f.mu.Unlock()
+}
+
+func testTenantGateway(t *testing.T, cfg Config, fakes ...*fakeRegistryReplica) (*Gateway, *httptest.Server) {
+	t.Helper()
+	for _, f := range fakes {
+		cfg.Backends = append(cfg.Backends, f.srv.URL)
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 10 * time.Millisecond
+	}
+	if cfg.ProbeTimeout == 0 {
+		cfg.ProbeTimeout = 500 * time.Millisecond
+	}
+	g := New(cfg, nil)
+	srv := httptest.NewServer(g)
+	t.Cleanup(func() {
+		srv.Close()
+		g.Close()
+	})
+	waitFor(t, time.Second, "all replicas live", func() bool {
+		for _, b := range g.backends {
+			if b.State() != StateLive {
+				return false
+			}
+		}
+		return true
+	})
+	return g, srv
+}
+
+// assignModel posts one assign against a named model and returns status,
+// the answering replica id (-1 when not 200) and the seq header.
+func assignModel(t *testing.T, url, model string) (int, int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/assign/"+model, "application/json", strings.NewReader(`{"transactions":[[1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, -1, resp.Header.Get("X-Rock-Model-Seq")
+	}
+	var ar struct {
+		Assignments []struct {
+			Cluster int `json:"cluster"`
+		} `json:"assignments"`
+	}
+	if err := json.Unmarshal(payload, &ar); err != nil {
+		t.Fatalf("bad response %s: %v", payload, err)
+	}
+	return resp.StatusCode, ar.Assignments[0].Cluster, resp.Header.Get("X-Rock-Model-Seq")
+}
+
+// TestTenantSkewFilterIsPerModel: skew on model alpha must route alpha
+// traffic to the newest replica only, while model beta — uniform across
+// the fleet — keeps using both replicas. One tenant's skew never narrows
+// another tenant's capacity.
+func TestTenantSkewFilterIsPerModel(t *testing.T) {
+	r0 := newFakeRegistryReplica(t, 0, map[string]uint64{"alpha": 1, "beta": 3, "default": 1})
+	r1 := newFakeRegistryReplica(t, 1, map[string]uint64{"alpha": 2, "beta": 3, "default": 1})
+	g, srv := testTenantGateway(t, Config{DisableHedging: true}, r0, r1)
+	waitFor(t, time.Second, "per-model seqs probed", func() bool {
+		s0, ok0 := g.backends[0].ModelSeq("alpha")
+		s1, ok1 := g.backends[1].ModelSeq("alpha")
+		return ok0 && ok1 && s0 == 1 && s1 == 2
+	})
+
+	// Alpha is skewed: only the seq-2 replica may serve it.
+	for i := 0; i < 10; i++ {
+		status, id, seq := assignModel(t, srv.URL, "alpha")
+		if status != http.StatusOK || id != 1 || seq != "2" {
+			t.Fatalf("alpha request %d: status %d replica %d seq %s, want newest replica only", i, status, id, seq)
+		}
+	}
+	if got := r0.assigns["alpha"].Load(); got != 0 {
+		t.Fatalf("stale replica served %d alpha requests during skew", got)
+	}
+
+	// Beta is uniform: both replicas serve it.
+	waitFor(t, 2*time.Second, "beta balanced over both replicas", func() bool {
+		assignModel(t, srv.URL, "beta")
+		return r0.assigns["beta"].Load() > 0 && r1.assigns["beta"].Load() > 0
+	})
+
+	fr := fleetOf(t, srv.URL)
+	if fr.ModelMaxSeq["alpha"] != 2 || fr.ModelMaxSeq["beta"] != 3 {
+		t.Fatalf("fleet model max seqs %+v", fr.ModelMaxSeq)
+	}
+	if len(fr.ModelSkew) != 1 || fr.ModelSkew[0] != "alpha" {
+		t.Fatalf("fleet model skew %v, want [alpha]", fr.ModelSkew)
+	}
+	if fr.Replicas[0].Models["beta"] != 3 {
+		t.Fatalf("replica fleet row missing per-model seqs: %+v", fr.Replicas[0])
+	}
+
+	// Unknown model: the fleet answers with the replicas' own 404.
+	if status, _, _ := assignModel(t, srv.URL, "ghost"); status != http.StatusNotFound {
+		t.Fatalf("unknown model answered %d, want 404", status)
+	}
+}
+
+// TestPerModelRollingReload: reloading one model walks every replica for
+// that model only, verifies each back at the target seq, leaves the other
+// tenant untouched, and keeps serving the other tenant throughout the
+// walk — no replica is ever drained.
+func TestPerModelRollingReload(t *testing.T) {
+	r0 := newFakeRegistryReplica(t, 0, map[string]uint64{"alpha": 1, "beta": 5})
+	r1 := newFakeRegistryReplica(t, 1, map[string]uint64{"alpha": 1, "beta": 5})
+	g, srv := testTenantGateway(t, Config{DisableHedging: true}, r0, r1)
+	waitFor(t, time.Second, "per-model seqs probed", func() bool {
+		_, ok0 := g.backends[0].ModelSeq("alpha")
+		_, ok1 := g.backends[1].ModelSeq("alpha")
+		return ok0 && ok1
+	})
+	for _, f := range []*fakeRegistryReplica{r0, r1} {
+		f.setReloadTo("alpha", 2)
+		f.reloadDelay.Store(int64(30 * time.Millisecond))
+	}
+
+	// Hammer beta while alpha's walk runs; every answer must stay 200.
+	stop := make(chan struct{})
+	var betaFails atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Post(srv.URL+"/v1/assign/beta", "application/json", strings.NewReader(`{"transactions":[[1]]}`))
+			if err != nil {
+				betaFails.Add(1)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				betaFails.Add(1)
+			}
+		}
+	}()
+
+	resp, err := http.Post(srv.URL+"/v1/reload/alpha", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	close(stop)
+	wg.Wait()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("per-model reload: %d (%s)", resp.StatusCode, payload)
+	}
+	var rr ReloadFleetResponse
+	if err := json.Unmarshal(payload, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.OK || rr.Model != "alpha" || rr.Seq != 2 || len(rr.Replicas) != 2 {
+		t.Fatalf("reload report %+v", rr)
+	}
+	for _, f := range []*fakeRegistryReplica{r0, r1} {
+		if f.reloads["alpha"].Load() != 1 {
+			t.Fatalf("replica %d reloaded alpha %d times, want 1", f.id, f.reloads["alpha"].Load())
+		}
+		if f.reloads["beta"].Load() != 0 {
+			t.Fatalf("replica %d: beta was reloaded during alpha's walk", f.id)
+		}
+	}
+	if betaFails.Load() != 0 {
+		t.Fatalf("%d beta requests failed during alpha's rolling reload", betaFails.Load())
+	}
+	for i, b := range g.backends {
+		if b.drained.Load() {
+			t.Fatalf("replica %d left drained by a per-model reload", i)
+		}
+		if seq, _ := b.ModelSeq("alpha"); seq != 2 {
+			t.Fatalf("replica %d alpha seq %d after reload, want 2", i, seq)
+		}
+	}
+}
+
+// TestPerModelReloadConflict: a second reload of the same model while one
+// walks the fleet is refused with 409; a different model's reload
+// proceeds concurrently.
+func TestPerModelReloadConflict(t *testing.T) {
+	r0 := newFakeRegistryReplica(t, 0, map[string]uint64{"alpha": 1, "beta": 1})
+	_, srv := testTenantGateway(t, Config{DisableHedging: true}, r0)
+
+	r0.reloadDelay.Store(int64(80 * time.Millisecond))
+	type result struct {
+		model  string
+		status int
+	}
+	results := make(chan result, 3)
+	var wg sync.WaitGroup
+	post := func(model string) {
+		defer wg.Done()
+		resp, err := http.Post(srv.URL+"/v1/reload/"+model, "application/json", nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		results <- result{model, resp.StatusCode}
+	}
+	wg.Add(3)
+	go post("alpha")
+	time.Sleep(20 * time.Millisecond) // let the first walk take alpha's lock
+	go post("alpha")
+	go post("beta")
+	wg.Wait()
+	close(results)
+
+	var alphaCodes []int
+	betaOK := false
+	for r := range results {
+		switch r.model {
+		case "alpha":
+			alphaCodes = append(alphaCodes, r.status)
+		case "beta":
+			betaOK = r.status == http.StatusOK
+		}
+	}
+	has := func(codes []int, want int) bool {
+		for _, c := range codes {
+			if c == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(alphaCodes, http.StatusOK) || !has(alphaCodes, http.StatusConflict) {
+		t.Fatalf("concurrent same-model reloads answered %v, want one 200 and one 409", alphaCodes)
+	}
+	if !betaOK {
+		t.Fatal("a different model's reload was blocked by alpha's walk")
+	}
+}
+
+// TestPerModelReloadVersionSkewAborts: replicas whose registry roots
+// disagree on the model's newest generation abort the walk.
+func TestPerModelReloadVersionSkewAborts(t *testing.T) {
+	r0 := newFakeRegistryReplica(t, 0, map[string]uint64{"alpha": 1})
+	r1 := newFakeRegistryReplica(t, 1, map[string]uint64{"alpha": 1})
+	_, srv := testTenantGateway(t, Config{DisableHedging: true}, r0, r1)
+	r0.setReloadTo("alpha", 3)
+	r1.setReloadTo("alpha", 2)
+
+	resp, err := http.Post(srv.URL+"/v1/reload/alpha", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("mismatched per-model reload: %d (%s), want 502", resp.StatusCode, payload)
+	}
+	var rr ReloadFleetResponse
+	if err := json.Unmarshal(payload, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.OK || len(rr.Replicas) != 2 || !strings.Contains(rr.Replicas[1].Error, "version skew") {
+		t.Fatalf("mismatch report %+v", rr)
+	}
+}

@@ -48,11 +48,37 @@ func Compile(s *Snapshot) (*Assigner, error) {
 				i, s.Sets[i].Cluster, s.Sets[i-1].Cluster)
 		}
 	}
-	f, ok := sim.TxnByName(s.SimName)
-	if !ok {
-		names := sim.TxnNames()
-		sort.Strings(names)
-		return nil, fmt.Errorf("model: unknown similarity %q (have %s)", s.SimName, strings.Join(names, ", "))
+	var f sim.TxnFunc
+	if s.SimName == sim.WeightedJaccardName {
+		// Parameterized measure: the weight table lives in the snapshot's
+		// schema, one weight per (attribute, value), laid out in encoder item
+		// order (dataset.NewEncoder assigns ids per attribute block, in
+		// domain order). Absent from TxnByName by design.
+		if s.Schema == nil {
+			return nil, fmt.Errorf("model: similarity %q needs a schema carrying attribute weights", s.SimName)
+		}
+		var w sim.ItemWeights
+		for _, attr := range s.Schema.Attrs {
+			if attr.Weights != nil {
+				w = append(w, attr.Weights...)
+				continue
+			}
+			for range attr.Domain {
+				w = append(w, 1)
+			}
+		}
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		f = sim.WeightedJaccard(w)
+	} else {
+		var ok bool
+		f, ok = sim.TxnByName(s.SimName)
+		if !ok {
+			names := sim.TxnNames()
+			sort.Strings(names)
+			return nil, fmt.Errorf("model: unknown similarity %q (have %s)", s.SimName, strings.Join(names, ", "))
+		}
 	}
 	a := &Assigner{snap: s, sim: f, theta: s.Theta}
 	a.sets = make([]label.Set, len(s.Sets))

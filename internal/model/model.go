@@ -40,7 +40,12 @@ var magic = [7]byte{'R', 'O', 'C', 'K', 'M', 'D', 'L'}
 // the labeled sets, so the serving side can report what a generation looked
 // like at training time. Version-1 and -2 snapshots still load, with nil
 // Stats.
-const Version = 3
+//
+// Version 4 adds an optional per-value weight block to each schema
+// attribute, carrying the attribute-value weights a weighted similarity
+// (sim.WeightedJaccard, SimName "wjaccard") is compiled from. Snapshots of
+// versions 1-3 still load, with nil Weights on every attribute.
+const Version = 4
 
 // crcTrailerLen is the length of the version-2 CRC32 trailer.
 const crcTrailerLen = 4
@@ -115,6 +120,17 @@ func (s *Snapshot) Validate() error {
 			}
 			if len(attr.Domain) == 0 {
 				return fmt.Errorf("model: schema attribute %q has an empty domain", attr.Name)
+			}
+			if attr.Weights != nil {
+				if len(attr.Weights) != len(attr.Domain) {
+					return fmt.Errorf("model: schema attribute %q has %d weights for %d domain values",
+						attr.Name, len(attr.Weights), len(attr.Domain))
+				}
+				for _, w := range attr.Weights {
+					if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+						return fmt.Errorf("model: schema attribute %q has weight %v, want positive finite", attr.Name, w)
+					}
+				}
 			}
 		}
 	}
@@ -233,6 +249,20 @@ func (s *Snapshot) writeBody(bw *bufio.Writer, version byte) error {
 					return err
 				}
 			}
+			if version >= 4 {
+				hasWeights := byte(0)
+				if attr.Weights != nil {
+					hasWeights = 1
+				}
+				if err := bw.WriteByte(hasWeights); err != nil {
+					return err
+				}
+				for _, w := range attr.Weights {
+					if err := store.WriteFloat64(bw, w); err != nil {
+						return err
+					}
+				}
+			}
 		}
 	}
 	if version >= 3 {
@@ -294,7 +324,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	case 1:
 		// Legacy format: no trailer, the gzip stream runs to EOF.
 		body = r
-	case 2, 3:
+	case 2, 3, 4:
 		// The trailer can only be located from the end, so the body is
 		// read whole; snapshots are served from memory anyway.
 		rest, err := io.ReadAll(r)
@@ -367,6 +397,26 @@ func readBody(br *bufio.Reader, version byte) (*Snapshot, error) {
 					return nil, fmt.Errorf("model: reading domain value: %w", err)
 				}
 				attr.Domain = append(attr.Domain, dv)
+			}
+			if version >= 4 {
+				hasWeights, err := br.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("model: reading weights flag: %w", err)
+				}
+				switch hasWeights {
+				case 0:
+				case 1:
+					attr.Weights = make([]float64, 0, vals)
+					for v := uint64(0); v < vals; v++ {
+						w, err := store.ReadFloat64(br)
+						if err != nil {
+							return nil, fmt.Errorf("model: reading attribute weight: %w", err)
+						}
+						attr.Weights = append(attr.Weights, w)
+					}
+				default:
+					return nil, fmt.Errorf("model: bad weights flag %d", hasWeights)
+				}
 			}
 			schema.Attrs = append(schema.Attrs, attr)
 		}

@@ -47,6 +47,14 @@ func snapshotsEqual(t *testing.T, a, b *Snapshot) {
 			if x.Name != y.Name || strings.Join(x.Domain, ",") != strings.Join(y.Domain, ",") {
 				t.Fatalf("attr %d: %+v vs %+v", i, x, y)
 			}
+			if len(x.Weights) != len(y.Weights) {
+				t.Fatalf("attr %d weights: %v vs %v", i, x.Weights, y.Weights)
+			}
+			for j := range x.Weights {
+				if x.Weights[j] != y.Weights[j] {
+					t.Fatalf("attr %d weight %d: %v vs %v", i, j, x.Weights[j], y.Weights[j])
+				}
+			}
 		}
 	}
 	if len(a.Sets) != len(b.Sets) {

@@ -1,0 +1,180 @@
+package model
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+
+	"rock/internal/dataset"
+	"rock/internal/label"
+	"rock/internal/sim"
+)
+
+func weightedSnapshot() *Snapshot {
+	s := testSnapshot()
+	s.SimName = sim.WeightedJaccardName
+	s.Schema = dataset.NewSchema(
+		// Item ids 0..4 cover attribute "a" (0-2) and "b" (3-4), matching the
+		// transaction items of testSnapshot's first cluster.
+		dataset.Attribute{Name: "a", Domain: []string{"x", "y", "z"}, Weights: []float64{1, 4, 8}},
+		dataset.Attribute{Name: "b", Domain: []string{"p", "q"}},
+	)
+	return s
+}
+
+// TestWeightsRoundTrip: a version-4 snapshot carries per-attribute-value
+// weights through a write/read cycle, including the mixed case of one
+// weighted and one unweighted attribute.
+func TestWeightsRoundTrip(t *testing.T) {
+	s := weightedSnapshot()
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotsEqual(t, s, got)
+	if got.Schema.Attrs[1].Weights != nil {
+		t.Fatalf("unweighted attribute grew weights: %v", got.Schema.Attrs[1].Weights)
+	}
+}
+
+// TestLegacyV3SnapshotsStillLoad hand-builds a version-3 snapshot (no weight
+// blocks) and checks it loads with nil Weights on every attribute.
+func TestLegacyV3SnapshotsStillLoad(t *testing.T) {
+	want := testSnapshot()
+	want.Schema = dataset.NewSchema(
+		dataset.Attribute{Name: "color", Domain: []string{"red", "green", "blue"}},
+	)
+	want.Stats = &TrainStats{Points: 5, Outliers: 0, OutlierRate: 0}
+	var body bytes.Buffer
+	crc := crc32.NewIEEE()
+	zw := gzip.NewWriter(&body)
+	bw := bufio.NewWriter(zw)
+	if err := want.writeBody(bw, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	crc.Write(body.Bytes())
+
+	var b bytes.Buffer
+	b.Write(magic[:])
+	b.WriteByte(3)
+	b.Write(body.Bytes())
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	b.Write(trailer[:])
+
+	got, err := Read(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("version-3 snapshot rejected: %v", err)
+	}
+	snapshotsEqual(t, want, got)
+	for _, attr := range got.Schema.Attrs {
+		if attr.Weights != nil {
+			t.Fatalf("version-3 snapshot grew weights: %v", attr.Weights)
+		}
+	}
+}
+
+// TestWeightsValidate: malformed weight tables are rejected before writing.
+func TestWeightsValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		weights []float64
+	}{
+		{"length mismatch", []float64{1, 2}},
+		{"zero weight", []float64{1, 0, 1}},
+		{"negative weight", []float64{1, -2, 1}},
+		{"nan weight", []float64{1, math.NaN(), 1}},
+		{"inf weight", []float64{1, math.Inf(1), 1}},
+	} {
+		s := testSnapshot()
+		s.Schema = dataset.NewSchema(
+			dataset.Attribute{Name: "a", Domain: []string{"x", "y", "z"}, Weights: tc.weights},
+		)
+		var buf bytes.Buffer
+		err := s.Write(&buf)
+		if err == nil || !strings.Contains(err.Error(), "weight") {
+			t.Errorf("%s: err = %v, want weight validation error", tc.name, err)
+		}
+	}
+}
+
+// TestCompileWeightedJaccard: a "wjaccard" snapshot compiles into an assigner
+// whose answers match the reference weighted-Jaccard scan, and the weighting
+// actually changes an answer relative to plain Jaccard.
+func TestCompileWeightedJaccard(t *testing.T) {
+	s := weightedSnapshot()
+	a, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The weight table in encoder item order: attr "a" explicit, attr "b"
+	// defaults to 1s.
+	w := sim.ItemWeights{1, 4, 8, 1, 1}
+	wj := sim.WeightedJaccard(w)
+	sets := make([]label.Set, len(s.Sets))
+	for i, set := range s.Sets {
+		sets[i] = label.NewSet(set.Cluster, set.Points, set.Norm)
+	}
+	probes := []dataset.Transaction{
+		dataset.NewTransaction(1, 2, 3),
+		dataset.NewTransaction(1, 4),
+		dataset.NewTransaction(2, 3),
+		dataset.NewTransaction(0, 4),
+		dataset.NewTransaction(10, 11),
+	}
+	for _, p := range probes {
+		wantC, wantScore := label.AssignScore(sets, func(q int) bool {
+			return wj(p, s.Txns[q]) >= s.Theta
+		})
+		gotC, gotScore := a.Assign(p)
+		if gotC != wantC || gotScore != wantScore {
+			t.Fatalf("probe %v: got (%d, %v), want (%d, %v)", p, gotC, gotScore, wantC, wantScore)
+		}
+	}
+
+	// Probe (2) alone: plain Jaccard against every cluster-0 transaction is
+	// 1/3 < θ, so the probe is an outlier. With item 2 weighing 8, e.g.
+	// sim((2), (1,2,3)) = 8/13 ≥ θ, so every cluster-0 transaction becomes a
+	// neighbor and the probe lands in cluster 0 — the weights flip the
+	// answer.
+	plain := testSnapshot()
+	pa, err := Compile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dataset.NewTransaction(2)
+	wc, _ := a.Assign(p)
+	pc, _ := pa.Assign(p)
+	if pc != label.Outlier {
+		t.Fatalf("plain Jaccard assigned %v to cluster %d, want outlier", p, pc)
+	}
+	if wc != 0 {
+		t.Fatalf("weighted Jaccard assigned %v to %d, want cluster 0", p, wc)
+	}
+}
+
+// TestCompileWeightedJaccardNeedsSchema: the measure is parameterized by the
+// schema's weight table, so a schema-less snapshot must not compile.
+func TestCompileWeightedJaccardNeedsSchema(t *testing.T) {
+	s := testSnapshot()
+	s.SimName = sim.WeightedJaccardName
+	if _, err := Compile(s); err == nil {
+		t.Fatal("wjaccard without schema accepted")
+	}
+}

@@ -65,6 +65,18 @@ func (p *Writer) Gauge(name, help string, v float64) {
 	p.Sample(name, "", v)
 }
 
+// CounterFamily writes the header of a labeled counter family; the caller
+// follows with one Sample per label set (e.g. one per registry model).
+func (p *Writer) CounterFamily(name, help string) {
+	p.Header(name, "counter", help)
+}
+
+// GaugeFamily writes the header of a labeled gauge family; the caller
+// follows with one Sample per label set.
+func (p *Writer) GaugeFamily(name, help string) {
+	p.Header(name, "gauge", help)
+}
+
 // Histogram writes a complete histogram family from per-bucket counts.
 // bounds are the inclusive upper bounds of each bucket except the last,
 // which is the implicit +Inf catch-all: len(counts) == len(bounds)+1.

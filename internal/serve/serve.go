@@ -42,10 +42,15 @@ const Outlier = label.Outlier
 const chunkSize = 64
 
 type job struct {
-	a   *model.Assigner
-	in  []dataset.Transaction
-	out []Assignment
-	wg  *sync.WaitGroup
+	a *model.Assigner
+	// cache is the answer cache resolved by the submitter for this chunk's
+	// assigner (nil bypasses). Resolving at submit time is what lets one
+	// engine serve many models: each batch carries its own model's cache
+	// instead of the engine's single bound slot.
+	cache *Cache
+	in    []dataset.Transaction
+	out   []Assignment
+	wg    *sync.WaitGroup
 }
 
 // Engine serves assignments from a hot-swappable model.
@@ -105,18 +110,27 @@ func NewIdle(workers int) *Engine {
 func (e *Engine) worker() {
 	defer e.wg.Done()
 	for j := range e.jobs {
-		e.runChunk(j.a, j.in, j.out)
+		e.runChunk(j.a, j.cache, j.in, j.out)
 		j.wg.Done()
 	}
 }
 
-func (e *Engine) runChunk(a *model.Assigner, in []dataset.Transaction, out []Assignment) {
-	// Use the answer cache only when its instance is bound to this chunk's
-	// captured model: during a hot swap, chunks still running on the old
-	// model see the new model's cache and simply bypass it.
-	var cache *Cache
+// boundCache resolves the engine's own answer cache for a captured model:
+// non-nil only when the cache instance is bound to exactly that assigner.
+// During a hot swap, chunks still running on the old model see the new
+// model's cache and simply bypass it.
+func (e *Engine) boundCache(a *model.Assigner) *Cache {
 	if cc := e.cache.Load(); cc.For(a) {
-		cache = cc
+		return cc
+	}
+	return nil
+}
+
+func (e *Engine) runChunk(a *model.Assigner, cache *Cache, in []dataset.Transaction, out []Assignment) {
+	if !cache.For(a) {
+		// Never read answers computed by a different assigner, no matter
+		// what the submitter handed us.
+		cache = nil
 	}
 	outliers, hits, misses := 0, 0, 0
 	for i, t := range in {
@@ -213,7 +227,7 @@ func (e *Engine) Assign(t dataset.Transaction) Assignment {
 	start := time.Now()
 	a := e.mustModel()
 	var out [1]Assignment
-	e.runChunk(a, []dataset.Transaction{t}, out[:])
+	e.runChunk(a, e.boundCache(a), []dataset.Transaction{t}, out[:])
 	e.finish(start, 1)
 	return out[0]
 }
@@ -247,10 +261,11 @@ func (e *Engine) AssignAllWith(a *model.Assigner, ts []dataset.Transaction) []As
 	if a == nil {
 		panic("serve: AssignAllWith called with a nil assigner")
 	}
+	cache := e.boundCache(a)
 	start := time.Now()
 	out := make([]Assignment, len(ts))
 	if len(ts) <= chunkSize || e.workers == 1 {
-		e.runChunk(a, ts, out)
+		e.runChunk(a, cache, ts, out)
 		e.finish(start, len(ts))
 		return out
 	}
@@ -261,7 +276,7 @@ func (e *Engine) AssignAllWith(a *model.Assigner, ts []dataset.Transaction) []As
 			hi = len(ts)
 		}
 		wg.Add(1)
-		e.jobs <- job{a: a, in: ts[lo:hi], out: out[lo:hi], wg: &wg}
+		e.jobs <- job{a: a, cache: cache, in: ts[lo:hi], out: out[lo:hi], wg: &wg}
 	}
 	wg.Wait()
 	e.finish(start, len(ts))
@@ -286,6 +301,20 @@ func (e *Engine) AssignAllContext(ctx context.Context, a *model.Assigner, ts []d
 // slice (len(out) must equal len(ts)), so a pooled-buffer serving loop —
 // the daemon's binary codec path — can assign a batch without allocating.
 func (e *Engine) AssignAllContextInto(ctx context.Context, a *model.Assigner, ts []dataset.Transaction, out []Assignment) error {
+	return e.assignAllContextInto(ctx, a, e.boundCache(a), ts, out)
+}
+
+// AssignAllCachedInto is AssignAllContextInto against an explicitly supplied
+// answer cache instead of the engine's own bound slot. This is the
+// multi-model entry point: a registry holds one cache per loaded model and
+// hands the right one in with each batch, while the pool, histogram and
+// counters stay shared. A cache not bound to a (or nil) is bypassed, so a
+// reload race can never serve another generation's answers.
+func (e *Engine) AssignAllCachedInto(ctx context.Context, a *model.Assigner, cache *Cache, ts []dataset.Transaction, out []Assignment) error {
+	return e.assignAllContextInto(ctx, a, cache, ts, out)
+}
+
+func (e *Engine) assignAllContextInto(ctx context.Context, a *model.Assigner, cache *Cache, ts []dataset.Transaction, out []Assignment) error {
 	if a == nil {
 		panic("serve: AssignAllContext called with a nil assigner")
 	}
@@ -297,7 +326,7 @@ func (e *Engine) AssignAllContextInto(ctx context.Context, a *model.Assigner, ts
 	}
 	start := time.Now()
 	if len(ts) <= chunkSize || e.workers == 1 {
-		e.runChunk(a, ts, out)
+		e.runChunk(a, cache, ts, out)
 		e.finish(start, len(ts))
 		return nil
 	}
@@ -313,7 +342,7 @@ func (e *Engine) AssignAllContextInto(ctx context.Context, a *model.Assigner, ts
 			cancelled = true
 		default:
 			wg.Add(1)
-			e.jobs <- job{a: a, in: ts[lo:hi], out: out[lo:hi], wg: &wg}
+			e.jobs <- job{a: a, cache: cache, in: ts[lo:hi], out: out[lo:hi], wg: &wg}
 		}
 	}
 	wg.Wait()

@@ -1,0 +1,91 @@
+package sim
+
+// Attribute-value-weighted similarity, after He, Xu & Deng ("Attribute Value
+// Weighting in K-Modes Clustering"): not every attribute value carries the
+// same discriminative signal, so the set measures generalize from counting
+// shared items to summing their weights. The ROCK framework only requires a
+// normalized similarity and a threshold (Section 3.1 admits arbitrary
+// "domain expert" similarities), so a weighted measure plugs into links,
+// labeling and serving unchanged.
+//
+// Weights are addressed by item id: transactions produced by a
+// dataset.Encoder map each (attribute, value) pair to a dense item id, and a
+// model snapshot's schema persists per-value weights (dataset.Attribute
+// .Weights), from which model.Compile lays out this table in encoder item
+// order. Item ids outside the table — values the schema never saw — weigh 1,
+// so a probe with unknown items degrades gracefully instead of panicking.
+
+import (
+	"fmt"
+	"math"
+
+	"rock/internal/dataset"
+)
+
+// WeightedJaccardName is the registered snapshot similarity name for the
+// attribute-value-weighted Jaccard measure. It is deliberately absent from
+// TxnByName: the function is parameterized by a weight table, so it cannot
+// be resolved from the name alone — model.Compile builds it from the
+// snapshot's schema weights.
+const WeightedJaccardName = "wjaccard"
+
+// ItemWeights maps item ids to positive weights; ids at or past the end of
+// the table weigh 1.
+type ItemWeights []float64
+
+// Validate checks every weight is finite and strictly positive.
+func (w ItemWeights) Validate() error {
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("sim: item weight %d is %v, want a positive finite number", i, v)
+		}
+	}
+	return nil
+}
+
+func (w ItemWeights) of(it dataset.Item) float64 {
+	if int(it) < len(w) {
+		return w[it]
+	}
+	return 1
+}
+
+// WeightedJaccard returns the weighted Jaccard similarity
+//
+//	sim(a, b) = Σ_{i ∈ a∩b} w(i) / Σ_{i ∈ a∪b} w(i)
+//
+// over normalized transactions. With every weight 1 it reduces exactly to
+// Jaccard (both numerator and denominator become the plain counts). Two
+// empty transactions have similarity 0, matching the unweighted measures.
+func WeightedJaccard(w ItemWeights) TxnFunc {
+	return func(a, b dataset.Transaction) float64 {
+		var inter, union float64
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] == b[j]:
+				wi := w.of(a[i])
+				inter += wi
+				union += wi
+				i++
+				j++
+			case a[i] < b[j]:
+				union += w.of(a[i])
+				i++
+			default:
+				union += w.of(b[j])
+				j++
+			}
+		}
+		for ; i < len(a); i++ {
+			union += w.of(a[i])
+		}
+		for ; j < len(b); j++ {
+			union += w.of(b[j])
+		}
+		if union == 0 {
+			return 0
+		}
+		return inter / union
+	}
+}

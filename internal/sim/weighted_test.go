@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"rock/internal/dataset"
+)
+
+func TestWeightedJaccardReducesToJaccard(t *testing.T) {
+	w := make(ItemWeights, 20)
+	for i := range w {
+		w[i] = 1
+	}
+	wj := WeightedJaccard(w)
+	cases := [][2]dataset.Transaction{
+		{dataset.NewTransaction(1, 2, 3), dataset.NewTransaction(1, 2, 4)},
+		{dataset.NewTransaction(1, 2), dataset.NewTransaction(3, 4)},
+		{dataset.NewTransaction(5), dataset.NewTransaction(5)},
+		{dataset.NewTransaction(), dataset.NewTransaction(1, 2)},
+		{dataset.NewTransaction(), dataset.NewTransaction()},
+	}
+	for _, c := range cases {
+		got, want := wj(c[0], c[1]), Jaccard(c[0], c[1])
+		if got != want {
+			t.Errorf("wjaccard(%v, %v) = %v, jaccard = %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestWeightedJaccardWeighting(t *testing.T) {
+	// Items 0..3; item 0 dominates with weight 10.
+	w := ItemWeights{10, 1, 1, 1}
+	wj := WeightedJaccard(w)
+	a := dataset.NewTransaction(0, 1)
+	b := dataset.NewTransaction(0, 2)
+	// inter = {0} -> 10, union = {0,1,2} -> 12.
+	if got, want := wj(a, b), 10.0/12.0; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("wjaccard = %v, want %v", got, want)
+	}
+	// Unweighted Jaccard of the same pair is 1/3: the weighting moved the
+	// score across any threshold between 1/3 and 5/6.
+	if got := Jaccard(a, b); got != 1.0/3.0 {
+		t.Fatalf("jaccard = %v, want 1/3", got)
+	}
+	// Disagreeing on the heavy item pushes similarity down instead.
+	c := dataset.NewTransaction(1, 2)
+	d := dataset.NewTransaction(0, 1, 2)
+	// inter = {1,2} -> 2, union = {0,1,2} -> 12.
+	if got, want := wj(c, d), 2.0/12.0; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("wjaccard = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedJaccardRangeAndSymmetry(t *testing.T) {
+	w := ItemWeights{3, 0.5, 2, 1, 7}
+	wj := WeightedJaccard(w)
+	txns := []dataset.Transaction{
+		dataset.NewTransaction(0, 1, 2),
+		dataset.NewTransaction(1, 3),
+		dataset.NewTransaction(4),
+		dataset.NewTransaction(0, 1, 2, 3, 4),
+		dataset.NewTransaction(),
+		dataset.NewTransaction(7, 9), // beyond the table: weight 1 each
+	}
+	for _, a := range txns {
+		for _, b := range txns {
+			s := wj(a, b)
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				t.Fatalf("wjaccard(%v, %v) = %v out of [0,1]", a, b, s)
+			}
+			if s != wj(b, a) {
+				t.Fatalf("wjaccard not symmetric on (%v, %v)", a, b)
+			}
+		}
+	}
+	for _, a := range txns[:4] { // non-empty: self-similarity is exactly 1
+		if s := wj(a, a); s != 1 {
+			t.Fatalf("wjaccard(%v, self) = %v, want 1", a, s)
+		}
+	}
+}
+
+func TestItemWeightsValidate(t *testing.T) {
+	if err := (ItemWeights{1, 0.25, 9}).Validate(); err != nil {
+		t.Fatalf("valid weights rejected: %v", err)
+	}
+	bad := []ItemWeights{
+		{1, 0},
+		{-1},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("weights %v accepted", w)
+		}
+	}
+}

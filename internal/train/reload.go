@@ -55,6 +55,10 @@ type ReloadOptions struct {
 	OnRetry func(err error, delay time.Duration)
 	// Counters, when non-nil, receives StageRetries increments per retry.
 	Counters *Counters
+	// Model, when set, targets one named registry model: the reload POSTs
+	// to {base}/v1/reload/{Model} (rockd registry mode, or rockgate's
+	// per-model rolling reload) instead of the single-model /v1/reload.
+	Model string
 }
 
 func (o *ReloadOptions) attempts() int {
@@ -134,8 +138,12 @@ func parseRetryAfter(h string) time.Duration {
 }
 
 // postReloadOnce performs one reload attempt against base.
-func postReloadOnce(ctx context.Context, client *http.Client, base string) (uint64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/reload", bytes.NewReader([]byte("{}")))
+func postReloadOnce(ctx context.Context, client *http.Client, base, model string) (uint64, error) {
+	path := "/v1/reload"
+	if model != "" {
+		path += "/" + model
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader([]byte("{}")))
 	if err != nil {
 		return 0, err
 	}
@@ -188,7 +196,7 @@ func PostReloadRetry(ctx context.Context, client *http.Client, base string, opt 
 		if t := opt.timeout(); t > 0 {
 			actx, cancel = context.WithTimeout(ctx, t)
 		}
-		seq, err := postReloadOnce(actx, client, base)
+		seq, err := postReloadOnce(actx, client, base, opt.Model)
 		cancel()
 		if err == nil {
 			return seq, nil
